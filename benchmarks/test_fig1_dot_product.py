@@ -1,0 +1,35 @@
+"""Figure 1: dot-product performance for every (VF, IF), normalised to baseline.
+
+Paper: the baseline cost model picks (VF=4, IF=2); 26 of the 35 possible
+factor pairs beat it; the best pair improves on it by ~20%.  The expected
+*shape* here: the baseline picks the same (4, 2), a clear majority of pairs
+beat it, and the best pair is noticeably better.
+"""
+
+from repro.evaluation.figures import figure1_dot_product_grid
+
+
+def test_fig1_dot_product_grid(benchmark):
+    result = benchmark.pedantic(figure1_dot_product_grid, iterations=1, rounds=1)
+    print()
+    print(result.format_table().render())
+    print(
+        f"best factors: VF={result.best_factors[0]}, IF={result.best_factors[1]} "
+        f"({result.best_speedup:.2f}x over baseline); "
+        f"{result.fraction_better_than_baseline * 100:.0f}% of pairs beat the baseline"
+    )
+
+    assert result.baseline_factors == (4, 2)
+    assert result.fraction_better_than_baseline >= 0.5
+    assert result.best_speedup > 1.1
+    assert len(result.grid) == 35
+    # The non-vectorized point (VF=1, IF=1) is clearly worse than the baseline,
+    # mirroring the paper's 2.6x baseline-over-scalar observation.
+    assert result.grid[(1, 1)] < 0.6
+
+    benchmark.extra_info["baseline_factors"] = result.baseline_factors
+    benchmark.extra_info["best_factors"] = result.best_factors
+    benchmark.extra_info["best_speedup"] = round(result.best_speedup, 3)
+    benchmark.extra_info["fraction_better"] = round(
+        result.fraction_better_than_baseline, 3
+    )

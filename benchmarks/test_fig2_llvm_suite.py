@@ -1,0 +1,23 @@
+"""Figure 2: brute-force search on the vectorizer test-suite vs the baseline.
+
+Paper: the brute-force optimum beats the baseline on every test, by up to
+~1.5x, with the gap growing for more complicated tests.  Expected shape:
+brute force never loses, the average headroom is well above 1x, and the
+hardest kernels show the largest gaps.
+"""
+
+from repro.evaluation.figures import figure2_bruteforce_suite
+
+
+def test_fig2_bruteforce_vs_baseline(benchmark):
+    result = benchmark.pedantic(figure2_bruteforce_suite, iterations=1, rounds=1)
+    print()
+    print(result.format_table().render())
+
+    assert all(value >= 0.999 for value in result.speedups.values())
+    assert result.average > 1.2
+    assert result.maximum > 1.5
+
+    benchmark.extra_info["average_headroom"] = round(result.average, 3)
+    benchmark.extra_info["max_headroom"] = round(result.maximum, 3)
+    benchmark.extra_info["kernels"] = len(result.speedups)

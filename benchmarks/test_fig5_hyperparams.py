@@ -1,0 +1,44 @@
+"""Figure 5: reward mean / training loss for different hyperparameters.
+
+Paper: sweeps learning rate {5e-5, 5e-4, 5e-3}, FCNN width {32x32, 64x64,
+128x128} and batch size {500, 1000, 4000}; the framework is robust to these,
+the largest learning rate never reaches the best reward, and smaller batches
+converge with fewer samples.  The sweep here keeps the same axes at a reduced
+step budget.
+"""
+
+from repro.evaluation.figures import figure5_hyperparameter_sweep
+
+
+def test_fig5_hyperparameter_sweep(benchmark):
+    results = benchmark.pedantic(
+        figure5_hyperparameter_sweep,
+        kwargs=dict(total_steps=800, train_count=50, batch_sizes=(100, 200, 400)),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    for sweep_name, sweep in results.items():
+        print(sweep.format_table(f"Figure 5 ({sweep_name})").render())
+        print()
+
+    # Every configuration produced a full curve.
+    for sweep in results.values():
+        for experiment in sweep.experiments:
+            assert experiment.history.iterations
+            assert len(experiment.history.reward_curve()) >= 2
+
+    # Training moves the reward mean upward for the mid/low learning rates.
+    lr_sweep = results["learning_rate"]
+    finals = lr_sweep.final_rewards()
+    by_lr = {e.parameters["learning_rate"]: e.history for e in lr_sweep.experiments}
+    for rate, history in by_lr.items():
+        if rate <= 5e-4:
+            assert history.best_reward_mean >= history.reward_curve()[0]
+
+    benchmark.extra_info["final_reward_by_lr"] = {
+        str(k): round(v, 3) for k, v in finals.items()
+    }
+    benchmark.extra_info["best_architecture"] = results[
+        "fcnn_architecture"
+    ].best_configuration()

@@ -1,0 +1,34 @@
+"""Figure 6: reward mean / loss for the three action-space definitions.
+
+Paper: the discrete action space (two integer indices into the VF/IF menus)
+performs best; the single- and double-valued continuous encodings converge to
+lower rewards.  Expected shape: the discrete policy's final/best reward mean
+is at least as good as both continuous variants.
+"""
+
+from repro.evaluation.figures import figure6_action_spaces
+
+
+def test_fig6_action_space_definitions(benchmark):
+    result = benchmark.pedantic(
+        figure6_action_spaces,
+        kwargs=dict(total_steps=900, train_count=50),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.format_table("Figure 6 (action-space definitions)").render())
+
+    finals = {
+        experiment.parameters["policy"]: experiment.history.best_reward_mean
+        for experiment in result.experiments
+    }
+    assert set(finals) == {"discrete", "continuous1", "continuous2"}
+    # Discrete should not lose to either continuous encoding (allow a small
+    # tolerance for run-to-run noise at this reduced step budget).
+    assert finals["discrete"] >= finals["continuous1"] - 0.05
+    assert finals["discrete"] >= finals["continuous2"] - 0.05
+
+    benchmark.extra_info["best_reward_by_space"] = {
+        name: round(value, 3) for name, value in finals.items()
+    }

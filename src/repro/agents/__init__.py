@@ -1,0 +1,37 @@
+"""Alternative prediction methods layered on the learned embedding.
+
+§3.5 of the paper: once end-to-end RL training has produced a good embedding,
+the RL agent can be swapped for other predictors.  The framework here supports
+the same set:
+
+* :class:`~repro.agents.random_search.RandomSearchAgent` — uniform random
+  factors (the paper's sanity check; it lands *below* the baseline),
+* :class:`~repro.agents.nns.NearestNeighborAgent` — k-NN over embeddings with
+  brute-force labels,
+* :class:`~repro.agents.decision_tree.DecisionTreeAgent` — a CART decision
+  tree trained on the same labels,
+* :class:`~repro.agents.brute_force.BruteForceAgent` — the oracle,
+* :class:`~repro.agents.policy_agent.PolicyAgent` — a trained RL policy,
+* :class:`~repro.agents.baseline.BaselineAgent` — defer to the compiler's
+  cost model (i.e. do nothing).
+"""
+
+from repro.agents.base import AgentDecision, VectorizationAgent
+from repro.agents.baseline import BaselineAgent
+from repro.agents.brute_force import BruteForceAgent
+from repro.agents.decision_tree import DecisionTree, DecisionTreeAgent
+from repro.agents.nns import NearestNeighborAgent
+from repro.agents.policy_agent import PolicyAgent
+from repro.agents.random_search import RandomSearchAgent
+
+__all__ = [
+    "AgentDecision",
+    "VectorizationAgent",
+    "BaselineAgent",
+    "RandomSearchAgent",
+    "NearestNeighborAgent",
+    "DecisionTree",
+    "DecisionTreeAgent",
+    "BruteForceAgent",
+    "PolicyAgent",
+]

@@ -1,0 +1,43 @@
+"""The agent interface shared by RL, supervised and search-based methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.kernels import LoopKernel
+
+
+@dataclass
+class AgentDecision:
+    """An agent's chosen factors for one loop."""
+
+    vf: int
+    interleave: int
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.vf, self.interleave)
+
+
+class VectorizationAgent:
+    """Base class: map a loop observation to a (VF, IF) decision.
+
+    ``observation`` is the code2vec embedding of the loop nest.  Agents that
+    do not use the embedding (baseline, brute force) may instead use the
+    ``kernel``/``loop_index`` context passed alongside it.
+    """
+
+    name: str = "agent"
+
+    def select_factors(
+        self,
+        observation: np.ndarray,
+        kernel: Optional[LoopKernel] = None,
+        loop_index: int = 0,
+    ) -> AgentDecision:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,40 @@
+"""An agent that defers every decision to the compiler's own cost model."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.agents.base import AgentDecision, VectorizationAgent
+from repro.core.pipeline import CompileAndMeasure
+from repro.datasets.kernels import LoopKernel
+
+
+class BaselineAgent(VectorizationAgent):
+    """Chooses whatever the LLVM-like baseline cost model would choose.
+
+    Useful as the x=1.0 reference in every comparison figure.
+    """
+
+    name = "baseline"
+
+    def __init__(self, pipeline: Optional[CompileAndMeasure] = None):
+        self.pipeline = pipeline or CompileAndMeasure()
+
+    def select_factors(
+        self,
+        observation: np.ndarray,
+        kernel: Optional[LoopKernel] = None,
+        loop_index: int = 0,
+    ) -> AgentDecision:
+        if kernel is None:
+            return AgentDecision(1, 1)
+        ir_function = self.pipeline.lower_kernel(kernel)
+        loops = ir_function.innermost_loops()
+        if loop_index >= len(loops):
+            return AgentDecision(1, 1)
+        decision = self.pipeline.baseline_model.decide_loop(
+            ir_function, loops[loop_index]
+        )
+        return AgentDecision(decision.vf, decision.interleave)

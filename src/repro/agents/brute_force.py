@@ -1,0 +1,54 @@
+"""The brute-force oracle exposed through the agent interface."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.agents.base import AgentDecision, VectorizationAgent
+from repro.core.pipeline import CompileAndMeasure
+from repro.datasets.kernels import LoopKernel
+from repro.rl.spaces import DEFAULT_IF_VALUES, DEFAULT_VF_VALUES
+
+
+class BruteForceAgent(VectorizationAgent):
+    """Exhaustively tries every (VF, IF) pair for the requested loop.
+
+    This is the upper bound the paper reports RL to be "only 3% worse than";
+    it needs the kernel itself (not just the embedding) and ~35 compilations
+    per loop, which is exactly why the paper trains a policy instead of
+    shipping this.
+    """
+
+    name = "brute_force"
+
+    def __init__(self, pipeline: Optional[CompileAndMeasure] = None):
+        self.pipeline = pipeline or CompileAndMeasure()
+        self._cache: Dict[Tuple[str, int], AgentDecision] = {}
+
+    def select_factors(
+        self,
+        observation: np.ndarray,
+        kernel: Optional[LoopKernel] = None,
+        loop_index: int = 0,
+    ) -> AgentDecision:
+        if kernel is None:
+            raise ValueError("BruteForceAgent needs the kernel to search")
+        key = (kernel.name, loop_index)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        best_factors: Tuple[int, int] = (1, 1)
+        best_cycles = float("inf")
+        for vf in DEFAULT_VF_VALUES:
+            for interleave in DEFAULT_IF_VALUES:
+                result = self.pipeline.measure_with_factors(
+                    kernel, {loop_index: (vf, interleave)}
+                )
+                if result.cycles < best_cycles:
+                    best_cycles = result.cycles
+                    best_factors = (vf, interleave)
+        decision = AgentDecision(*best_factors)
+        self._cache[key] = decision
+        return decision

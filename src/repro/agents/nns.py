@@ -1,0 +1,82 @@
+"""Nearest-neighbour search over loop embeddings (§3.5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.agents.base import AgentDecision, VectorizationAgent
+from repro.datasets.kernels import LoopKernel
+
+
+class NearestNeighborAgent(VectorizationAgent):
+    """k-NN over the code2vec embedding space with brute-force labels.
+
+    After end-to-end RL training produces a useful embedding, the RL agent
+    can be replaced with NNS: store (embedding, best factors) pairs obtained
+    from the brute-force search on the training set and answer queries with
+    the (majority-vote) factors of the closest stored loops.
+    """
+
+    name = "nns"
+
+    def __init__(self, k: int = 1, normalize: bool = True):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.normalize = normalize
+        self._embeddings: Optional[np.ndarray] = None
+        self._labels: List[Tuple[int, int]] = []
+
+    # -- training -----------------------------------------------------------------
+
+    def fit(
+        self, embeddings: np.ndarray, labels: Sequence[Tuple[int, int]]
+    ) -> "NearestNeighborAgent":
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.ndim != 2:
+            raise ValueError("embeddings must be a 2-D array (samples x features)")
+        if embeddings.shape[0] != len(labels):
+            raise ValueError("one label per embedding is required")
+        self._embeddings = self._prepare(embeddings)
+        self._labels = [tuple(label) for label in labels]
+        return self
+
+    def _prepare(self, embeddings: np.ndarray) -> np.ndarray:
+        if not self.normalize:
+            return embeddings
+        norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+        return embeddings / np.maximum(norms, 1e-12)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._embeddings is not None and len(self._labels) > 0
+
+    # -- inference ------------------------------------------------------------------
+
+    def neighbors(self, observation: np.ndarray, k: Optional[int] = None) -> List[int]:
+        """Indices of the k nearest stored embeddings."""
+        if not self.is_fitted:
+            raise RuntimeError("NearestNeighborAgent.fit() has not been called")
+        k = k or self.k
+        query = np.asarray(observation, dtype=np.float64).reshape(1, -1)
+        query = self._prepare(query)
+        distances = np.linalg.norm(self._embeddings - query, axis=1)
+        order = np.argsort(distances)
+        return list(order[:k])
+
+    def select_factors(
+        self,
+        observation: np.ndarray,
+        kernel: Optional[LoopKernel] = None,
+        loop_index: int = 0,
+    ) -> AgentDecision:
+        nearest = self.neighbors(observation)
+        votes: dict = {}
+        for index in nearest:
+            label = self._labels[index]
+            votes[label] = votes.get(label, 0) + 1
+        best = max(votes.items(), key=lambda item: (item[1], -item[0][0]))[0]
+        return AgentDecision(best[0], best[1])

@@ -1,0 +1,38 @@
+"""Adapter exposing a trained RL policy through the agent interface."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.agents.base import AgentDecision, VectorizationAgent
+from repro.datasets.kernels import LoopKernel
+from repro.rl.policy import Policy
+
+
+class PolicyAgent(VectorizationAgent):
+    """Greedy (argmax) inference with a trained policy network.
+
+    "Once the model is trained it can be plugged in as is for inference
+    without further retraining" (§3) — this class is that plug.
+    """
+
+    name = "rl"
+
+    def __init__(self, policy: Policy, deterministic: bool = True):
+        self.policy = policy
+        self.deterministic = deterministic
+
+    def select_factors(
+        self,
+        observation: np.ndarray,
+        kernel: Optional[LoopKernel] = None,
+        loop_index: int = 0,
+    ) -> AgentDecision:
+        output = self.policy.act(
+            np.asarray(observation, dtype=np.float64),
+            deterministic=self.deterministic,
+        )
+        vf, interleave = self.policy.space.decode(output.action)
+        return AgentDecision(vf, interleave)

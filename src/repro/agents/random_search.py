@@ -1,0 +1,42 @@
+"""Uniform random factor selection (the paper's random-search comparator)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.agents.base import AgentDecision, VectorizationAgent
+from repro.datasets.kernels import LoopKernel
+from repro.rl.spaces import DEFAULT_IF_VALUES, DEFAULT_VF_VALUES
+
+
+class RandomSearchAgent(VectorizationAgent):
+    """Picks VF and IF uniformly at random from the legal menus.
+
+    The paper uses this to show that the RL agent's gains come from learned
+    structure and not from the action space itself: "Random search performed
+    much worse than the baseline" (§4).
+    """
+
+    name = "random"
+
+    def __init__(
+        self,
+        vf_values: Sequence[int] = DEFAULT_VF_VALUES,
+        if_values: Sequence[int] = DEFAULT_IF_VALUES,
+        seed: int = 0,
+    ):
+        self.vf_values = tuple(vf_values)
+        self.if_values = tuple(if_values)
+        self.rng = np.random.default_rng(seed)
+
+    def select_factors(
+        self,
+        observation: np.ndarray,
+        kernel: Optional[LoopKernel] = None,
+        loop_index: int = 0,
+    ) -> AgentDecision:
+        vf = int(self.rng.choice(self.vf_values))
+        interleave = int(self.rng.choice(self.if_values))
+        return AgentDecision(vf, interleave)

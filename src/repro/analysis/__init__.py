@@ -1,0 +1,40 @@
+"""Loop analyses: affine access patterns, data dependences, reductions.
+
+These analyses sit between the IR and the vectorizer/polyhedral passes and
+answer the questions LLVM's loop vectorizer asks before picking a VF/IF:
+
+* what is the stride of every memory access with respect to the loop being
+  vectorized (:mod:`repro.analysis.affine`),
+* which accesses carry loop dependences and at what distance
+  (:mod:`repro.analysis.dependence`),
+* which scalar updates are reductions (:mod:`repro.analysis.reduction`),
+* a per-loop roll-up of everything the cost models need
+  (:mod:`repro.analysis.loopinfo`).
+"""
+
+from repro.analysis.affine import AffineForm, AccessPattern, affine_of, classify_access
+from repro.analysis.dependence import (
+    Dependence,
+    DependenceGraph,
+    analyze_dependences,
+    max_safe_vf,
+)
+from repro.analysis.reduction import ReductionInfo, find_reductions
+from repro.analysis.loopinfo import LoopAnalysis, LoopNestAnalysis, analyze_loop, analyze_function
+
+__all__ = [
+    "AffineForm",
+    "AccessPattern",
+    "affine_of",
+    "classify_access",
+    "Dependence",
+    "DependenceGraph",
+    "analyze_dependences",
+    "max_safe_vf",
+    "ReductionInfo",
+    "find_reductions",
+    "LoopAnalysis",
+    "LoopNestAnalysis",
+    "analyze_loop",
+    "analyze_function",
+]

@@ -1,0 +1,303 @@
+"""Data-dependence analysis for innermost loops.
+
+The tests implemented are the classical ZIV / strong-SIV / GCD tests over the
+affine forms produced by :mod:`repro.analysis.affine`.  The output feeds the
+vectorizer's legality check: a loop-carried dependence at distance ``d``
+limits the vectorization factor to ``d`` (and ``d == 0`` within an iteration
+is harmless), while an unanalysable pair forces the conservative answer
+"not vectorizable" exactly as LLVM's LoopAccessAnalysis would.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.affine import AffineForm, affine_of
+from repro.ir.nodes import ArrayInfo, Loop, MemoryAccess, Statement
+
+
+@dataclass
+class Dependence:
+    """A (possible) dependence between two memory accesses in one loop.
+
+    ``distance`` is the dependence distance in iterations of the analysed
+    loop (positive = loop-carried, 0 = intra-iteration); ``None`` means the
+    tests could not bound it ("unknown", the conservative outcome).
+    """
+
+    source: MemoryAccess
+    sink: MemoryAccess
+    distance: Optional[int]
+    kind: str  # "flow", "anti", "output"
+    proven_independent: bool = False
+
+    @property
+    def is_loop_carried(self) -> bool:
+        return not self.proven_independent and (
+            self.distance is None or self.distance != 0
+        )
+
+    def __str__(self) -> str:
+        if self.proven_independent:
+            return f"independent({self.source.array})"
+        distance = "?" if self.distance is None else str(self.distance)
+        return f"{self.kind} dep on {self.source.array} at distance {distance}"
+
+
+@dataclass
+class DependenceGraph:
+    """All pairwise dependences of an innermost loop plus scalar hazards."""
+
+    loop: Loop
+    dependences: List[Dependence] = field(default_factory=list)
+    scalar_recurrences: List[str] = field(default_factory=list)
+
+    @property
+    def carried(self) -> List[Dependence]:
+        return [d for d in self.dependences if d.is_loop_carried]
+
+    @property
+    def has_unknown_dependence(self) -> bool:
+        return any(d.distance is None and not d.proven_independent
+                   for d in self.dependences)
+
+    def min_carried_distance(self) -> Optional[int]:
+        """Smallest positive dependence distance (None if no carried dep)."""
+        distances = [
+            abs(d.distance)
+            for d in self.dependences
+            if not d.proven_independent and d.distance not in (None, 0)
+        ]
+        return min(distances) if distances else None
+
+
+def analyze_dependences(
+    loop: Loop,
+    arrays: Optional[Dict[str, ArrayInfo]] = None,
+    enclosing_vars: Optional[Iterable[str]] = None,
+    reduction_vars: Optional[Iterable[str]] = None,
+) -> DependenceGraph:
+    """Build the dependence graph of an innermost loop.
+
+    ``enclosing_vars`` are induction variables of outer loops (treated as
+    loop-invariant symbols for this loop).  ``reduction_vars`` are scalars
+    already recognised as reductions; their recurrences are not reported as
+    vectorization-blocking scalar hazards.
+    """
+    arrays = arrays or {}
+    enclosing = set(enclosing_vars or ())
+    reductions = set(reduction_vars or ())
+    graph = DependenceGraph(loop=loop)
+    statements = loop.statements(recursive=True)
+
+    graph.scalar_recurrences = _scalar_recurrences(loop, statements, reductions)
+
+    accesses: List[MemoryAccess] = []
+    for statement in statements:
+        accesses.extend(statement.accesses())
+
+    loop_invariants = enclosing | _invariant_scalars(loop, statements)
+    all_ivs = {loop.var} | enclosing
+
+    for i, first in enumerate(accesses):
+        for second in accesses[i + 1 :]:
+            if first.array != second.array:
+                continue
+            if not first.is_write and not second.is_write:
+                continue
+            dependence = _test_pair(
+                first, second, loop, all_ivs, loop_invariants, arrays.get(first.array)
+            )
+            graph.dependences.append(dependence)
+
+    # A store through a non-affine subscript (a scatter such as ``a[idx[i]]``)
+    # may hit the same location in two different iterations, so it carries an
+    # unknown output dependence with itself even when no other access aliases
+    # it.  LLVM's LoopAccessAnalysis likewise refuses to vectorize these
+    # without runtime conflict detection.
+    for access in accesses:
+        if not access.is_write:
+            continue
+        forms = [
+            affine_of(subscript, all_ivs, loop_invariants)
+            for subscript in access.subscripts
+        ]
+        if any(not form.is_affine for form in forms):
+            graph.dependences.append(Dependence(access, access, None, "output"))
+    return graph
+
+
+def max_safe_vf(
+    graph: DependenceGraph, hardware_max_vf: int = 64
+) -> int:
+    """The largest power-of-two VF that respects every dependence.
+
+    * unknown dependence or non-reduction scalar recurrence → 1 (scalar),
+    * carried dependence at distance d → largest power of two ≤ d,
+    * otherwise → ``hardware_max_vf``.
+    """
+    if graph.scalar_recurrences:
+        return 1
+    if graph.has_unknown_dependence:
+        return 1
+    distance = graph.min_carried_distance()
+    if distance is None:
+        return hardware_max_vf
+    if distance <= 1:
+        return 1
+    return min(hardware_max_vf, 2 ** int(math.floor(math.log2(distance))))
+
+
+# ---------------------------------------------------------------------------
+# Internals
+# ---------------------------------------------------------------------------
+
+
+def _invariant_scalars(loop: Loop, statements: List[Statement]) -> set:
+    """Scalars *not* written inside the loop: safe to treat as symbols."""
+    written = {
+        statement.target_scalar
+        for statement in statements
+        if statement.kind == "scalar" and statement.target_scalar is not None
+    }
+    read = set()
+    for statement in statements:
+        for ref in statement.value.scalar_refs():
+            read.add(ref.name)
+        for subscript in statement.target_subscripts:
+            for ref in subscript.scalar_refs():
+                read.add(ref.name)
+    return (read - written) - {loop.var}
+
+
+def _scalar_recurrences(
+    loop: Loop, statements: List[Statement], reductions: set
+) -> List[str]:
+    """Scalar variables that carry a value across iterations and are not
+    recognised reductions (e.g. ``x = a[i] - x``); these block vectorization.
+
+    A scalar assigned before it is used within the same iteration (like a
+    temporary ``int j = a[i]``) is not a recurrence.
+    """
+    hazards: List[str] = []
+    scalar_statements = [s for s in statements if s.kind == "scalar"]
+    assigned = [s.target_scalar for s in scalar_statements]
+    for name in sorted(set(assigned)):
+        if name in reductions or name in (None, "__void__", "__return__"):
+            continue
+        if name == loop.var:
+            continue
+        first_assignment = next(
+            index
+            for index, statement in enumerate(statements)
+            if statement.kind == "scalar" and statement.target_scalar == name
+        )
+        used_before_assignment = False
+        for statement in statements[: first_assignment + 1]:
+            refs = {ref.name for ref in statement.value.scalar_refs()}
+            for subscript in statement.target_subscripts:
+                refs |= {ref.name for ref in subscript.scalar_refs()}
+            if name in refs:
+                used_before_assignment = True
+                break
+        if used_before_assignment:
+            hazards.append(name)
+    return hazards
+
+
+def _test_pair(
+    first: MemoryAccess,
+    second: MemoryAccess,
+    loop: Loop,
+    induction_vars: set,
+    loop_invariants: set,
+    array_info: Optional[ArrayInfo],
+) -> Dependence:
+    kind = _dependence_kind(first, second)
+    first_forms = [
+        affine_of(s, induction_vars, loop_invariants) for s in first.subscripts
+    ]
+    second_forms = [
+        affine_of(s, induction_vars, loop_invariants) for s in second.subscripts
+    ]
+    if len(first_forms) != len(second_forms):
+        return Dependence(first, second, None, kind)
+    if any(not form.is_affine for form in first_forms + second_forms):
+        return Dependence(first, second, None, kind)
+
+    distances: List[Optional[int]] = []
+    for first_form, second_form in zip(first_forms, second_forms):
+        result = _test_dimension(first_form, second_form, loop.var)
+        if result == "independent":
+            return Dependence(first, second, None, kind, proven_independent=True)
+        distances.append(result)  # type: ignore[arg-type]
+
+    # Combine per-dimension results: dimensions that do not involve the loop
+    # variable must match exactly (distance 0); the loop-varying dimension
+    # supplies the iteration distance.
+    carried: Optional[int] = 0
+    for distance in distances:
+        if distance is None:
+            return Dependence(first, second, None, kind)
+        if distance != 0:
+            if carried not in (0, distance):
+                # Two dimensions demand different distances: no single
+                # iteration difference satisfies both, hence independent.
+                return Dependence(first, second, None, kind, proven_independent=True)
+            carried = distance
+    # Normalise by the loop step: distance is measured in iterations.
+    if carried != 0 and loop.step != 0:
+        if carried % loop.step == 0:
+            carried = carried // loop.step
+        else:
+            return Dependence(first, second, None, kind, proven_independent=True)
+    return Dependence(first, second, carried, kind)
+
+
+def _test_dimension(a: AffineForm, b: AffineForm, loop_var: str):
+    """Dependence test for one subscript dimension.
+
+    Returns ``"independent"``, an integer distance (in units of the loop
+    variable), or ``None`` for "unknown".
+    """
+    coeff_a = a.coefficient(loop_var)
+    coeff_b = b.coefficient(loop_var)
+
+    # Symbolic parts must agree for any constant-distance conclusion.
+    symbols_match = a.symbols == b.symbols and {
+        k: v for k, v in a.coefficients.items() if k != loop_var
+    } == {k: v for k, v in b.coefficients.items() if k != loop_var}
+
+    if coeff_a == 0 and coeff_b == 0:
+        # ZIV: both invariant in this loop.
+        if not symbols_match:
+            return None
+        return 0 if a.constant == b.constant else "independent"
+
+    if coeff_a == coeff_b:
+        # Strong SIV: a*i + c1 vs a*i + c2  → distance (c2 - c1) / a.
+        if not symbols_match:
+            return None
+        delta = b.constant - a.constant
+        if delta % coeff_a != 0:
+            return "independent"
+        return -(delta // coeff_a)
+
+    # Weak/MIV cases: fall back to the GCD test for a definite "independent",
+    # otherwise unknown.
+    gcd = math.gcd(abs(coeff_a), abs(coeff_b))
+    if gcd != 0 and symbols_match:
+        delta = b.constant - a.constant
+        if delta % gcd != 0:
+            return "independent"
+    return None
+
+
+def _dependence_kind(first: MemoryAccess, second: MemoryAccess) -> str:
+    if first.is_write and second.is_write:
+        return "output"
+    if first.is_write and not second.is_write:
+        return "flow"
+    return "anti"

@@ -1,0 +1,151 @@
+"""Reduction recognition.
+
+A reduction is a scalar updated every iteration with an associative operator
+(``sum += a[i] * b[i]``, ``prod *= x``, ``m = m < a[i] ? a[i] : m``).  LLVM's
+vectorizer handles these by keeping one partial accumulator per lane and
+combining at the end; recognising them is what allows the dot-product
+motivating example of the paper to vectorize at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.ir.expr import BinOp, CallOp, Compare, Expr, ScalarRef, Select
+from repro.ir.nodes import Loop, Statement
+
+#: Operators that are associative enough for lane-wise partial accumulation.
+_ASSOCIATIVE_OPS = {"+", "*", "&", "|", "^"}
+_MINMAX_CALLS = {"fmax": "max", "fmin": "min", "fmaxf": "max", "fminf": "min"}
+
+
+@dataclass
+class ReductionInfo:
+    """One recognised reduction in a loop body."""
+
+    variable: str
+    op: str  # '+', '*', '&', '|', '^', 'min', 'max'
+    statement: Statement
+    dtype_bits: int = 32
+    is_float: bool = False
+
+    def __str__(self) -> str:
+        return f"reduction {self.variable} ({self.op})"
+
+
+def find_reductions(loop: Loop) -> List[ReductionInfo]:
+    """Find reduction updates among the scalar statements of ``loop``.
+
+    A scalar qualifies when:
+
+    * it is assigned exactly once in the loop body,
+    * the right-hand side uses the scalar exactly once, and
+    * that use sits on the spine of an associative operation (or a
+      min/max pattern expressed with a select or fmin/fmax call).
+    """
+    statements = loop.statements(recursive=True)
+    scalar_statements = [s for s in statements if s.kind == "scalar"]
+    assignment_counts: dict = {}
+    for statement in scalar_statements:
+        assignment_counts[statement.target_scalar] = (
+            assignment_counts.get(statement.target_scalar, 0) + 1
+        )
+
+    reductions: List[ReductionInfo] = []
+    for statement in scalar_statements:
+        name = statement.target_scalar
+        if name in (None, "__void__", "__return__") or name == loop.var:
+            continue
+        if assignment_counts.get(name, 0) != 1:
+            continue
+        op = _reduction_op(statement.value, name)
+        if op is None:
+            continue
+        # The reduction variable must not feed any *other* statement of the
+        # loop (its value mid-loop is only meaningful to the recurrence).
+        used_elsewhere = False
+        for other in statements:
+            if other is statement:
+                continue
+            names = {ref.name for ref in other.value.scalar_refs()}
+            for subscript in other.target_subscripts:
+                names |= {ref.name for ref in subscript.scalar_refs()}
+            if name in names:
+                used_elsewhere = True
+                break
+        if used_elsewhere:
+            continue
+        reductions.append(
+            ReductionInfo(
+                variable=name,
+                op=op,
+                statement=statement,
+                dtype_bits=statement.dtype.bits,
+                is_float=statement.dtype.is_float,
+            )
+        )
+    return reductions
+
+
+def _reduction_op(value: Expr, variable: str) -> Optional[str]:
+    """If ``value`` is an associative update of ``variable``, return its op."""
+    uses = [ref for ref in value.scalar_refs() if ref.name == variable]
+    if len(uses) == 0:
+        return None
+
+    # min/max via select: m = (m < x) ? x : m   (or any of its variants).
+    if isinstance(value, Select) and len(uses) <= 2:
+        condition = value.condition
+        if isinstance(condition, Compare) and condition.op in ("<", ">", "<=", ">="):
+            names = {ref.name for ref in condition.scalar_refs()}
+            if variable in names:
+                return "max" if condition.op in ("<", "<=") else "min"
+        return None
+
+    if isinstance(value, CallOp) and value.callee in _MINMAX_CALLS:
+        if len(uses) == 1:
+            return _MINMAX_CALLS[value.callee]
+        return None
+
+    if len(uses) != 1:
+        return None
+    return _spine_op(value, variable)
+
+
+def _spine_op(value: Expr, variable: str) -> Optional[str]:
+    """Walk the operation spine containing the single use of ``variable``.
+
+    ``sum + a[i]*b[i]`` reduces with '+': the multiply happens on the branch
+    that does not contain the reduction variable, so only operators on the
+    path from the root to the variable's use must be (the same) associative
+    operator.
+    """
+    if isinstance(value, ScalarRef):
+        return None
+    if not isinstance(value, BinOp):
+        return None
+    if value.op not in _ASSOCIATIVE_OPS:
+        return None
+    op = value.op
+    node: Expr = value
+    while True:
+        if isinstance(node, ScalarRef) and node.name == variable:
+            return op
+        if not isinstance(node, BinOp):
+            return None
+        if node.op != op:
+            # '-' on the right of '+' spine (sum += a - b) is folded into the
+            # non-spine operand during lowering, so a mismatch here means the
+            # variable participates in a non-associative way.
+            return None
+        lhs_uses = sum(1 for ref in (node.lhs.scalar_refs() if node.lhs else [])
+                       if ref.name == variable)
+        rhs_uses = sum(1 for ref in (node.rhs.scalar_refs() if node.rhs else [])
+                       if ref.name == variable)
+        if lhs_uses == 1 and rhs_uses == 0:
+            node = node.lhs
+        elif rhs_uses == 1 and lhs_uses == 0:
+            node = node.rhs
+        else:
+            return None

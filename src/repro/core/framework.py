@@ -1,0 +1,278 @@
+"""The NeuroVectorizer facade: embedding + agent + pragma injection + measure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.loop_extractor import ExtractedLoop, extract_loops
+from repro.core.pipeline import CompilationResult, CompileAndMeasure
+from repro.core.pragma_injector import inject_pragmas
+from repro.datasets.kernels import LoopKernel
+from repro.embedding.ast_paths import PathContext, extract_path_contexts
+from repro.embedding.code2vec import Code2VecConfig, Code2VecModel
+from repro.embedding.vocab import build_vocabularies, normalize_identifiers
+from repro.machine.description import MachineDescription
+
+
+@dataclass
+class VectorizationDecision:
+    """The factors chosen for one innermost loop of a kernel."""
+
+    function_name: str
+    loop_index: int
+    vf: int
+    interleave: int
+    source_line: int = 0
+
+    def as_pragma(self) -> str:
+        from repro.frontend.pragmas import LoopPragma, format_pragma
+
+        return format_pragma(
+            LoopPragma(vectorize_width=self.vf, interleave_count=self.interleave)
+        )
+
+
+@dataclass
+class VectorizationResult:
+    """Outcome of vectorizing one kernel end-to-end."""
+
+    kernel_name: str
+    decisions: List[VectorizationDecision]
+    vectorized_source: str
+    cycles: float
+    baseline_cycles: float
+    compile_seconds: float
+
+    @property
+    def speedup_over_baseline(self) -> float:
+        return self.baseline_cycles / self.cycles if self.cycles > 0 else float("inf")
+
+    @property
+    def reward(self) -> float:
+        """The paper's reward for this result (Equation 2)."""
+        return (self.baseline_cycles - self.cycles) / max(self.baseline_cycles, 1e-9)
+
+
+@dataclass
+class TrainingConfig:
+    """End-to-end training settings for :meth:`NeuroVectorizer.train`."""
+
+    embedding: Code2VecConfig = field(default_factory=Code2VecConfig)
+    pretrain_epochs: int = 1
+    pretrain_samples: int = 200
+    rl_total_steps: int = 2000
+    rl_batch_size: int = 200
+    learning_rate: float = 5e-5
+    hidden_sizes: Tuple[int, ...] = (64, 64)
+    policy: str = "discrete"
+    seed: int = 0
+
+
+@dataclass
+class TrainingArtifacts:
+    """Everything produced by a training run besides the framework itself."""
+
+    history: object = None
+    pretrain_result: object = None
+    samples: List[object] = field(default_factory=list)
+
+
+def build_embedding_model(
+    kernels: Sequence[LoopKernel],
+    config: Optional[Code2VecConfig] = None,
+) -> Code2VecModel:
+    """Build token/path vocabularies from a corpus and create the model."""
+    bags: List[List[PathContext]] = []
+    for kernel in kernels:
+        try:
+            loops = extract_loops(kernel.source, function_name=kernel.function_name)
+        except Exception:
+            continue
+        for loop in loops:
+            rename_map = normalize_identifiers(loop.nest_root)
+            bags.append(extract_path_contexts(loop.nest_root, rename_map=rename_map))
+    token_vocab, path_vocab = build_vocabularies(bags)
+    return Code2VecModel(token_vocab, path_vocab, config or Code2VecConfig())
+
+
+class NeuroVectorizer:
+    """End-to-end automatic vectorization (Figure 3 of the paper).
+
+    ``agent`` is any :class:`repro.agents.base.VectorizationAgent`; the
+    default is the trained RL policy, but NNS, decision trees, random search,
+    brute force or the compiler baseline slot in identically (§3.5).
+    """
+
+    def __init__(
+        self,
+        embedding_model: Code2VecModel,
+        agent,
+        pipeline: Optional[CompileAndMeasure] = None,
+        machine: Optional[MachineDescription] = None,
+    ):
+        self.machine = machine or MachineDescription()
+        self.pipeline = pipeline or CompileAndMeasure(machine=self.machine)
+        self.embedding_model = embedding_model
+        self.agent = agent
+
+    # -- observation -----------------------------------------------------------------
+
+    def observe_loop(self, loop: ExtractedLoop) -> np.ndarray:
+        """The embedding the agent sees for one extracted loop."""
+        rename_map = normalize_identifiers(loop.nest_root)
+        contexts = extract_path_contexts(loop.nest_root, rename_map=rename_map)
+        return self.embedding_model.embed(contexts)
+
+    # -- decision making -----------------------------------------------------------------
+
+    def decide_kernel(self, kernel: LoopKernel) -> List[VectorizationDecision]:
+        """Run the agent on every innermost loop of a kernel."""
+        loops = extract_loops(kernel.source, function_name=kernel.function_name)
+        decisions: List[VectorizationDecision] = []
+        for loop in loops:
+            observation = self.observe_loop(loop)
+            chosen = self.agent.select_factors(
+                observation, kernel=kernel, loop_index=loop.loop_index
+            )
+            decisions.append(
+                VectorizationDecision(
+                    function_name=loop.function_name,
+                    loop_index=loop.loop_index,
+                    vf=chosen.vf,
+                    interleave=chosen.interleave,
+                    source_line=loop.source_line,
+                )
+            )
+        return decisions
+
+    # -- end-to-end vectorization -----------------------------------------------------------
+
+    def vectorize_kernel(self, kernel: LoopKernel) -> VectorizationResult:
+        """Decide factors, inject pragmas, compile and measure one kernel."""
+        decisions = self.decide_kernel(kernel)
+        factor_map = {d.loop_index: (d.vf, d.interleave) for d in decisions}
+        vectorized_source = inject_pragmas(
+            kernel.source, factor_map, function_name=kernel.function_name
+        )
+        baseline = self.pipeline.measure_baseline(kernel)
+        measured = self.pipeline.measure_with_pragmas(kernel, source=vectorized_source)
+        return VectorizationResult(
+            kernel_name=kernel.name,
+            decisions=decisions,
+            vectorized_source=vectorized_source,
+            cycles=measured.cycles,
+            baseline_cycles=baseline.cycles,
+            compile_seconds=measured.compile_seconds,
+        )
+
+    def vectorize_source(
+        self, source: str, function_name: Optional[str] = None, name: str = "user_kernel"
+    ) -> VectorizationResult:
+        """Vectorize raw C source text (the quickstart entry point)."""
+        if function_name is None:
+            loops = extract_loops(source)
+            if not loops:
+                raise ValueError("no loops found in the given source")
+            function_name = loops[0].function_name
+        kernel = LoopKernel(
+            name=name, source=source, function_name=function_name, suite="user"
+        )
+        return self.vectorize_kernel(kernel)
+
+    def vectorize_suite(self, kernels: Sequence[LoopKernel]) -> List[VectorizationResult]:
+        return [self.vectorize_kernel(kernel) for kernel in kernels]
+
+    # -- constructors ---------------------------------------------------------------------
+
+    @classmethod
+    def default(cls, machine: Optional[MachineDescription] = None) -> "NeuroVectorizer":
+        """A ready-to-use framework that defers to the compiler's cost model.
+
+        Useful for exploring the pipeline without training; swap in a trained
+        agent (or call :meth:`train`) for the paper's results.
+        """
+        from repro.agents.baseline import BaselineAgent
+        from repro.datasets.synthetic import SyntheticDatasetConfig, generate_synthetic_dataset
+
+        machine = machine or MachineDescription()
+        pipeline = CompileAndMeasure(machine=machine)
+        corpus = generate_synthetic_dataset(SyntheticDatasetConfig(count=50, seed=0))
+        embedding_model = build_embedding_model(list(corpus))
+        return cls(embedding_model, BaselineAgent(pipeline), pipeline, machine)
+
+    @classmethod
+    def train(
+        cls,
+        train_kernels: Sequence[LoopKernel],
+        config: Optional[TrainingConfig] = None,
+        machine: Optional[MachineDescription] = None,
+    ) -> Tuple["NeuroVectorizer", TrainingArtifacts]:
+        """Train the full stack: embedding pretraining, then PPO.
+
+        Returns the framework (with a :class:`PolicyAgent`) and the training
+        artifacts (loss/reward curves, pretraining metrics, the environment
+        samples) so callers can plot Figure-5-style curves.
+        """
+        from repro.agents.policy_agent import PolicyAgent
+        from repro.analysis.loopinfo import analyze_loop
+        from repro.embedding.pretrain import Code2VecPretrainer, loop_property_labels
+        from repro.rl.env import VectorizationEnv, build_samples
+        from repro.rl.policy import make_policy
+        from repro.rl.ppo import PPOConfig, PPOTrainer
+
+        config = config or TrainingConfig()
+        machine = machine or MachineDescription()
+        pipeline = CompileAndMeasure(machine=machine)
+        embedding_model = build_embedding_model(train_kernels, config.embedding)
+
+        # --- stage 1: self-supervised pretraining of the embedding ---------------
+        bags: List[List[PathContext]] = []
+        labels = []
+        for kernel in list(train_kernels)[: config.pretrain_samples]:
+            try:
+                loops = extract_loops(kernel.source, function_name=kernel.function_name)
+                ir_function = pipeline.lower_kernel(kernel)
+                ir_loops = ir_function.innermost_loops()
+            except Exception:
+                continue
+            for loop in loops:
+                if loop.loop_index >= len(ir_loops):
+                    continue
+                rename_map = normalize_identifiers(loop.nest_root)
+                bags.append(
+                    extract_path_contexts(loop.nest_root, rename_map=rename_map)
+                )
+                labels.append(
+                    loop_property_labels(
+                        analyze_loop(ir_function, ir_loops[loop.loop_index])
+                    )
+                )
+        pretrainer = Code2VecPretrainer(embedding_model, seed=config.seed)
+        pretrain_result = None
+        if bags and config.pretrain_epochs > 0:
+            pretrain_result = pretrainer.train(bags, labels, epochs=config.pretrain_epochs)
+
+        # --- stage 2: PPO over the frozen embedding -------------------------------
+        samples = build_samples(train_kernels, embedding_model, pipeline)
+        env = VectorizationEnv(samples, pipeline=pipeline, seed=config.seed)
+        policy = make_policy(
+            config.policy,
+            env.observation_dim,
+            hidden_sizes=config.hidden_sizes,
+            seed=config.seed,
+        )
+        ppo_config = PPOConfig(
+            learning_rate=config.learning_rate,
+            train_batch_size=config.rl_batch_size,
+        )
+        trainer = PPOTrainer(env, policy, ppo_config)
+        history = trainer.train(config.rl_total_steps, batch_size=config.rl_batch_size)
+
+        framework = cls(embedding_model, PolicyAgent(policy), pipeline, machine)
+        artifacts = TrainingArtifacts(
+            history=history, pretrain_result=pretrain_result, samples=samples
+        )
+        return framework, artifacts

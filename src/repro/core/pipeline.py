@@ -1,0 +1,190 @@
+"""Compile-and-measure pipeline (the stand-in for "clang + run + time")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.datasets.kernels import LoopKernel
+from repro.frontend import parse_source
+from repro.ir.lowering import LoweringContext, lower_function
+from repro.ir.nodes import IRFunction
+from repro.machine.description import MachineDescription
+from repro.simulator.compile_time import estimate_compile_time
+from repro.simulator.engine import FunctionCost, Simulator
+from repro.vectorizer.cost_model import BaselineCostModel
+from repro.vectorizer.planner import FunctionVectorPlan, build_plan, plan_from_pragmas
+
+
+@dataclass
+class CompilationResult:
+    """What the paper would get from one compile-and-run of a kernel."""
+
+    kernel_name: str
+    plan: FunctionVectorPlan
+    cost: FunctionCost
+    compile_seconds: float
+    factors: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> float:
+        return self.cost.total_cycles
+
+    @property
+    def seconds(self) -> float:
+        return self.cost.seconds
+
+    def speedup_over(self, other: "CompilationResult") -> float:
+        return other.cycles / self.cycles if self.cycles > 0 else float("inf")
+
+
+class CompileAndMeasure:
+    """Parses, lowers, plans and simulates kernels under one machine model.
+
+    Three entry points mirror the ways the paper exercises clang:
+
+    * :meth:`measure_with_pragmas` — honour whatever ``#pragma clang loop``
+      hints are present in the kernel source (the RL/agent path),
+    * :meth:`measure_with_factors` — explicit per-loop (VF, IF) requests,
+      bypassing the source-rewriting step (used by brute force and the
+      supervised agents),
+    * :meth:`measure_baseline` — let the built-in cost model decide, i.e.
+      plain ``clang -O3``.
+    """
+
+    def __init__(
+        self,
+        machine: Optional[MachineDescription] = None,
+        default_symbol_value: int = 256,
+    ):
+        self.machine = machine or MachineDescription()
+        self.default_symbol_value = default_symbol_value
+        self.baseline_model = BaselineCostModel(machine=self.machine)
+        self._ir_cache: Dict[Tuple[str, str], IRFunction] = {}
+
+    # -- lowering --------------------------------------------------------------------
+
+    def lower_kernel(self, kernel: LoopKernel, source: Optional[str] = None) -> IRFunction:
+        """Lower a kernel (or an alternative source text for it) to IR."""
+        text = source if source is not None else kernel.source
+        key = (kernel.name, text)
+        cached = self._ir_cache.get(key)
+        if cached is not None:
+            return cached
+        unit = parse_source(text, filename=f"{kernel.name}.c")
+        function = unit.find_function(kernel.function_name)
+        if function is None:
+            raise ValueError(
+                f"kernel {kernel.name!r} has no function {kernel.function_name!r}"
+            )
+        ir_function = lower_function(
+            unit, function, context=LoweringContext(bindings=dict(kernel.bindings))
+        )
+        if len(self._ir_cache) > 512:
+            self._ir_cache.clear()
+        self._ir_cache[key] = ir_function
+        return ir_function
+
+    def _simulator(self, kernel: LoopKernel) -> Simulator:
+        return Simulator(
+            machine=self.machine,
+            bindings=dict(kernel.bindings),
+            default_symbol_value=self.default_symbol_value,
+        )
+
+    def _result(
+        self, kernel: LoopKernel, ir_function: IRFunction, plan: FunctionVectorPlan
+    ) -> CompilationResult:
+        cost = self._simulator(kernel).simulate(ir_function, plan)
+        compile_seconds = estimate_compile_time(ir_function, plan, self.machine)
+        factors = {}
+        for index, loop in enumerate(ir_function.innermost_loops()):
+            loop_plan = plan.plan_for(loop)
+            if loop_plan is not None:
+                factors[index] = (loop_plan.vf, loop_plan.interleave)
+        return CompilationResult(
+            kernel_name=kernel.name,
+            plan=plan,
+            cost=cost,
+            compile_seconds=compile_seconds,
+            factors=factors,
+        )
+
+    # -- measurement entry points -------------------------------------------------------
+
+    def measure_with_pragmas(
+        self, kernel: LoopKernel, source: Optional[str] = None
+    ) -> CompilationResult:
+        """Compile honouring the clang loop pragmas present in the source.
+
+        Loops without a pragma fall back to the baseline cost model's choice,
+        matching clang's behaviour when only some loops carry hints.
+        """
+        ir_function = self.lower_kernel(kernel, source)
+        baseline_decisions = self.baseline_model.decide_function(ir_function)
+        decisions = dict(baseline_decisions)
+        for loop in ir_function.innermost_loops():
+            pragma = loop.pragma
+            if pragma is None or pragma.is_empty:
+                continue
+            if pragma.vectorize_enable is False:
+                decisions[loop.loop_id] = (1, 1)
+                continue
+            default_vf, default_if = decisions.get(loop.loop_id, (1, 1))
+            decisions[loop.loop_id] = (
+                pragma.vectorize_width or default_vf,
+                pragma.interleave_count or default_if,
+            )
+        plan = build_plan(ir_function, decisions, self.machine)
+        return self._result(kernel, ir_function, plan)
+
+    def measure_with_factors(
+        self, kernel: LoopKernel, factors_by_index: Dict[int, Tuple[int, int]]
+    ) -> CompilationResult:
+        """Compile with explicit (VF, IF) requests keyed by innermost-loop index."""
+        ir_function = self.lower_kernel(kernel)
+        decisions: Dict[int, Tuple[int, int]] = {}
+        for index, loop in enumerate(ir_function.innermost_loops()):
+            if index in factors_by_index:
+                decisions[loop.loop_id] = factors_by_index[index]
+            else:
+                decision = self.baseline_model.decide_loop(ir_function, loop)
+                decisions[loop.loop_id] = (decision.vf, decision.interleave)
+        plan = build_plan(ir_function, decisions, self.machine)
+        return self._result(kernel, ir_function, plan)
+
+    def measure_function(
+        self,
+        kernel: LoopKernel,
+        ir_function: IRFunction,
+        factors_by_index: Optional[Dict[int, Tuple[int, int]]] = None,
+    ) -> CompilationResult:
+        """Measure an already-lowered (possibly transformed) IR function.
+
+        This is the path the Polly experiments use: the polyhedral pass
+        rewrites the loop structure, then either the baseline cost model
+        (``factors_by_index is None``) or explicit per-loop factors decide
+        the vectorization of the transformed code.
+        """
+        decisions: Dict[int, Tuple[int, int]] = {}
+        for index, loop in enumerate(ir_function.innermost_loops()):
+            if factors_by_index is not None and index in factors_by_index:
+                decisions[loop.loop_id] = factors_by_index[index]
+            else:
+                decision = self.baseline_model.decide_loop(ir_function, loop)
+                decisions[loop.loop_id] = (decision.vf, decision.interleave)
+        plan = build_plan(ir_function, decisions, self.machine)
+        return self._result(kernel, ir_function, plan)
+
+    def measure_baseline(self, kernel: LoopKernel) -> CompilationResult:
+        """Compile with the built-in cost model only (the paper's baseline)."""
+        ir_function = self.lower_kernel(kernel)
+        plan = self.baseline_model.plan_function(ir_function)
+        return self._result(kernel, ir_function, plan)
+
+    def measure_scalar(self, kernel: LoopKernel) -> CompilationResult:
+        """Compile with vectorization disabled everywhere (VF = IF = 1)."""
+        ir_function = self.lower_kernel(kernel)
+        decisions = {loop.loop_id: (1, 1) for loop in ir_function.innermost_loops()}
+        plan = build_plan(ir_function, decisions, self.machine)
+        return self._result(kernel, ir_function, plan)

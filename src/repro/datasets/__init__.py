@@ -1,0 +1,35 @@
+"""Benchmark kernels and the synthetic loop dataset.
+
+The paper's experiments draw on four corpora, each reproduced here:
+
+* the dot-product **motivating kernel** of Figure 1
+  (:mod:`repro.datasets.motivating`),
+* kernels modelled on the **LLVM vectorizer test-suite** (Figure 2 and the
+  twelve held-out test benchmarks of Figure 7)
+  (:mod:`repro.datasets.llvm_suite`),
+* the **synthetic loop dataset** of §3.2 — generators that produce more than
+  10,000 loop programs by varying names, strides, bounds, functionality,
+  instructions and nesting (:mod:`repro.datasets.synthetic`),
+* **PolyBench**-like and **MiBench**-like programs for the transfer-learning
+  study of Figures 8 and 9 (:mod:`repro.datasets.polybench`,
+  :mod:`repro.datasets.mibench`).
+"""
+
+from repro.datasets.kernels import KernelSuite, LoopKernel
+from repro.datasets.motivating import dot_product_kernel
+from repro.datasets.llvm_suite import llvm_vectorizer_suite, test_benchmarks
+from repro.datasets.synthetic import SyntheticDatasetConfig, generate_synthetic_dataset
+from repro.datasets.polybench import polybench_suite
+from repro.datasets.mibench import mibench_suite
+
+__all__ = [
+    "LoopKernel",
+    "KernelSuite",
+    "dot_product_kernel",
+    "llvm_vectorizer_suite",
+    "test_benchmarks",
+    "SyntheticDatasetConfig",
+    "generate_synthetic_dataset",
+    "polybench_suite",
+    "mibench_suite",
+]

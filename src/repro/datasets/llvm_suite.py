@@ -1,0 +1,348 @@
+"""Kernels modelled on the LLVM vectorizer test-suite.
+
+The paper builds its dataset from the single-source Vectorizer unit tests and
+evaluates on "twelve completely different benchmarks from the test set" that
+cover "predicates, strided accesses, bitwise operations, unknown loop bounds,
+if statements, unknown misalignment, multidimensional arrays, summation
+reduction, type conversions, different data types" (§4).  Each kernel below
+reproduces one of those behaviours.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.datasets.kernels import KernelSuite, LoopKernel
+
+
+def _kernel(name: str, function: str, source: str, description: str,
+            bindings: dict = None) -> LoopKernel:
+    return LoopKernel(
+        name=name,
+        source=source,
+        function_name=function,
+        suite="llvm_suite",
+        bindings=dict(bindings or {}),
+        description=description,
+    )
+
+
+def llvm_vectorizer_suite() -> KernelSuite:
+    """The full bank of vectorizer test kernels (used for Figure 2)."""
+    kernels: List[LoopKernel] = []
+
+    kernels.append(_kernel(
+        "sum_reduction_int", "sum_reduction_int", """
+int a[4096];
+int sum_reduction_int() {
+    int sum = 0;
+    for (int i = 0; i < 4096; i++) {
+        sum += a[i];
+    }
+    return sum;
+}
+""", "Integer summation reduction."))
+
+    kernels.append(_kernel(
+        "sum_reduction_float", "sum_reduction_float", """
+float a[4096], b[4096];
+float sum_reduction_float() {
+    float sum = 0;
+    for (int i = 0; i < 4096; i++) {
+        sum += a[i] * b[i];
+    }
+    return sum;
+}
+""", "Floating-point dot-product reduction (latency bound when scalar)."))
+
+    kernels.append(_kernel(
+        "saxpy", "saxpy", """
+float x[8192], y[8192];
+void saxpy(float alpha) {
+    for (int i = 0; i < 8192; i++) {
+        y[i] = alpha * x[i] + y[i];
+    }
+}
+""", "Streaming triad: contiguous loads and stores."))
+
+    kernels.append(_kernel(
+        "elementwise_add", "elementwise_add", """
+int a[4096], b[4096], c[4096];
+void elementwise_add() {
+    for (int i = 0; i < 4096; i++) {
+        c[i] = a[i] + b[i];
+    }
+}
+""", "Simple element-wise add."))
+
+    kernels.append(_kernel(
+        "predicated_clip", "predicated_clip", """
+void predicated_clip(int *a, int *b, int n, int MAX) {
+    for (int i = 0; i < n * 2; i++) {
+        int j = a[i];
+        b[i] = (j > MAX ? MAX : 0);
+    }
+}
+""", "Predicate / ternary clipping (example #3 of the paper's dataset).",
+        {"n": 2048, "MAX": 255}))
+
+    kernels.append(_kernel(
+        "if_statement_guard", "if_statement_guard", """
+float a[4096], b[4096];
+void if_statement_guard() {
+    for (int i = 0; i < 4096; i++) {
+        if (a[i] > 0) {
+            b[i] = a[i] * 2;
+        }
+    }
+}
+""", "If-guarded store requiring if-conversion and masked stores."))
+
+    kernels.append(_kernel(
+        "strided_complex_mul", "strided_complex_mul", """
+float a[2048], b[4096], c[4096], d[2048];
+void strided_complex_mul(int N) {
+    for (int i = 0; i < N / 2 - 1; i++) {
+        a[i] = b[2 * i + 1] * c[2 * i + 1] - b[2 * i] * c[2 * i];
+        d[i] = b[2 * i] * c[2 * i + 1] + b[2 * i + 1] * c[2 * i];
+    }
+}
+""", "Strided complex multiply (example #5 of the paper's dataset).",
+        {"N": 4096}))
+
+    kernels.append(_kernel(
+        "type_convert_short_int", "type_convert_short_int", """
+void type_convert_short_int(int *assign1, int *assign2, int *assign3,
+                            short *short_a, short *short_b, short *short_c,
+                            int N) {
+    for (int i = 0; i < N - 1; i += 2) {
+        assign1[i] = (int) short_a[i];
+        assign1[i + 1] = (int) short_a[i + 1];
+        assign2[i] = (int) short_b[i];
+        assign2[i + 1] = (int) short_b[i + 1];
+        assign3[i] = (int) short_c[i];
+        assign3[i + 1] = (int) short_c[i + 1];
+    }
+}
+""", "Widening type conversions with a manually unrolled-by-2 body "
+     "(example #1 of the paper's dataset).", {"N": 4096}))
+
+    kernels.append(_kernel(
+        "bitwise_ops", "bitwise_ops", """
+unsigned int a[4096], b[4096], c[4096];
+void bitwise_ops() {
+    for (int i = 0; i < 4096; i++) {
+        c[i] = (a[i] & b[i]) | ((a[i] ^ b[i]) >> 3);
+    }
+}
+""", "Bitwise and/or/xor/shift mix."))
+
+    kernels.append(_kernel(
+        "unknown_bounds", "unknown_bounds", """
+void unknown_bounds(float *a, float *b, int n) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i] * b[i] + 1;
+    }
+}
+""", "Unknown loop bound: needs a runtime trip-count check and epilogue.",
+        {"n": 3000}))
+
+    kernels.append(_kernel(
+        "unknown_misalignment", "unknown_misalignment", """
+void unknown_misalignment(float *dst, float *src, int n, int offset) {
+    for (int i = 0; i < n; i++) {
+        dst[i + offset] = src[i + offset] * 0.5f;
+    }
+}
+""", "Accesses at an unknown offset: alignment cannot be proven.",
+        {"n": 4096, "offset": 3}))
+
+    kernels.append(_kernel(
+        "multidim_store", "multidim_store", """
+float G[256][256];
+void multidim_store(float x, int M, int N) {
+    for (int i = 0; i < M; i++) {
+        for (int j = 0; j < N; j++) {
+            G[i][j] = x;
+        }
+    }
+}
+""", "Two-dimensional fill (example #2 of the paper's dataset).",
+        {"M": 256, "N": 256}))
+
+    kernels.append(_kernel(
+        "matmul_kernel", "matmul_kernel", """
+float A[128][128], B[128][128], C[128][128];
+void matmul_kernel(float alpha, int M, int L, int N) {
+    for (int i = 0; i < M; i++) {
+        for (int j = 0; j < L; j++) {
+            float sum = 0;
+            for (int k = 0; k < N; k++) {
+                sum += alpha * A[i][k] * B[k][j];
+            }
+            C[i][j] = sum;
+        }
+    }
+}
+""", "Matrix multiply with a dot-product inner loop over a strided column "
+     "(example #4 of the paper's dataset).", {"M": 128, "L": 128, "N": 128}))
+
+    kernels.append(_kernel(
+        "mixed_types_char", "mixed_types_char", """
+void mixed_types_char(char *a, char *b, int n) {
+    for (int i = 0; i < n; i++) {
+        a[i] = (char) (b[i] + 3);
+    }
+}
+""", "8-bit data: very wide legal VFs.", {"n": 8192}))
+
+    kernels.append(_kernel(
+        "max_reduction", "max_reduction", """
+int a[4096];
+int max_reduction() {
+    int m = 0;
+    for (int i = 0; i < 4096; i++) {
+        m = (m < a[i] ? a[i] : m);
+    }
+    return m;
+}
+""", "Maximum reduction expressed with a ternary."))
+
+    kernels.append(_kernel(
+        "double_precision_scale", "double_precision_scale", """
+double a[2048], b[2048];
+void double_precision_scale(double alpha) {
+    for (int i = 0; i < 2048; i++) {
+        b[i] = alpha * a[i] + b[i] * b[i];
+    }
+}
+""", "Double-precision arithmetic: fewer lanes per register."))
+
+    kernels.append(_kernel(
+        "gather_indexed", "gather_indexed", """
+int idx[4096];
+float src[8192], dst[4096];
+void gather_indexed() {
+    for (int i = 0; i < 4096; i++) {
+        dst[i] = src[idx[i]];
+    }
+}
+""", "Indirect gather through an index array."))
+
+    kernels.append(_kernel(
+        "carried_dependence", "carried_dependence", """
+float a[4096];
+void carried_dependence() {
+    for (int i = 4; i < 4096; i++) {
+        a[i] = a[i - 4] * 0.5f + 1.0f;
+    }
+}
+""", "Loop-carried dependence at distance 4: VF is capped at 4."))
+
+    kernels.append(_kernel(
+        "prefix_recurrence", "prefix_recurrence", """
+float a[4096], b[4096];
+void prefix_recurrence() {
+    float carry = 0;
+    for (int i = 0; i < 4096; i++) {
+        carry = a[i] - carry;
+        b[i] = carry;
+    }
+}
+""", "Non-reduction scalar recurrence: not vectorizable at all."))
+
+    kernels.append(_kernel(
+        "short_trip_loop", "short_trip_loop", """
+int a[32], b[32];
+void short_trip_loop() {
+    for (int i = 0; i < 32; i++) {
+        a[i] = a[i] + b[i];
+    }
+}
+""", "Tiny trip count: aggressive factors leave everything in the epilogue."))
+
+    kernels.append(_kernel(
+        "stencil_1d", "stencil_1d", """
+float in[8192], out[8192];
+void stencil_1d() {
+    for (int i = 1; i < 8191; i++) {
+        out[i] = 0.25f * in[i - 1] + 0.5f * in[i] + 0.25f * in[i + 1];
+    }
+}
+""", "Three-point stencil with overlapping reads."))
+
+    kernels.append(_kernel(
+        "division_heavy", "division_heavy", """
+float a[2048], b[2048], c[2048];
+void division_heavy() {
+    for (int i = 0; i < 2048; i++) {
+        c[i] = a[i] / (b[i] + 1.0f);
+    }
+}
+""", "Division-bound loop: the divider is barely pipelined."))
+
+    kernels.append(_kernel(
+        "unsigned_wraparound", "unsigned_wraparound", """
+unsigned short a[4096], b[4096];
+void unsigned_wraparound() {
+    for (int i = 0; i < 4096; i++) {
+        b[i] = (unsigned short) (a[i] * 7 + 13);
+    }
+}
+""", "16-bit unsigned arithmetic with narrowing stores."))
+
+    kernels.append(_kernel(
+        "scalar_interleaved_update", "scalar_interleaved_update", """
+int hist[4096];
+void scalar_interleaved_update(int *data, int n) {
+    for (int i = 0; i < n; i++) {
+        hist[i] = hist[i] + data[i] * data[i];
+    }
+}
+""", "Read-modify-write with a squared term.", {"n": 4096}))
+
+    kernels.append(_kernel(
+        "nested_reduction_rows", "nested_reduction_rows", """
+float M[256][256];
+float row_sums[256];
+void nested_reduction_rows() {
+    for (int i = 0; i < 256; i++) {
+        float sum = 0;
+        for (int j = 0; j < 256; j++) {
+            sum += M[i][j];
+        }
+        row_sums[i] = sum;
+    }
+}
+""", "Row-wise reductions inside an outer loop."))
+
+    return KernelSuite(name="llvm_vectorizer_suite", kernels=kernels)
+
+
+#: The twelve kernels reported individually in Figure 7.
+_TEST_BENCHMARK_NAMES = [
+    "sum_reduction_float",
+    "saxpy",
+    "predicated_clip",
+    "if_statement_guard",
+    "strided_complex_mul",
+    "type_convert_short_int",
+    "bitwise_ops",
+    "unknown_bounds",
+    "multidim_store",
+    "matmul_kernel",
+    "max_reduction",
+    "stencil_1d",
+]
+
+
+def test_benchmarks() -> KernelSuite:
+    """The 12 held-out benchmarks used for the main comparison (Figure 7)."""
+    full = llvm_vectorizer_suite()
+    suite = KernelSuite(name="test_benchmarks")
+    for name in _TEST_BENCHMARK_NAMES:
+        kernel = full.by_name(name)
+        if kernel is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"missing test benchmark {name}")
+        suite.add(kernel)
+    return suite

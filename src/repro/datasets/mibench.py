@@ -1,0 +1,168 @@
+"""MiBench-like embedded programs for the transfer-learning study (Figure 9).
+
+MiBench is "a set of free and commercially representative embedded
+benchmarks" where "the loops constitute a minor portion of the code" and for
+several programs "vectorization ... is not possible" due to memory
+dependences, control flow or lack of loops (§4.1).  The programs below mirror
+that profile: a modest amount of vectorizable loop work embedded in mostly
+scalar code, plus programs that cannot be vectorized at all.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.datasets.kernels import KernelSuite, LoopKernel
+
+
+def _kernel(name: str, source: str, description: str, bindings=None) -> LoopKernel:
+    return LoopKernel(
+        name=name,
+        source=source,
+        function_name="kernel",
+        suite="mibench",
+        bindings=dict(bindings or {}),
+        description=description,
+    )
+
+
+def mibench_suite() -> KernelSuite:
+    kernels: List[LoopKernel] = []
+
+    kernels.append(_kernel("susan_smoothing", """
+unsigned char image[65536];
+unsigned char out[65536];
+int lut[256];
+void kernel(int width, int height, int threshold) {
+    int total = width * height;
+    int mask_size = 3;
+    int offset = mask_size * width + mask_size;
+    int area = (2 * mask_size + 1) * (2 * mask_size + 1);
+    for (int i = 0; i < 256; i++) {
+        lut[i] = (i > threshold ? 100 : i);
+    }
+    for (int i = 0; i < total; i++) {
+        out[i] = (unsigned char) ((image[i] * area + offset) >> 6);
+    }
+}
+""", "SUSAN-style image smoothing: one LUT setup loop and one pixel loop.",
+        {"width": 256, "height": 256, "threshold": 20}))
+
+    kernels.append(_kernel("crc32", """
+unsigned int crc_table[256];
+unsigned char buffer[32768];
+unsigned int kernel(int length) {
+    unsigned int crc = 0xFFFFFFFF;
+    for (int i = 0; i < length; i++) {
+        crc = crc_table[(crc ^ buffer[i]) & 255] ^ (crc >> 8);
+    }
+    return crc;
+}
+""", "CRC32: a serial recurrence through a lookup table (not vectorizable).",
+        {"length": 32768}))
+
+    kernels.append(_kernel("stringsearch", """
+char text[65536];
+char pattern[16];
+int kernel(int text_length, int pattern_length) {
+    int matches = 0;
+    for (int i = 0; i < text_length - pattern_length; i++) {
+        int ok = 1;
+        for (int j = 0; j < pattern_length; j++) {
+            if (text[i + j] != pattern[j]) {
+                ok = 0;
+            }
+        }
+        matches += ok;
+    }
+    return matches;
+}
+""", "Naive string search: a small inner comparison loop under an outer scan.",
+        {"text_length": 65536, "pattern_length": 8}))
+
+    kernels.append(_kernel("fir_filter", """
+float signal[16384];
+float coeffs[32];
+float output[16384];
+void kernel(int taps, int length) {
+    for (int i = 32; i < length; i++) {
+        float acc = 0;
+        for (int j = 0; j < taps; j++) {
+            acc += signal[i - j] * coeffs[j];
+        }
+        output[i] = acc;
+    }
+    float energy = 0;
+    for (int i = 0; i < length; i++) {
+        energy += output[i] * output[i];
+    }
+    output[0] = energy;
+}
+""", "Telecom FIR filter plus an energy reduction.",
+        {"taps": 32, "length": 16384}))
+
+    kernels.append(_kernel("adpcm_decode", """
+int step_table[89];
+char input[8192];
+short output[8192];
+void kernel(int length) {
+    int predictor = 0;
+    int index = 0;
+    for (int i = 0; i < length; i++) {
+        int delta = input[i] & 15;
+        int step = step_table[index];
+        predictor = predictor + ((delta * step) >> 2);
+        index = index + (delta > 7 ? 2 : -1);
+        index = (index < 0 ? 0 : index);
+        output[i] = (short) predictor;
+    }
+}
+""", "ADPCM decode: serial predictor recurrence, not vectorizable (the paper "
+     "makes the same observation).", {"length": 8192}))
+
+    kernels.append(_kernel("rijndael_xor", """
+unsigned char state[16384];
+unsigned char key_stream[16384];
+unsigned char out[16384];
+void kernel(int length, int rounds) {
+    for (int r = 0; r < rounds; r++) {
+        for (int i = 0; i < length; i++) {
+            out[i] = state[i] ^ key_stream[i];
+        }
+    }
+}
+""", "Security workload: repeated XOR of a state buffer with a key stream.",
+        {"length": 16384, "rounds": 4}))
+
+    kernels.append(_kernel("basicmath_quadratic", """
+double a_coef[1024], b_coef[1024], c_coef[1024], roots[1024];
+void kernel() {
+    for (int i = 0; i < 1024; i++) {
+        double a = a_coef[i];
+        double b = b_coef[i];
+        double c = c_coef[i];
+        double disc = b * b - 4.0 * a * c;
+        roots[i] = (disc > 0 ? (-b + sqrt(disc)) / (2.0 * a) : 0.0);
+    }
+}
+""", "Automotive basicmath: quadratic roots with a sqrt call per element."))
+
+    kernels.append(_kernel("dijkstra_relax", """
+int dist[1024];
+int adj[1024][1024];
+void kernel(int nodes, int source) {
+    for (int i = 0; i < nodes; i++) {
+        dist[i] = 1000000;
+    }
+    dist[source] = 0;
+    for (int round = 0; round < nodes; round++) {
+        for (int v = 0; v < nodes; v++) {
+            int through = dist[round] + adj[round][v];
+            dist[v] = (through < dist[v] ? through : dist[v]);
+        }
+    }
+}
+""", "Dijkstra-style relaxation sweeps (mostly scalar, data-dependent).",
+        {"nodes": 1024, "source": 0}))
+
+    return KernelSuite(name="mibench", kernels=kernels)

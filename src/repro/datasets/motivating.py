@@ -1,0 +1,30 @@
+"""The motivating dot-product kernel of §2.1 / Figure 1."""
+
+from __future__ import annotations
+
+from repro.datasets.kernels import LoopKernel
+
+_DOT_PRODUCT_SOURCE = """\
+int vec[512] __attribute__((aligned(16)));
+
+__attribute__((noinline))
+int example1() {
+    int sum = 0;
+    for (int i = 0; i < 512; i++) {
+        sum += vec[i] * vec[i];
+    }
+    return sum;
+}
+"""
+
+
+def dot_product_kernel() -> LoopKernel:
+    """The exact kernel the paper sweeps over every (VF, IF) pair."""
+    return LoopKernel(
+        name="dot_product",
+        source=_DOT_PRODUCT_SOURCE,
+        function_name="example1",
+        suite="motivating",
+        description="Integer dot product over a 512-element aligned array "
+        "(Figure 1 of the paper).",
+    )

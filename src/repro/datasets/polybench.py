@@ -1,0 +1,149 @@
+"""PolyBench-like kernels for the transfer-learning study (Figure 8).
+
+PolyBench is "benchmarks that perform matrix operations, decomposition, and
+linear algebra for which Polly is optimized to run on" (§4.1).  Six kernels
+are reported in Figure 8; the analogues below cover the same categories:
+dense matrix multiply chains, matrix-vector products and stencils, with
+iteration spaces large enough that data locality (and hence the polyhedral
+pass) matters.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.datasets.kernels import KernelSuite, LoopKernel
+
+
+def _kernel(name: str, source: str, description: str) -> LoopKernel:
+    return LoopKernel(
+        name=name,
+        source=source,
+        function_name="kernel",
+        suite="polybench",
+        description=description,
+    )
+
+
+def polybench_suite() -> KernelSuite:
+    kernels: List[LoopKernel] = []
+
+    kernels.append(_kernel("gemm", """
+float A[256][256], B[256][256], C[256][256];
+void kernel(float alpha, float beta) {
+    for (int i = 0; i < 256; i++) {
+        for (int j = 0; j < 256; j++) {
+            float acc = 0;
+            for (int k = 0; k < 256; k++) {
+                acc += alpha * A[i][k] * B[k][j];
+            }
+            C[i][j] = beta * C[i][j] + acc;
+        }
+    }
+}
+""", "General matrix-matrix multiply (large iteration space, poor B locality)."))
+
+    kernels.append(_kernel("2mm", """
+float A[128][128], B[128][128], C[128][128], D[128][128], E[128][128];
+void kernel(float alpha) {
+    for (int i = 0; i < 128; i++) {
+        for (int j = 0; j < 128; j++) {
+            float acc = 0;
+            for (int k = 0; k < 128; k++) {
+                acc += alpha * A[i][k] * B[k][j];
+            }
+            C[i][j] = acc;
+        }
+    }
+    for (int i = 0; i < 128; i++) {
+        for (int j = 0; j < 128; j++) {
+            float acc = 0;
+            for (int k = 0; k < 128; k++) {
+                acc += C[i][k] * D[k][j];
+            }
+            E[i][j] = acc;
+        }
+    }
+}
+""", "Two chained matrix multiplies."))
+
+    kernels.append(_kernel("atax", """
+float A[512][512], x[512], y[512], tmp[512];
+void kernel() {
+    for (int i = 0; i < 512; i++) {
+        float acc = 0;
+        for (int j = 0; j < 512; j++) {
+            acc += A[i][j] * x[j];
+        }
+        tmp[i] = acc;
+    }
+    for (int j = 0; j < 512; j++) {
+        float acc = 0;
+        for (int i = 0; i < 512; i++) {
+            acc += A[i][j] * tmp[i];
+        }
+        y[j] = acc;
+    }
+}
+""", "A^T A x: one row-major and one column-major matrix-vector product."))
+
+    kernels.append(_kernel("bicg", """
+float A[512][512], p[512], q[512], r[512], s[512];
+void kernel() {
+    for (int i = 0; i < 512; i++) {
+        float acc = 0;
+        for (int j = 0; j < 512; j++) {
+            acc += A[i][j] * p[j];
+        }
+        q[i] = acc;
+    }
+    for (int j = 0; j < 512; j++) {
+        float acc = 0;
+        for (int i = 0; i < 512; i++) {
+            acc += r[i] * A[i][j];
+        }
+        s[j] = acc;
+    }
+}
+""", "BiCG sub-kernel: paired matrix-vector products."))
+
+    kernels.append(_kernel("mvt", """
+float A[512][512], x1[512], x2[512], y1[512], y2[512];
+void kernel() {
+    for (int i = 0; i < 512; i++) {
+        float acc = 0;
+        for (int j = 0; j < 512; j++) {
+            acc += A[i][j] * y1[j];
+        }
+        x1[i] = x1[i] + acc;
+    }
+    for (int i = 0; i < 512; i++) {
+        float acc = 0;
+        for (int j = 0; j < 512; j++) {
+            acc += A[j][i] * y2[j];
+        }
+        x2[i] = x2[i] + acc;
+    }
+}
+""", "Matrix-vector product and transposed product."))
+
+    kernels.append(_kernel("jacobi_2d", """
+float A[512][512], B[512][512];
+void kernel() {
+    for (int t = 0; t < 4; t++) {
+        for (int i = 1; i < 511; i++) {
+            for (int j = 1; j < 511; j++) {
+                B[i][j] = 0.2f * (A[i][j] + A[i][j - 1] + A[i][j + 1]
+                                  + A[i - 1][j] + A[i + 1][j]);
+            }
+        }
+        for (int i = 1; i < 511; i++) {
+            for (int j = 1; j < 511; j++) {
+                A[i][j] = B[i][j];
+            }
+        }
+    }
+}
+""", "Jacobi 2-D relaxation stencil over several time steps."))
+
+    return KernelSuite(name="polybench", kernels=kernels)

@@ -1,0 +1,334 @@
+"""Synthetic loop dataset generator (§3.2 of the paper).
+
+The paper builds >10,000 training programs from the LLVM vectorizer tests by
+varying "the names of the parameters ... the stride, the number of
+iterations, the functionality, the instructions, and the number of nested
+loops".  This generator does the same: a set of loop templates crossed with
+pools of names, element types, trip counts, strides and operators.  Given a
+seed the dataset is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.kernels import KernelSuite, LoopKernel
+
+#: Name pools used to rename arrays/scalars between variants.
+_ARRAY_NAMES = [
+    ("a", "b", "c"),
+    ("src", "dst", "tmp"),
+    ("x", "y", "z"),
+    ("input", "output", "scratch"),
+    ("data", "result", "buffer"),
+    ("p", "q", "r"),
+]
+_INDEX_NAMES = ["i", "j", "k", "idx", "n0"]
+_SCALAR_NAMES = ["alpha", "beta", "scale", "factor", "coeff"]
+
+_DTYPES = ["char", "short", "int", "long", "float", "double"]
+_TRIP_COUNTS = [64, 128, 256, 512, 1024, 2048, 4096, 8192]
+_STRIDES = [1, 2, 3, 4]
+_BINARY_OPS = ["+", "-", "*", "&", "|", "^"]
+
+
+@dataclass
+class SyntheticDatasetConfig:
+    """Controls how many kernels are generated and from which templates."""
+
+    count: int = 1000
+    seed: int = 0
+    templates: Optional[Sequence[str]] = None
+    min_trip_count: int = 64
+    max_trip_count: int = 8192
+
+
+@dataclass
+class _Variant:
+    """One sampled point in the template parameter space."""
+
+    template: str
+    dtype: str
+    trip_count: int
+    stride: int
+    op: str
+    names: Tuple[str, str, str]
+    index: str
+    scalar: str
+    inner_trip: int
+
+
+# ---------------------------------------------------------------------------
+# Templates
+# ---------------------------------------------------------------------------
+
+
+def _t_elementwise(v: _Variant) -> str:
+    a, b, c = v.names
+    op = v.op if v.dtype not in ("float", "double") or v.op in "+-*" else "+"
+    return f"""
+{v.dtype} {a}[{v.trip_count}], {b}[{v.trip_count}], {c}[{v.trip_count}];
+void kernel() {{
+    for (int {v.index} = 0; {v.index} < {v.trip_count}; {v.index}++) {{
+        {c}[{v.index}] = {a}[{v.index}] {op} {b}[{v.index}];
+    }}
+}}
+"""
+
+
+def _t_saxpy(v: _Variant) -> str:
+    a, b, _ = v.names
+    return f"""
+{v.dtype} {a}[{v.trip_count}], {b}[{v.trip_count}];
+void kernel({v.dtype} {v.scalar}) {{
+    for (int {v.index} = 0; {v.index} < {v.trip_count}; {v.index}++) {{
+        {b}[{v.index}] = {v.scalar} * {a}[{v.index}] + {b}[{v.index}];
+    }}
+}}
+"""
+
+
+def _t_reduction(v: _Variant) -> str:
+    a, b, _ = v.names
+    op = "+" if v.op not in "+*" else v.op
+    return f"""
+{v.dtype} {a}[{v.trip_count}], {b}[{v.trip_count}];
+{v.dtype} kernel() {{
+    {v.dtype} acc = 0;
+    for (int {v.index} = 0; {v.index} < {v.trip_count}; {v.index}++) {{
+        acc {op}= {a}[{v.index}] * {b}[{v.index}];
+    }}
+    return acc;
+}}
+"""
+
+
+def _t_max_reduction(v: _Variant) -> str:
+    a, _, _ = v.names
+    return f"""
+{v.dtype} {a}[{v.trip_count}];
+{v.dtype} kernel() {{
+    {v.dtype} best = 0;
+    for (int {v.index} = 0; {v.index} < {v.trip_count}; {v.index}++) {{
+        best = (best < {a}[{v.index}] ? {a}[{v.index}] : best);
+    }}
+    return best;
+}}
+"""
+
+
+def _t_predicate(v: _Variant) -> str:
+    a, b, _ = v.names
+    return f"""
+{v.dtype} {a}[{v.trip_count}], {b}[{v.trip_count}];
+void kernel({v.dtype} limit) {{
+    for (int {v.index} = 0; {v.index} < {v.trip_count}; {v.index}++) {{
+        if ({a}[{v.index}] > limit) {{
+            {b}[{v.index}] = {a}[{v.index}] * 2;
+        }}
+    }}
+}}
+"""
+
+
+def _t_strided(v: _Variant) -> str:
+    a, b, _ = v.names
+    stride = max(2, v.stride)
+    out_count = max(8, v.trip_count // stride)
+    return f"""
+{v.dtype} {a}[{out_count}], {b}[{v.trip_count}];
+void kernel() {{
+    for (int {v.index} = 0; {v.index} < {out_count}; {v.index}++) {{
+        {a}[{v.index}] = {b}[{stride} * {v.index}] + {b}[{stride} * {v.index} + 1];
+    }}
+}}
+"""
+
+
+def _t_type_convert(v: _Variant) -> str:
+    a, b, _ = v.names
+    narrow = "short" if v.dtype in ("int", "long", "float", "double") else "char"
+    return f"""
+{narrow} {a}[{v.trip_count}];
+{v.dtype} {b}[{v.trip_count}];
+void kernel() {{
+    for (int {v.index} = 0; {v.index} < {v.trip_count}; {v.index}++) {{
+        {b}[{v.index}] = ({v.dtype}) {a}[{v.index}];
+    }}
+}}
+"""
+
+
+def _t_fill_2d(v: _Variant) -> str:
+    a, _, _ = v.names
+    rows = max(8, min(256, v.trip_count // 16))
+    cols = max(16, min(512, v.inner_trip))
+    return f"""
+{v.dtype} {a}[{rows}][{cols}];
+void kernel({v.dtype} value) {{
+    for (int {v.index} = 0; {v.index} < {rows}; {v.index}++) {{
+        for (int j2 = 0; j2 < {cols}; j2++) {{
+            {a}[{v.index}][j2] = value;
+        }}
+    }}
+}}
+"""
+
+
+def _t_row_reduction(v: _Variant) -> str:
+    a, b, _ = v.names
+    rows = max(8, min(256, v.trip_count // 16))
+    cols = max(16, min(512, v.inner_trip))
+    return f"""
+{v.dtype} {a}[{rows}][{cols}];
+{v.dtype} {b}[{rows}];
+void kernel() {{
+    for (int {v.index} = 0; {v.index} < {rows}; {v.index}++) {{
+        {v.dtype} acc = 0;
+        for (int j2 = 0; j2 < {cols}; j2++) {{
+            acc += {a}[{v.index}][j2];
+        }}
+        {b}[{v.index}] = acc;
+    }}
+}}
+"""
+
+
+def _t_stencil(v: _Variant) -> str:
+    a, b, _ = v.names
+    return f"""
+{v.dtype} {a}[{v.trip_count}], {b}[{v.trip_count}];
+void kernel() {{
+    for (int {v.index} = 1; {v.index} < {v.trip_count} - 1; {v.index}++) {{
+        {b}[{v.index}] = {a}[{v.index} - 1] + {a}[{v.index}] + {a}[{v.index} + 1];
+    }}
+}}
+"""
+
+
+def _t_unrolled_pair(v: _Variant) -> str:
+    a, b, _ = v.names
+    return f"""
+{v.dtype} {a}[{v.trip_count}], {b}[{v.trip_count}];
+void kernel() {{
+    for (int {v.index} = 0; {v.index} < {v.trip_count} - 1; {v.index} += 2) {{
+        {a}[{v.index}] = {b}[{v.index}] * 3;
+        {a}[{v.index} + 1] = {b}[{v.index} + 1] * 3;
+    }}
+}}
+"""
+
+
+def _t_unknown_bound(v: _Variant) -> str:
+    a, b, _ = v.names
+    return f"""
+void kernel({v.dtype} *{a}, {v.dtype} *{b}, int n) {{
+    for (int {v.index} = 0; {v.index} < n; {v.index}++) {{
+        {a}[{v.index}] = {b}[{v.index}] * {b}[{v.index}] + 1;
+    }}
+}}
+"""
+
+
+def _t_matmul(v: _Variant) -> str:
+    a, b, c = v.names
+    size = max(16, min(128, v.inner_trip // 4))
+    return f"""
+{v.dtype} {a}[{size}][{size}], {b}[{size}][{size}], {c}[{size}][{size}];
+void kernel({v.dtype} {v.scalar}) {{
+    for (int {v.index} = 0; {v.index} < {size}; {v.index}++) {{
+        for (int j2 = 0; j2 < {size}; j2++) {{
+            {v.dtype} acc = 0;
+            for (int k3 = 0; k3 < {size}; k3++) {{
+                acc += {v.scalar} * {a}[{v.index}][k3] * {b}[k3][j2];
+            }}
+            {c}[{v.index}][j2] = acc;
+        }}
+    }}
+}}
+"""
+
+
+TEMPLATES: Dict[str, Callable[[_Variant], str]] = {
+    "elementwise": _t_elementwise,
+    "saxpy": _t_saxpy,
+    "reduction": _t_reduction,
+    "max_reduction": _t_max_reduction,
+    "predicate": _t_predicate,
+    "strided": _t_strided,
+    "type_convert": _t_type_convert,
+    "fill_2d": _t_fill_2d,
+    "row_reduction": _t_row_reduction,
+    "stencil": _t_stencil,
+    "unrolled_pair": _t_unrolled_pair,
+    "unknown_bound": _t_unknown_bound,
+    "matmul": _t_matmul,
+}
+
+
+def parameter_space_size() -> int:
+    """A lower bound on how many distinct programs the generator can emit."""
+    return (
+        len(TEMPLATES)
+        * len(_DTYPES)
+        * len(_TRIP_COUNTS)
+        * len(_STRIDES)
+        * len(_BINARY_OPS)
+        * len(_ARRAY_NAMES)
+        * len(_INDEX_NAMES)
+    )
+
+
+def generate_variant(rng: np.random.Generator,
+                     config: SyntheticDatasetConfig,
+                     templates: Sequence[str]) -> _Variant:
+    trip_candidates = [
+        t for t in _TRIP_COUNTS
+        if config.min_trip_count <= t <= config.max_trip_count
+    ] or _TRIP_COUNTS
+    return _Variant(
+        template=str(rng.choice(templates)),
+        dtype=str(rng.choice(_DTYPES)),
+        trip_count=int(rng.choice(trip_candidates)),
+        stride=int(rng.choice(_STRIDES)),
+        op=str(rng.choice(_BINARY_OPS)),
+        names=tuple(_ARRAY_NAMES[int(rng.integers(len(_ARRAY_NAMES)))]),
+        index=str(rng.choice(_INDEX_NAMES)),
+        scalar=str(rng.choice(_SCALAR_NAMES)),
+        inner_trip=int(rng.choice(trip_candidates)),
+    )
+
+
+def generate_synthetic_dataset(
+    config: Optional[SyntheticDatasetConfig] = None,
+) -> KernelSuite:
+    """Generate ``config.count`` synthetic loop kernels deterministically."""
+    config = config or SyntheticDatasetConfig()
+    rng = np.random.default_rng(config.seed)
+    templates = list(config.templates or TEMPLATES.keys())
+    suite = KernelSuite(name="synthetic")
+    seen_sources = set()
+    attempts = 0
+    while len(suite) < config.count and attempts < config.count * 20:
+        attempts += 1
+        variant = generate_variant(rng, config, templates)
+        source = TEMPLATES[variant.template](variant)
+        if source in seen_sources:
+            continue
+        seen_sources.add(source)
+        bindings = {"n": variant.trip_count} if variant.template == "unknown_bound" else {}
+        kernel = LoopKernel(
+            name=f"synthetic_{variant.template}_{len(suite):05d}",
+            source=source,
+            function_name="kernel",
+            suite="synthetic",
+            bindings=bindings,
+            description=f"template={variant.template} dtype={variant.dtype} "
+            f"trip={variant.trip_count}",
+        )
+        suite.add(kernel)
+    return suite

@@ -1,0 +1,36 @@
+"""code2vec-style loop embedding generator.
+
+The paper feeds each loop's source text to code2vec (Alon et al., 2019) and
+uses the resulting 340-dimensional code vector as the RL agent's observation.
+This package reimplements the relevant pieces:
+
+* :mod:`repro.embedding.ast_paths` — decompose a loop's AST into leaf-to-leaf
+  path contexts ``(source token, path, target token)``,
+* :mod:`repro.embedding.vocab` — vocabularies over tokens and paths with
+  identifier normalisation (the paper notes that renaming parameters was
+  crucial to stop names biasing the embedding),
+* :mod:`repro.embedding.code2vec` — the attention model that combines path
+  contexts into a single fixed-length code vector,
+* :mod:`repro.embedding.pretrain` — a self-supervised pretraining task
+  (predicting structural loop properties) standing in for code2vec's original
+  method-name prediction task.
+"""
+
+from repro.embedding.ast_paths import PathContext, extract_path_contexts, loop_tokens
+from repro.embedding.vocab import Vocabulary, build_vocabularies, normalize_identifiers
+from repro.embedding.code2vec import Code2VecConfig, Code2VecModel
+from repro.embedding.pretrain import LoopPropertyLabels, Code2VecPretrainer, loop_property_labels
+
+__all__ = [
+    "PathContext",
+    "extract_path_contexts",
+    "loop_tokens",
+    "Vocabulary",
+    "build_vocabularies",
+    "normalize_identifiers",
+    "Code2VecConfig",
+    "Code2VecModel",
+    "LoopPropertyLabels",
+    "Code2VecPretrainer",
+    "loop_property_labels",
+]

@@ -1,0 +1,157 @@
+"""AST path-context extraction (the front half of code2vec).
+
+A *path context* is a triple ``(start_token, path, end_token)`` where the
+path is the sequence of AST node labels walked from one leaf up to the lowest
+common ancestor and back down to another leaf.  code2vec embeds each of the
+three components and lets attention decide which contexts matter.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.frontend import ast
+
+
+@dataclass(frozen=True)
+class PathContext:
+    """One leaf-to-leaf path through the AST."""
+
+    start_token: str
+    path: str
+    end_token: str
+
+    def __str__(self) -> str:
+        return f"{self.start_token},{self.path},{self.end_token}"
+
+
+@dataclass
+class _Leaf:
+    token: str
+    #: Node labels from the root of the extracted subtree down to the leaf.
+    ancestry: Tuple[str, ...]
+    #: Positions (child indices) along the ancestry, to find common prefixes.
+    positions: Tuple[int, ...]
+
+
+def _leaf_token(node: ast.Node) -> Optional[str]:
+    """The terminal token a node contributes, or ``None`` for internal nodes."""
+    if isinstance(node, ast.Identifier):
+        return node.name
+    if isinstance(node, ast.IntLiteral):
+        return str(node.value)
+    if isinstance(node, ast.FloatLiteral):
+        return str(node.value)
+    if isinstance(node, ast.CharLiteral):
+        return f"char_{node.value}"
+    if isinstance(node, ast.StringLiteral):
+        return "string"
+    if isinstance(node, ast.VarDecl):
+        return node.name
+    if isinstance(node, ast.BreakStmt):
+        return "break"
+    if isinstance(node, ast.ContinueStmt):
+        return "continue"
+    return None
+
+
+def _collect_leaves(
+    node: ast.Node,
+    ancestry: Tuple[str, ...],
+    positions: Tuple[int, ...],
+    leaves: List[_Leaf],
+) -> None:
+    token = _leaf_token(node)
+    label = node.label()
+    new_ancestry = ancestry + (label,)
+    children = [child for child in node.children() if child is not None]
+    if token is not None and not children:
+        leaves.append(_Leaf(token=token, ancestry=new_ancestry, positions=positions))
+        return
+    if token is not None:
+        # Nodes like VarDecl both carry a token and have children (the init).
+        leaves.append(_Leaf(token=token, ancestry=new_ancestry, positions=positions))
+    for index, child in enumerate(children):
+        _collect_leaves(child, new_ancestry, positions + (index,), leaves)
+
+
+def extract_path_contexts(
+    node: ast.Node,
+    max_path_length: int = 8,
+    max_path_width: int = 3,
+    max_contexts: int = 200,
+    rename_map: Optional[Dict[str, str]] = None,
+) -> List[PathContext]:
+    """Extract path contexts from the AST subtree rooted at ``node``.
+
+    ``max_path_length`` bounds the number of nodes on a path and
+    ``max_path_width`` bounds the distance between the two leaves' branches at
+    the common ancestor — the same hyperparameters code2vec uses to keep the
+    context set small.  ``rename_map`` normalises identifiers so that variable
+    naming does not bias the embedding.
+    """
+    leaves: List[_Leaf] = []
+    _collect_leaves(node, (), (), leaves)
+    rename_map = rename_map or {}
+
+    contexts: List[PathContext] = []
+    for (index_a, leaf_a), (index_b, leaf_b) in itertools.combinations(
+        enumerate(leaves), 2
+    ):
+        if index_b - index_a > 32 and len(contexts) >= max_contexts:
+            break
+        path = _path_between(leaf_a, leaf_b, max_path_length, max_path_width)
+        if path is None:
+            continue
+        start = rename_map.get(leaf_a.token, leaf_a.token)
+        end = rename_map.get(leaf_b.token, leaf_b.token)
+        contexts.append(PathContext(start_token=start, path=path, end_token=end))
+        if len(contexts) >= max_contexts:
+            break
+    return contexts
+
+
+def _path_between(
+    leaf_a: _Leaf, leaf_b: _Leaf, max_path_length: int, max_path_width: int
+) -> Optional[str]:
+    ancestry_a, ancestry_b = leaf_a.ancestry, leaf_b.ancestry
+    positions_a, positions_b = leaf_a.positions, leaf_b.positions
+
+    common = 0
+    limit = min(len(positions_a), len(positions_b), len(ancestry_a) - 1, len(ancestry_b) - 1)
+    while common < limit and positions_a[common] == positions_b[common] and (
+        ancestry_a[common] == ancestry_b[common]
+    ):
+        common += 1
+    # Width: how far apart the two branches are under the common ancestor.
+    if common < len(positions_a) and common < len(positions_b):
+        width = abs(positions_a[common] - positions_b[common])
+        if width > max_path_width:
+            return None
+
+    up = list(reversed(ancestry_a[common:-1] + (ancestry_a[-1],)))
+    down = list(ancestry_b[common:-1] + (ancestry_b[-1],))
+    # The common ancestor label sits at ancestry[common - 1] (or the root).
+    ancestor = ancestry_a[common - 1] if common > 0 else ancestry_a[0]
+    nodes = up[:-0] if False else up
+    path_labels = nodes + [ancestor] + down
+    if len(path_labels) > max_path_length:
+        return None
+    up_part = "^".join(_strip_label(label) for label in up)
+    down_part = "_".join(_strip_label(label) for label in down)
+    return f"{up_part}^{_strip_label(ancestor)}_{down_part}"
+
+
+def _strip_label(label: str) -> str:
+    """Drop value payloads from labels so paths generalise (Name:x -> Name)."""
+    return label.split(":", 1)[0]
+
+
+def loop_tokens(node: ast.Node) -> List[str]:
+    """All terminal tokens of the subtree, in source order (used for vocab
+    statistics and identifier normalisation)."""
+    leaves: List[_Leaf] = []
+    _collect_leaves(node, (), (), leaves)
+    return [leaf.token for leaf in leaves]

@@ -1,0 +1,132 @@
+"""The code2vec attention model over path contexts.
+
+Architecture (Alon et al. 2019, as used by the paper):
+
+1. embed the start token, the path and the end token of every context,
+2. concatenate and pass through a fully connected layer with tanh to get a
+   *combined context vector*,
+3. compute attention weights with a learned global attention vector,
+4. the *code vector* is the attention-weighted sum of combined context
+   vectors (340 features, matching §3.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.embedding.ast_paths import PathContext
+from repro.embedding.vocab import Vocabulary
+from repro.nn import ops
+from repro.nn.layers import Dense, Module, Parameter
+from repro.nn.initializers import normal_init
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class Code2VecConfig:
+    """Hyperparameters of the embedding network."""
+
+    token_embedding_dim: int = 64
+    path_embedding_dim: int = 64
+    code_vector_dim: int = 340
+    max_contexts: int = 200
+    dropout_keep: float = 1.0
+    seed: int = 0
+
+
+class Code2VecModel(Module):
+    """Maps a bag of path contexts to a fixed-length code vector."""
+
+    def __init__(
+        self,
+        token_vocab: Vocabulary,
+        path_vocab: Vocabulary,
+        config: Optional[Code2VecConfig] = None,
+    ):
+        self.config = config or Code2VecConfig()
+        self.token_vocab = token_vocab
+        self.path_vocab = path_vocab
+        rng = np.random.default_rng(self.config.seed)
+        token_dim = self.config.token_embedding_dim
+        path_dim = self.config.path_embedding_dim
+        code_dim = self.config.code_vector_dim
+
+        self.token_embeddings = Parameter(
+            normal_init(rng, (len(token_vocab), token_dim), scale=0.1),
+            name="token_embeddings",
+        )
+        self.path_embeddings = Parameter(
+            normal_init(rng, (len(path_vocab), path_dim), scale=0.1),
+            name="path_embeddings",
+        )
+        self.combine = Dense(
+            2 * token_dim + path_dim, code_dim, activation="tanh", rng=rng
+        )
+        self.attention = Parameter(
+            normal_init(rng, (code_dim, 1), scale=0.1), name="attention"
+        )
+
+    # -- encoding ---------------------------------------------------------------
+
+    def encode_indices(self, contexts: Sequence[PathContext]):
+        """Vocabulary indices (starts, paths, ends) for a context bag."""
+        contexts = list(contexts)[: self.config.max_contexts]
+        if not contexts:
+            return np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.int64), np.zeros(
+                1, dtype=np.int64
+            )
+        starts = np.array(
+            [self.token_vocab.lookup(c.start_token) for c in contexts], dtype=np.int64
+        )
+        paths = np.array(
+            [self.path_vocab.lookup(c.path) for c in contexts], dtype=np.int64
+        )
+        ends = np.array(
+            [self.token_vocab.lookup(c.end_token) for c in contexts], dtype=np.int64
+        )
+        return starts, paths, ends
+
+    def forward(self, contexts: Sequence[PathContext]) -> Tensor:
+        """The code vector for one loop (shape ``(code_vector_dim,)``)."""
+        starts, paths, ends = self.encode_indices(contexts)
+        start_vectors = ops.gather_rows(self.token_embeddings, starts)
+        path_vectors = ops.gather_rows(self.path_embeddings, paths)
+        end_vectors = ops.gather_rows(self.token_embeddings, ends)
+        combined_inputs = ops.concatenate(
+            [start_vectors, path_vectors, end_vectors], axis=-1
+        )
+        combined = self.combine(combined_inputs)  # (contexts, code_dim)
+        scores = ops.matmul(combined, self.attention)  # (contexts, 1)
+        weights = ops.softmax(ops.reshape(scores, (1, -1)), axis=-1)  # (1, contexts)
+        code_vector = ops.matmul(weights, combined)  # (1, code_dim)
+        return ops.reshape(code_vector, (self.config.code_vector_dim,))
+
+    def embed(self, contexts: Sequence[PathContext]) -> np.ndarray:
+        """Inference-mode embedding as a plain numpy vector."""
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            return self.forward(contexts).numpy().copy()
+
+    def embed_batch(self, bags: Sequence[Sequence[PathContext]]) -> np.ndarray:
+        """Embeddings for many loops, stacked row-wise."""
+        return np.stack([self.embed(bag) for bag in bags], axis=0)
+
+    def attention_weights(self, contexts: Sequence[PathContext]) -> np.ndarray:
+        """The attention distribution over contexts (for interpretability)."""
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            starts, paths, ends = self.encode_indices(contexts)
+            start_vectors = ops.gather_rows(self.token_embeddings, starts)
+            path_vectors = ops.gather_rows(self.path_embeddings, paths)
+            end_vectors = ops.gather_rows(self.token_embeddings, ends)
+            combined = self.combine(
+                ops.concatenate([start_vectors, path_vectors, end_vectors], axis=-1)
+            )
+            scores = ops.matmul(combined, self.attention)
+            weights = ops.softmax(ops.reshape(scores, (1, -1)), axis=-1)
+            return weights.numpy().reshape(-1).copy()

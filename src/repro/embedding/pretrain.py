@@ -1,0 +1,173 @@
+"""Self-supervised pretraining of the embedding network.
+
+The original code2vec is pretrained on method-name prediction over millions
+of Java methods; no such corpus is available offline, so the embedding is
+pretrained to predict *structural loop properties* that are computed directly
+from the analysis passes (reduction presence, access-pattern class, element
+type, nesting depth, predication).  The pretext task forces the code vector
+to separate loops along exactly the axes that matter for choosing VF/IF,
+which is the property the RL agent relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.loopinfo import LoopAnalysis
+from repro.embedding.ast_paths import PathContext
+from repro.embedding.code2vec import Code2VecModel
+from repro.nn import ops
+from repro.nn.layers import Dense, Module
+from repro.nn.losses import cross_entropy_loss
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+
+
+#: The pretraining heads: name -> number of classes.
+PROPERTY_HEADS: Dict[str, int] = {
+    "has_reduction": 2,
+    "access_kind": 4,      # contiguous / strided / gather / none
+    "element_width": 4,    # 8 / 16 / 32 / 64 bit
+    "is_float": 2,
+    "has_predicate": 2,
+    "nest_depth": 4,       # 1 / 2 / 3 / deeper
+}
+
+
+@dataclass
+class LoopPropertyLabels:
+    """Integer labels for each pretraining head."""
+
+    has_reduction: int
+    access_kind: int
+    element_width: int
+    is_float: int
+    has_predicate: int
+    nest_depth: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+def loop_property_labels(analysis: LoopAnalysis) -> LoopPropertyLabels:
+    """Derive pretraining labels from a loop analysis (no human labels)."""
+    if analysis.gather_accesses:
+        access_kind = 2
+    elif analysis.strided_accesses:
+        access_kind = 1
+    elif analysis.contiguous_accesses:
+        access_kind = 0
+    else:
+        access_kind = 3
+    width_map = {8: 0, 16: 1, 32: 2, 64: 3}
+    is_float = int(
+        any(p.access.dtype.is_float for p in analysis.access_patterns)
+        or any(r.is_float for r in analysis.reductions)
+    )
+    depth = min(4, len(analysis.enclosing_vars) + 1)
+    return LoopPropertyLabels(
+        has_reduction=int(analysis.has_reduction),
+        access_kind=access_kind,
+        element_width=width_map.get(analysis.element_bits, 2),
+        is_float=is_float,
+        has_predicate=int(analysis.has_predicates),
+        nest_depth=depth - 1,
+    )
+
+
+class _PropertyHeads(Module):
+    """Linear classification heads on top of the code vector."""
+
+    def __init__(self, code_dim: int, rng: np.random.Generator):
+        self.heads: Dict[str, Dense] = {
+            name: Dense(code_dim, classes, rng=rng)
+            for name, classes in PROPERTY_HEADS.items()
+        }
+
+    def forward(self, code_vector: Tensor) -> Dict[str, Tensor]:
+        batched = ops.reshape(code_vector, (1, -1))
+        return {name: head(batched) for name, head in self.heads.items()}
+
+
+@dataclass
+class PretrainResult:
+    """Loss curve and final per-head accuracy of a pretraining run."""
+
+    losses: List[float] = field(default_factory=list)
+    accuracy: Dict[str, float] = field(default_factory=dict)
+    steps: int = 0
+
+
+class Code2VecPretrainer:
+    """Trains a :class:`Code2VecModel` on the loop-property pretext task."""
+
+    def __init__(
+        self,
+        model: Code2VecModel,
+        learning_rate: float = 1e-3,
+        seed: int = 0,
+    ):
+        self.model = model
+        rng = np.random.default_rng(seed)
+        self.heads = _PropertyHeads(model.config.code_vector_dim, rng)
+        self.optimizer = Adam(
+            self.model.parameters() + self.heads.parameters(), learning_rate
+        )
+        self.rng = np.random.default_rng(seed)
+
+    def train(
+        self,
+        context_bags: Sequence[Sequence[PathContext]],
+        labels: Sequence[LoopPropertyLabels],
+        epochs: int = 3,
+        log_every: int = 0,
+    ) -> PretrainResult:
+        """Run pretraining over the corpus; returns the loss curve."""
+        if len(context_bags) != len(labels):
+            raise ValueError("context_bags and labels must be the same length")
+        result = PretrainResult()
+        indices = np.arange(len(context_bags))
+        for _ in range(epochs):
+            self.rng.shuffle(indices)
+            for index in indices:
+                loss_value = self._train_one(context_bags[index], labels[index])
+                result.losses.append(loss_value)
+                result.steps += 1
+        result.accuracy = self.evaluate(context_bags, labels)
+        return result
+
+    def _train_one(
+        self, contexts: Sequence[PathContext], label: LoopPropertyLabels
+    ) -> float:
+        code_vector = self.model(contexts)
+        logits = self.heads(code_vector)
+        label_dict = label.as_dict()
+        total: Optional[Tensor] = None
+        for name, head_logits in logits.items():
+            loss = cross_entropy_loss(head_logits, np.array([label_dict[name]]))
+            total = loss if total is None else ops.add(total, loss)
+        self.optimizer.zero_grad()
+        total.backward()
+        self.optimizer.clip_gradients(5.0)
+        self.optimizer.step()
+        return float(total.item())
+
+    def evaluate(
+        self,
+        context_bags: Sequence[Sequence[PathContext]],
+        labels: Sequence[LoopPropertyLabels],
+    ) -> Dict[str, float]:
+        """Per-head accuracy over a labelled corpus."""
+        correct: Dict[str, int] = {name: 0 for name in PROPERTY_HEADS}
+        for contexts, label in zip(context_bags, labels):
+            code_vector = Tensor(self.model.embed(contexts))
+            logits = self.heads(code_vector)
+            label_dict = label.as_dict()
+            for name, head_logits in logits.items():
+                predicted = int(np.argmax(head_logits.numpy()))
+                correct[name] += int(predicted == label_dict[name])
+        count = max(1, len(context_bags))
+        return {name: correct[name] / count for name in PROPERTY_HEADS}

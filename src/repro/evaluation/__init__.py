@@ -1,0 +1,48 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+Each ``figure*`` function returns a small result object with the same rows or
+series the paper plots, plus a ``format_table()`` helper so benchmarks and
+examples can print them.  The mapping from paper figure to driver is listed
+in DESIGN.md (§4) and EXPERIMENTS.md.
+"""
+
+from repro.evaluation.report import Table, format_speedup_table
+from repro.evaluation.comparison import (
+    MethodComparison,
+    compare_methods,
+    train_reference_agents,
+    TrainedAgents,
+)
+from repro.evaluation.figures import (
+    Figure1Result,
+    Figure2Result,
+    FigureCurvesResult,
+    FigureComparisonResult,
+    figure1_dot_product_grid,
+    figure2_bruteforce_suite,
+    figure5_hyperparameter_sweep,
+    figure6_action_spaces,
+    figure7_main_comparison,
+    figure8_polybench,
+    figure9_mibench,
+)
+
+__all__ = [
+    "Table",
+    "format_speedup_table",
+    "MethodComparison",
+    "compare_methods",
+    "TrainedAgents",
+    "train_reference_agents",
+    "Figure1Result",
+    "Figure2Result",
+    "FigureCurvesResult",
+    "FigureComparisonResult",
+    "figure1_dot_product_grid",
+    "figure2_bruteforce_suite",
+    "figure5_hyperparameter_sweep",
+    "figure6_action_spaces",
+    "figure7_main_comparison",
+    "figure8_polybench",
+    "figure9_mibench",
+]

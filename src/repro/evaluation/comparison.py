@@ -1,0 +1,256 @@
+"""Measuring a kernel suite under every method the paper compares."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.agents.base import VectorizationAgent
+from repro.agents.brute_force import BruteForceAgent
+from repro.agents.decision_tree import DecisionTreeAgent
+from repro.agents.nns import NearestNeighborAgent
+from repro.agents.policy_agent import PolicyAgent
+from repro.agents.random_search import RandomSearchAgent
+from repro.core.framework import TrainingConfig, build_embedding_model
+from repro.core.loop_extractor import extract_loops
+from repro.core.pipeline import CompileAndMeasure
+from repro.datasets.kernels import LoopKernel
+from repro.embedding.ast_paths import extract_path_contexts
+from repro.embedding.code2vec import Code2VecModel
+from repro.embedding.vocab import normalize_identifiers
+from repro.machine.description import MachineDescription
+from repro.polly.optimizer import PollyOptimizer
+from repro.rl.env import VectorizationEnv, build_samples
+from repro.rl.policy import make_policy
+from repro.rl.ppo import PPOConfig, PPOTrainer, TrainingHistory
+
+
+@dataclass
+class MethodComparison:
+    """Speed-ups over the baseline per kernel and method (Figures 7/8/9)."""
+
+    speedups: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    methods: List[str] = field(default_factory=list)
+
+    def geomean(self, method: str) -> float:
+        from repro.evaluation.report import geometric_mean
+
+        values = [per.get(method, float("nan")) for per in self.speedups.values()]
+        return geometric_mean([v for v in values if v == v and v > 0])
+
+    def average(self, method: str) -> float:
+        values = [
+            per[method]
+            for per in self.speedups.values()
+            if method in per and per[method] == per[method]
+        ]
+        return float(np.mean(values)) if values else float("nan")
+
+
+@dataclass
+class TrainedAgents:
+    """Everything produced by :func:`train_reference_agents`."""
+
+    embedding_model: Code2VecModel
+    pipeline: CompileAndMeasure
+    rl_agent: PolicyAgent
+    nns_agent: NearestNeighborAgent
+    tree_agent: DecisionTreeAgent
+    random_agent: RandomSearchAgent
+    brute_force_agent: BruteForceAgent
+    history: TrainingHistory
+    training_samples: int = 0
+
+
+def _embed_loop(embedding_model: Code2VecModel, loop) -> np.ndarray:
+    rename_map = normalize_identifiers(loop.nest_root)
+    contexts = extract_path_contexts(loop.nest_root, rename_map=rename_map)
+    return embedding_model.embed(contexts)
+
+
+def train_reference_agents(
+    train_kernels: Sequence[LoopKernel],
+    machine: Optional[MachineDescription] = None,
+    rl_steps: int = 1500,
+    rl_batch_size: int = 150,
+    learning_rate: float = 5e-4,
+    label_kernels: Optional[Sequence[LoopKernel]] = None,
+    pretrain_epochs: int = 1,
+    seed: int = 0,
+) -> TrainedAgents:
+    """Train the RL policy and fit NNS / decision tree on brute-force labels.
+
+    This is the shared setup for Figures 7, 8 and 9: pretrain the embedding
+    on loop properties, train PPO once on the synthetic corpus, then evaluate
+    the frozen agents on held-out suites.  ``label_kernels`` defaults to the
+    training kernels (the paper also limits the brute-force labelling to a
+    5,000-sample subset for cost reasons).
+    """
+    machine = machine or MachineDescription()
+    pipeline = CompileAndMeasure(machine=machine)
+    embedding_model = build_embedding_model(train_kernels)
+
+    if pretrain_epochs > 0:
+        _pretrain_embedding(
+            embedding_model, train_kernels, pipeline, pretrain_epochs, seed
+        )
+
+    samples = build_samples(train_kernels, embedding_model, pipeline)
+    env = VectorizationEnv(samples, pipeline=pipeline, seed=seed)
+    policy = make_policy("discrete", env.observation_dim, seed=seed)
+    trainer = PPOTrainer(
+        env,
+        policy,
+        PPOConfig(learning_rate=learning_rate, train_batch_size=rl_batch_size,
+                  minibatch_size=min(64, rl_batch_size), epochs_per_batch=6),
+    )
+    history = trainer.train(rl_steps, batch_size=rl_batch_size)
+    rl_agent = PolicyAgent(policy)
+
+    # Brute-force labels for the supervised methods.
+    brute = BruteForceAgent(pipeline)
+    label_kernels = list(label_kernels) if label_kernels is not None else list(train_kernels)
+    embeddings: List[np.ndarray] = []
+    labels: List[Tuple[int, int]] = []
+    for kernel in label_kernels:
+        try:
+            loops = extract_loops(kernel.source, function_name=kernel.function_name)
+        except Exception:
+            continue
+        for loop in loops:
+            observation = _embed_loop(embedding_model, loop)
+            decision = brute.select_factors(observation, kernel, loop.loop_index)
+            embeddings.append(observation)
+            labels.append(decision.as_tuple())
+    nns_agent = NearestNeighborAgent(k=1)
+    tree_agent = DecisionTreeAgent(max_depth=8, seed=seed)
+    if embeddings:
+        stacked = np.stack(embeddings)
+        nns_agent.fit(stacked, labels)
+        tree_agent.fit(stacked, labels)
+
+    return TrainedAgents(
+        embedding_model=embedding_model,
+        pipeline=pipeline,
+        rl_agent=rl_agent,
+        nns_agent=nns_agent,
+        tree_agent=tree_agent,
+        random_agent=RandomSearchAgent(seed=seed),
+        brute_force_agent=brute,
+        history=history,
+        training_samples=len(samples),
+    )
+
+
+def _pretrain_embedding(
+    embedding_model: Code2VecModel,
+    kernels: Sequence[LoopKernel],
+    pipeline: CompileAndMeasure,
+    epochs: int,
+    seed: int,
+) -> None:
+    """Self-supervised pretraining on loop-property labels (see DESIGN.md)."""
+    from repro.analysis.loopinfo import analyze_loop
+    from repro.embedding.pretrain import Code2VecPretrainer, loop_property_labels
+
+    bags, labels = [], []
+    for kernel in kernels:
+        try:
+            loops = extract_loops(kernel.source, function_name=kernel.function_name)
+            ir_function = pipeline.lower_kernel(kernel)
+            ir_loops = ir_function.innermost_loops()
+        except Exception:
+            continue
+        for loop in loops:
+            if loop.loop_index >= len(ir_loops):
+                continue
+            rename_map = normalize_identifiers(loop.nest_root)
+            bags.append(extract_path_contexts(loop.nest_root, rename_map=rename_map))
+            labels.append(
+                loop_property_labels(analyze_loop(ir_function, ir_loops[loop.loop_index]))
+            )
+    if bags:
+        Code2VecPretrainer(embedding_model, seed=seed).train(bags, labels, epochs=epochs)
+
+
+def _measure_with_agent(
+    pipeline: CompileAndMeasure,
+    embedding_model: Code2VecModel,
+    kernel: LoopKernel,
+    agent: VectorizationAgent,
+) -> float:
+    """Cycles when ``agent`` decides the factors of every innermost loop."""
+    loops = extract_loops(kernel.source, function_name=kernel.function_name)
+    factors: Dict[int, Tuple[int, int]] = {}
+    for loop in loops:
+        observation = _embed_loop(embedding_model, loop)
+        decision = agent.select_factors(observation, kernel=kernel,
+                                        loop_index=loop.loop_index)
+        factors[loop.loop_index] = decision.as_tuple()
+    return pipeline.measure_with_factors(kernel, factors).cycles
+
+
+def compare_methods(
+    kernels: Sequence[LoopKernel],
+    trained: TrainedAgents,
+    include_polly: bool = True,
+    include_supervised: bool = True,
+    include_combined: bool = False,
+    polly_optimizer: Optional[PollyOptimizer] = None,
+) -> MethodComparison:
+    """Speed-ups over the baseline for every method on every kernel."""
+    pipeline = trained.pipeline
+    embedding_model = trained.embedding_model
+    polly = polly_optimizer or PollyOptimizer()
+
+    methods = ["baseline", "random"]
+    if include_polly:
+        methods.append("polly")
+    if include_supervised:
+        methods.extend(["nns", "decision_tree"])
+    methods.extend(["rl", "brute_force"])
+    if include_combined:
+        methods.append("polly+rl")
+
+    comparison = MethodComparison(methods=methods)
+    for kernel in kernels:
+        baseline = pipeline.measure_baseline(kernel)
+        row: Dict[str, float] = {"baseline": 1.0}
+        row["random"] = baseline.cycles / _measure_with_agent(
+            pipeline, embedding_model, kernel, trained.random_agent
+        )
+        if include_polly:
+            transformed = polly.optimize(pipeline.lower_kernel(kernel))
+            row["polly"] = baseline.cycles / pipeline.measure_function(
+                kernel, transformed
+            ).cycles
+        if include_supervised:
+            row["nns"] = baseline.cycles / _measure_with_agent(
+                pipeline, embedding_model, kernel, trained.nns_agent
+            )
+            row["decision_tree"] = baseline.cycles / _measure_with_agent(
+                pipeline, embedding_model, kernel, trained.tree_agent
+            )
+        row["rl"] = baseline.cycles / _measure_with_agent(
+            pipeline, embedding_model, kernel, trained.rl_agent
+        )
+        row["brute_force"] = baseline.cycles / _measure_with_agent(
+            pipeline, embedding_model, kernel, trained.brute_force_agent
+        )
+        if include_combined:
+            transformed = polly.optimize(pipeline.lower_kernel(kernel))
+            loops = extract_loops(kernel.source, function_name=kernel.function_name)
+            factors: Dict[int, Tuple[int, int]] = {}
+            for loop in loops:
+                observation = _embed_loop(embedding_model, loop)
+                decision = trained.rl_agent.select_factors(
+                    observation, kernel=kernel, loop_index=loop.loop_index
+                )
+                factors[loop.loop_index] = decision.as_tuple()
+            row["polly+rl"] = baseline.cycles / pipeline.measure_function(
+                kernel, transformed, factors
+            ).cycles
+        comparison.speedups[kernel.name] = row
+    return comparison

@@ -1,0 +1,72 @@
+"""Plain-text tables for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table."""
+
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, values: Sequence[object]) -> None:
+        self.rows.append([_format_cell(value) for value in values])
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(
+            "  ".join(header.ljust(widths[i]) for i, header in enumerate(self.headers))
+        )
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_speedup_table(
+    speedups: Dict[str, Dict[str, float]],
+    methods: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> Table:
+    """Render {benchmark: {method: speedup}} as a table with a geomean row."""
+    if methods is None:
+        methods = sorted({m for per in speedups.values() for m in per})
+    table = Table(headers=["benchmark"] + list(methods), title=title)
+    for benchmark, per_method in speedups.items():
+        table.add_row([benchmark] + [per_method.get(m, float("nan")) for m in methods])
+    geomeans = []
+    for method in methods:
+        values = [per.get(method) for per in speedups.values() if per.get(method)]
+        geomeans.append(geometric_mean([v for v in values if v and v > 0]))
+    table.add_row(["geomean"] + geomeans)
+    return table
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return float("nan")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,67 @@
+"""C-subset frontend used by the NeuroVectorizer reproduction.
+
+The paper's dataset consists of C loop kernels (see §3.2).  This package
+provides everything needed to read those kernels without shelling out to
+clang: a preprocessor for the tiny amount of preprocessing the kernels use
+(`#define`, comments, pragmas), a lexer, a recursive-descent parser producing
+a typed AST, and a light semantic-analysis pass that resolves symbols and
+array shapes.
+
+Typical use::
+
+    from repro.frontend import parse_source
+    unit = parse_source(source_text, filename="kernel.c")
+    for func in unit.functions:
+        ...
+"""
+
+from repro.frontend.errors import (
+    CompileError,
+    Diagnostic,
+    DiagnosticEngine,
+    ParseError,
+    SemanticError,
+    SourceLocation,
+    SourceSpan,
+)
+from repro.frontend.lexer import Lexer, tokenize
+from repro.frontend.parser import Parser, parse_source
+from repro.frontend.pragmas import LoopPragma, format_pragma, parse_pragma_text
+from repro.frontend.preprocessor import Preprocessor, preprocess
+from repro.frontend.ctypes import (
+    ArrayType,
+    CType,
+    FloatType,
+    IntType,
+    PointerType,
+    TypeKind,
+    VoidType,
+)
+from repro.frontend import ast
+
+__all__ = [
+    "CompileError",
+    "Diagnostic",
+    "DiagnosticEngine",
+    "ParseError",
+    "SemanticError",
+    "SourceLocation",
+    "SourceSpan",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_source",
+    "LoopPragma",
+    "format_pragma",
+    "parse_pragma_text",
+    "Preprocessor",
+    "preprocess",
+    "ArrayType",
+    "CType",
+    "FloatType",
+    "IntType",
+    "PointerType",
+    "TypeKind",
+    "VoidType",
+    "ast",
+]

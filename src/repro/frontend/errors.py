@@ -1,0 +1,109 @@
+"""Source locations, diagnostics and frontend exception types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True, order=True)
+class SourceLocation:
+    """A position in a source file (1-based line and column)."""
+
+    line: int = 1
+    column: int = 1
+    filename: str = "<source>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A half-open range of source text, used to attach AST nodes to text."""
+
+    start: SourceLocation
+    end: SourceLocation
+
+    def __str__(self) -> str:
+        return f"{self.start}-{self.end.line}:{self.end.column}"
+
+    @staticmethod
+    def merge(first: "SourceSpan", second: "SourceSpan") -> "SourceSpan":
+        """Return the smallest span covering both inputs."""
+        start = min(first.start, second.start)
+        end = max(first.end, second.end)
+        return SourceSpan(start, end)
+
+
+class CompileError(Exception):
+    """Base class for all errors raised by the frontend and middle end."""
+
+    def __init__(self, message: str, location: Optional[SourceLocation] = None):
+        self.message = message
+        self.location = location
+        if location is not None:
+            super().__init__(f"{location}: {message}")
+        else:
+            super().__init__(message)
+
+
+class LexError(CompileError):
+    """Raised when the lexer encounters a character it cannot tokenize."""
+
+
+class ParseError(CompileError):
+    """Raised when the parser cannot make sense of the token stream."""
+
+
+class SemanticError(CompileError):
+    """Raised by semantic analysis (undeclared names, bad types, ...)."""
+
+
+class LoweringError(CompileError):
+    """Raised when an AST construct cannot be lowered to the loop IR."""
+
+
+@dataclass
+class Diagnostic:
+    """A single warning or error message with an optional source location."""
+
+    severity: str
+    message: str
+    location: Optional[SourceLocation] = None
+
+    def __str__(self) -> str:
+        prefix = f"{self.location}: " if self.location else ""
+        return f"{prefix}{self.severity}: {self.message}"
+
+
+@dataclass
+class DiagnosticEngine:
+    """Collects warnings and errors emitted during compilation.
+
+    Errors are recorded *and* raised (the frontend is not error-recovering);
+    warnings are only recorded so callers can inspect them afterwards.
+    """
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def warn(self, message: str, location: Optional[SourceLocation] = None) -> None:
+        self.diagnostics.append(Diagnostic("warning", message, location))
+
+    def error(self, message: str, location: Optional[SourceLocation] = None) -> None:
+        self.diagnostics.append(Diagnostic("error", message, location))
+        raise SemanticError(message, location)
+
+    def note(self, message: str, location: Optional[SourceLocation] = None) -> None:
+        self.diagnostics.append(Diagnostic("note", message, location))
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    def clear(self) -> None:
+        self.diagnostics.clear()

@@ -1,0 +1,659 @@
+"""Recursive-descent parser for the C subset used by the loop kernels."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.frontend import ast
+from repro.frontend.ctypes import (
+    ArrayType,
+    CType,
+    INT,
+    PointerType,
+    type_from_specifiers,
+)
+from repro.frontend.errors import ParseError, SourceLocation, SourceSpan
+from repro.frontend.lexer import tokenize
+from repro.frontend.pragmas import LoopPragma, parse_pragma_text
+from repro.frontend.preprocessor import preprocess
+from repro.frontend.tokens import Token, TokenKind
+
+#: Binary operator precedence (larger binds tighter); mirrors C.
+_BINARY_PRECEDENCE: Dict[str, int] = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_ASSIGNMENT_KINDS = {
+    TokenKind.ASSIGN: "=",
+    TokenKind.PLUS_ASSIGN: "+=",
+    TokenKind.MINUS_ASSIGN: "-=",
+    TokenKind.STAR_ASSIGN: "*=",
+    TokenKind.SLASH_ASSIGN: "/=",
+    TokenKind.PERCENT_ASSIGN: "%=",
+    TokenKind.AND_ASSIGN: "&=",
+    TokenKind.OR_ASSIGN: "|=",
+    TokenKind.XOR_ASSIGN: "^=",
+    TokenKind.SHL_ASSIGN: "<<=",
+    TokenKind.SHR_ASSIGN: ">>=",
+}
+
+_TYPE_KEYWORDS = {
+    "void", "char", "short", "int", "long", "float", "double", "signed",
+    "unsigned", "const", "volatile", "static", "extern", "restrict", "inline",
+    "__restrict__",
+}
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.frontend.ast.TranslationUnit`."""
+
+    def __init__(self, tokens: List[Token], filename: str = "<source>"):
+        self.tokens = tokens
+        self.filename = filename
+        self.index = 0
+
+    # -- token stream helpers ----------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _check(self, kind: TokenKind, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def _match(self, kind: TokenKind, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+        if self._check(kind, text):
+            return self._advance()
+        token = self._peek()
+        expected = text if text is not None else kind.value
+        raise ParseError(
+            f"expected {expected!r} but found {token.text!r}", token.location
+        )
+
+    def _span(self, start: SourceLocation) -> SourceSpan:
+        return SourceSpan(start, self._peek().location)
+
+    def _at_type_start(self, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token.kind == TokenKind.KEYWORD and token.text in _TYPE_KEYWORDS
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit(filename=self.filename)
+        while not self._check(TokenKind.EOF):
+            if self._check(TokenKind.PRAGMA):
+                # Stray pragma at file scope: keep going (it binds to nothing).
+                self._advance()
+                continue
+            if self._check(TokenKind.SEMICOLON):
+                self._advance()
+                continue
+            if self._peek().is_keyword("typedef"):
+                self._skip_to_semicolon()
+                continue
+            if self._peek().is_keyword("struct"):
+                self._skip_to_semicolon()
+                continue
+            self._parse_external_declaration(unit)
+        return unit
+
+    def _skip_to_semicolon(self) -> None:
+        depth = 0
+        while not self._check(TokenKind.EOF):
+            token = self._advance()
+            if token.kind == TokenKind.LBRACE:
+                depth += 1
+            elif token.kind == TokenKind.RBRACE:
+                depth -= 1
+            elif token.kind == TokenKind.SEMICOLON and depth <= 0:
+                return
+
+    def _parse_external_declaration(self, unit: ast.TranslationUnit) -> None:
+        start = self._peek().location
+        leading_attributes = self._parse_attributes()
+        base_type, specifiers = self._parse_declaration_specifiers()
+        if base_type is None:
+            raise ParseError(
+                f"expected a declaration but found {self._peek().text!r}",
+                self._peek().location,
+            )
+        attributes = leading_attributes + self._parse_attributes()
+        name_token = self._expect(TokenKind.IDENTIFIER)
+        name = name_token.text
+
+        if self._check(TokenKind.LPAREN):
+            function = self._parse_function_rest(name, base_type, attributes, start)
+            unit.functions.append(function)
+            return
+
+        # One or more global variable declarators.
+        while True:
+            ctype = self._parse_array_suffix(base_type)
+            attributes = attributes + self._parse_attributes()
+            init: Optional[ast.Expr] = None
+            if self._match(TokenKind.ASSIGN):
+                init = self._parse_initializer()
+            decl = ast.VarDecl(
+                span=self._span(start),
+                name=name,
+                ctype=ctype,
+                init=init,
+                attributes=attributes,
+                is_global=True,
+            )
+            unit.globals.append(decl)
+            if self._match(TokenKind.COMMA):
+                name = self._expect(TokenKind.IDENTIFIER).text
+                continue
+            self._expect(TokenKind.SEMICOLON)
+            return
+
+    def _parse_declaration_specifiers(self) -> Tuple[Optional[CType], List[str]]:
+        specifiers: List[str] = []
+        while self._at_type_start():
+            specifiers.append(self._advance().text)
+        pointer_depth = 0
+        while self._check(TokenKind.STAR):
+            self._advance()
+            pointer_depth += 1
+            # Allow qualifiers after '*', e.g. ``int * restrict p``.
+            while self._at_type_start() and self._peek().text in (
+                "const", "volatile", "restrict", "__restrict__"
+            ):
+                self._advance()
+        if not specifiers:
+            return None, specifiers
+        base = type_from_specifiers(specifiers)
+        if base is None:
+            raise ParseError(
+                f"unsupported type specifiers {' '.join(specifiers)!r}",
+                self._peek().location,
+            )
+        ctype: CType = base
+        for _ in range(pointer_depth):
+            ctype = PointerType(ctype)
+        return ctype, specifiers
+
+    def _parse_attributes(self) -> List[str]:
+        attributes: List[str] = []
+        while self._peek().is_keyword("__attribute__"):
+            self._advance()
+            self._expect(TokenKind.LPAREN)
+            self._expect(TokenKind.LPAREN)
+            depth = 2
+            parts: List[str] = []
+            while depth > 0 and not self._check(TokenKind.EOF):
+                token = self._advance()
+                if token.kind == TokenKind.LPAREN:
+                    depth += 1
+                    parts.append(token.text)
+                elif token.kind == TokenKind.RPAREN:
+                    depth -= 1
+                    if depth >= 2:
+                        parts.append(token.text)
+                else:
+                    parts.append(token.text)
+            attributes.append("".join(parts))
+        return attributes
+
+    def _parse_array_suffix(self, base: CType) -> CType:
+        dims: List[Optional[int]] = []
+        while self._check(TokenKind.LBRACKET):
+            self._advance()
+            if self._check(TokenKind.RBRACKET):
+                dims.append(None)
+            else:
+                expr = self._parse_expression()
+                dims.append(_evaluate_constant(expr))
+            self._expect(TokenKind.RBRACKET)
+        if dims:
+            return ArrayType(element=base, dims=tuple(dims))
+        return base
+
+    def _parse_initializer(self) -> ast.Expr:
+        if self._check(TokenKind.LBRACE):
+            start = self._advance().location
+            elements: List[ast.Expr] = []
+            while not self._check(TokenKind.RBRACE):
+                elements.append(self._parse_initializer())
+                if not self._match(TokenKind.COMMA):
+                    break
+            self._expect(TokenKind.RBRACE)
+            return ast.Call(span=self._span(start), callee="__init_list__", args=elements)
+        return self._parse_assignment_expression()
+
+    def _parse_function_rest(
+        self,
+        name: str,
+        return_type: CType,
+        attributes: List[str],
+        start: SourceLocation,
+    ) -> ast.FunctionDecl:
+        self._expect(TokenKind.LPAREN)
+        parameters: List[ast.Parameter] = []
+        if not self._check(TokenKind.RPAREN):
+            if self._peek().is_keyword("void") and self._peek(1).kind == TokenKind.RPAREN:
+                self._advance()
+            else:
+                while True:
+                    parameters.append(self._parse_parameter())
+                    if not self._match(TokenKind.COMMA):
+                        break
+        self._expect(TokenKind.RPAREN)
+        trailing = self._parse_attributes()
+        attributes = attributes + trailing
+        if self._match(TokenKind.SEMICOLON):
+            return ast.FunctionDecl(
+                span=self._span(start),
+                name=name,
+                return_type=return_type,
+                parameters=parameters,
+                body=None,
+                attributes=attributes,
+            )
+        body = self._parse_compound_statement()
+        return ast.FunctionDecl(
+            span=self._span(start),
+            name=name,
+            return_type=return_type,
+            parameters=parameters,
+            body=body,
+            attributes=attributes,
+        )
+
+    def _parse_parameter(self) -> ast.Parameter:
+        start = self._peek().location
+        base_type, _ = self._parse_declaration_specifiers()
+        if base_type is None:
+            raise ParseError("expected parameter type", self._peek().location)
+        name = ""
+        if self._check(TokenKind.IDENTIFIER):
+            name = self._advance().text
+        ctype = self._parse_array_suffix(base_type)
+        return ast.Parameter(span=self._span(start), name=name, ctype=ctype)
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_compound_statement(self) -> ast.CompoundStmt:
+        start = self._expect(TokenKind.LBRACE).location
+        statements: List[ast.Stmt] = []
+        pending_pragma: Optional[LoopPragma] = None
+        while not self._check(TokenKind.RBRACE) and not self._check(TokenKind.EOF):
+            statement = self._parse_statement()
+            if isinstance(statement, ast.PragmaStmt):
+                if statement.pragma is not None:
+                    pending_pragma = (
+                        statement.pragma
+                        if pending_pragma is None
+                        else pending_pragma.merged_with(statement.pragma)
+                    )
+                continue
+            if pending_pragma is not None and isinstance(
+                statement, (ast.ForStmt, ast.WhileStmt)
+            ):
+                existing = statement.pragma
+                statement.pragma = (
+                    pending_pragma
+                    if existing is None
+                    else existing.merged_with(pending_pragma)
+                )
+            pending_pragma = None
+            statements.append(statement)
+        self._expect(TokenKind.RBRACE)
+        return ast.CompoundStmt(span=self._span(start), statements=statements)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.kind == TokenKind.PRAGMA:
+            return self._parse_pragma_statement()
+        if token.kind == TokenKind.LBRACE:
+            return self._parse_compound_statement()
+        if token.kind == TokenKind.SEMICOLON:
+            self._advance()
+            return ast.CompoundStmt(statements=[])
+        if token.kind == TokenKind.KEYWORD:
+            if token.text == "for":
+                return self._parse_for()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "do":
+                return self._parse_do_while()
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "return":
+                return self._parse_return()
+            if token.text == "break":
+                self._advance()
+                self._expect(TokenKind.SEMICOLON)
+                return ast.BreakStmt()
+            if token.text == "continue":
+                self._advance()
+                self._expect(TokenKind.SEMICOLON)
+                return ast.ContinueStmt()
+            if token.text in _TYPE_KEYWORDS:
+                return self._parse_declaration_statement()
+        expr = self._parse_expression()
+        self._expect(TokenKind.SEMICOLON)
+        return ast.ExprStmt(expr=expr)
+
+    def _parse_pragma_statement(self) -> ast.PragmaStmt:
+        token = self._advance()
+        pragma = parse_pragma_text(f"#pragma {token.text}")
+        return ast.PragmaStmt(pragma=pragma, raw_text=token.text)
+
+    def _parse_declaration_statement(self) -> ast.DeclStmt:
+        start = self._peek().location
+        base_type, _ = self._parse_declaration_specifiers()
+        if base_type is None:
+            raise ParseError("expected declaration", self._peek().location)
+        declarations: List[ast.VarDecl] = []
+        while True:
+            attributes = self._parse_attributes()
+            name = self._expect(TokenKind.IDENTIFIER).text
+            ctype = self._parse_array_suffix(base_type)
+            attributes += self._parse_attributes()
+            init: Optional[ast.Expr] = None
+            if self._match(TokenKind.ASSIGN):
+                init = self._parse_initializer()
+            declarations.append(
+                ast.VarDecl(
+                    span=self._span(start),
+                    name=name,
+                    ctype=ctype,
+                    init=init,
+                    attributes=attributes,
+                )
+            )
+            if not self._match(TokenKind.COMMA):
+                break
+        self._expect(TokenKind.SEMICOLON)
+        return ast.DeclStmt(span=self._span(start), declarations=declarations)
+
+    def _parse_for(self) -> ast.ForStmt:
+        start = self._expect(TokenKind.KEYWORD, "for").location
+        self._expect(TokenKind.LPAREN)
+        init: Optional[ast.Stmt] = None
+        if not self._check(TokenKind.SEMICOLON):
+            if self._at_type_start():
+                init = self._parse_declaration_statement()
+            else:
+                expr = self._parse_expression()
+                self._expect(TokenKind.SEMICOLON)
+                init = ast.ExprStmt(expr=expr)
+        else:
+            self._advance()
+        condition: Optional[ast.Expr] = None
+        if not self._check(TokenKind.SEMICOLON):
+            condition = self._parse_expression()
+        self._expect(TokenKind.SEMICOLON)
+        increment: Optional[ast.Expr] = None
+        if not self._check(TokenKind.RPAREN):
+            increment = self._parse_expression()
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_loop_body()
+        return ast.ForStmt(
+            span=self._span(start),
+            init=init,
+            condition=condition,
+            increment=increment,
+            body=body,
+        )
+
+    def _parse_loop_body(self) -> ast.Stmt:
+        """Parse a loop body, attaching pragmas that appear directly inside a
+        brace-less body position (the dataset puts pragmas before inner loops)."""
+        if self._check(TokenKind.PRAGMA):
+            pragma_stmt = self._parse_pragma_statement()
+            body = self._parse_statement()
+            if isinstance(body, (ast.ForStmt, ast.WhileStmt)) and pragma_stmt.pragma:
+                body.pragma = (
+                    pragma_stmt.pragma
+                    if body.pragma is None
+                    else body.pragma.merged_with(pragma_stmt.pragma)
+                )
+            return body
+        return self._parse_statement()
+
+    def _parse_while(self) -> ast.WhileStmt:
+        start = self._expect(TokenKind.KEYWORD, "while").location
+        self._expect(TokenKind.LPAREN)
+        condition = self._parse_expression()
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_loop_body()
+        return ast.WhileStmt(span=self._span(start), condition=condition, body=body)
+
+    def _parse_do_while(self) -> ast.DoWhileStmt:
+        start = self._expect(TokenKind.KEYWORD, "do").location
+        body = self._parse_statement()
+        self._expect(TokenKind.KEYWORD, "while")
+        self._expect(TokenKind.LPAREN)
+        condition = self._parse_expression()
+        self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.SEMICOLON)
+        return ast.DoWhileStmt(span=self._span(start), body=body, condition=condition)
+
+    def _parse_if(self) -> ast.IfStmt:
+        start = self._expect(TokenKind.KEYWORD, "if").location
+        self._expect(TokenKind.LPAREN)
+        condition = self._parse_expression()
+        self._expect(TokenKind.RPAREN)
+        then_branch = self._parse_statement()
+        else_branch: Optional[ast.Stmt] = None
+        if self._peek().is_keyword("else"):
+            self._advance()
+            else_branch = self._parse_statement()
+        return ast.IfStmt(
+            span=self._span(start),
+            condition=condition,
+            then_branch=then_branch,
+            else_branch=else_branch,
+        )
+
+    def _parse_return(self) -> ast.ReturnStmt:
+        start = self._expect(TokenKind.KEYWORD, "return").location
+        value: Optional[ast.Expr] = None
+        if not self._check(TokenKind.SEMICOLON):
+            value = self._parse_expression()
+        self._expect(TokenKind.SEMICOLON)
+        return ast.ReturnStmt(span=self._span(start), value=value)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        expr = self._parse_assignment_expression()
+        while self._check(TokenKind.COMMA):
+            self._advance()
+            right = self._parse_assignment_expression()
+            expr = ast.BinaryOp(op=",", left=expr, right=right)
+        return expr
+
+    def _parse_assignment_expression(self) -> ast.Expr:
+        left = self._parse_ternary()
+        kind = self._peek().kind
+        if kind in _ASSIGNMENT_KINDS:
+            op = _ASSIGNMENT_KINDS[kind]
+            self._advance()
+            value = self._parse_assignment_expression()
+            return ast.Assignment(op=op, target=left, value=value)
+        return left
+
+    def _parse_ternary(self) -> ast.Expr:
+        condition = self._parse_binary(0)
+        if self._match(TokenKind.QUESTION):
+            then_value = self._parse_assignment_expression()
+            self._expect(TokenKind.COLON)
+            else_value = self._parse_assignment_expression()
+            return ast.TernaryOp(
+                condition=condition, then_value=then_value, else_value=else_value
+            )
+        return condition
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            precedence = _BINARY_PRECEDENCE.get(token.text)
+            if (
+                precedence is None
+                or precedence < min_precedence
+                or token.kind
+                in (TokenKind.IDENTIFIER, TokenKind.KEYWORD, TokenKind.INT_LITERAL)
+            ):
+                return left
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.BinaryOp(op=token.text, left=left, right=right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind in (TokenKind.PLUS, TokenKind.MINUS, TokenKind.BANG,
+                          TokenKind.TILDE, TokenKind.STAR, TokenKind.AMP):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(op=token.text, operand=operand)
+        if token.kind in (TokenKind.INCREMENT, TokenKind.DECREMENT):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(op=token.text, operand=operand, is_postfix=False)
+        if token.is_keyword("sizeof"):
+            self._advance()
+            if self._check(TokenKind.LPAREN) and self._at_type_start(1):
+                self._advance()
+                ctype, _ = self._parse_declaration_specifiers()
+                ctype = self._parse_array_suffix(ctype or INT)
+                self._expect(TokenKind.RPAREN)
+                return ast.SizeOf(target_type=ctype)
+            operand = self._parse_unary()
+            return ast.SizeOf(operand=operand)
+        if token.kind == TokenKind.LPAREN and self._at_type_start(1):
+            # Cast expression: "(" type ")" unary
+            self._advance()
+            ctype, _ = self._parse_declaration_specifiers()
+            self._expect(TokenKind.RPAREN)
+            operand = self._parse_unary()
+            return ast.Cast(target_type=ctype, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.kind == TokenKind.LBRACKET:
+                self._advance()
+                index = self._parse_expression()
+                self._expect(TokenKind.RBRACKET)
+                expr = ast.ArraySubscript(base=expr, index=index)
+            elif token.kind == TokenKind.LPAREN and isinstance(expr, ast.Identifier):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._check(TokenKind.RPAREN):
+                    while True:
+                        args.append(self._parse_assignment_expression())
+                        if not self._match(TokenKind.COMMA):
+                            break
+                self._expect(TokenKind.RPAREN)
+                expr = ast.Call(callee=expr.name, args=args)
+            elif token.kind in (TokenKind.INCREMENT, TokenKind.DECREMENT):
+                self._advance()
+                expr = ast.UnaryOp(op=token.text, operand=expr, is_postfix=True)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == TokenKind.INT_LITERAL:
+            self._advance()
+            return ast.IntLiteral(value=int(token.value))
+        if token.kind == TokenKind.FLOAT_LITERAL:
+            self._advance()
+            return ast.FloatLiteral(value=float(token.value))
+        if token.kind == TokenKind.CHAR_LITERAL:
+            self._advance()
+            return ast.CharLiteral(value=int(token.value))
+        if token.kind == TokenKind.STRING_LITERAL:
+            self._advance()
+            return ast.StringLiteral(value=str(token.value))
+        if token.kind == TokenKind.IDENTIFIER:
+            self._advance()
+            return ast.Identifier(name=token.text)
+        if token.kind == TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_expression()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.location)
+
+
+def _evaluate_constant(expr: ast.Expr) -> Optional[int]:
+    """Best-effort constant folding of array dimension expressions."""
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        inner = _evaluate_constant(expr.operand)
+        return -inner if inner is not None else None
+    if isinstance(expr, ast.BinaryOp):
+        left = _evaluate_constant(expr.left)
+        right = _evaluate_constant(expr.right)
+        if left is None or right is None:
+            return None
+        try:
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "/":
+                return left // right if right != 0 else None
+            if expr.op == "%":
+                return left % right if right != 0 else None
+            if expr.op == "<<":
+                return left << right
+            if expr.op == ">>":
+                return left >> right
+        except (ValueError, OverflowError):
+            return None
+    return None
+
+
+def parse_source(
+    source: str,
+    filename: str = "<source>",
+    defines: Optional[Dict[str, str]] = None,
+) -> ast.TranslationUnit:
+    """Preprocess, tokenize and parse C source text into an AST."""
+    text, _ = preprocess(source, filename, defines)
+    tokens = tokenize(text, filename)
+    return Parser(tokens, filename).parse_translation_unit()

@@ -1,0 +1,119 @@
+"""Parsing and formatting of ``#pragma clang loop`` vectorization hints.
+
+The RL agent realises its actions by injecting pragmas of the form::
+
+    #pragma clang loop vectorize_width(VF) interleave_count(IF)
+
+immediately before the loop it wants to influence (Figure 4 of the paper).
+This module is the single source of truth for reading and writing that
+syntax, both in raw source text (for the pragma injector) and in the token
+stream (for the parser).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+
+#: Matches the clause list of a clang loop pragma.
+_CLAUSE_RE = re.compile(r"([a-zA-Z_]+)\s*\(\s*([a-zA-Z0-9_]+)\s*\)")
+_PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+clang\s+loop\b(.*)$")
+
+
+@dataclass(frozen=True)
+class LoopPragma:
+    """A ``#pragma clang loop`` directive relevant to vectorization.
+
+    Attributes mirror clang's clauses:
+
+    * ``vectorize_width`` — the requested VF (``None`` if absent).
+    * ``interleave_count`` — the requested IF (``None`` if absent).
+    * ``vectorize_enable`` — explicit enable/disable (``None`` if absent).
+    """
+
+    vectorize_width: Optional[int] = None
+    interleave_count: Optional[int] = None
+    vectorize_enable: Optional[bool] = None
+
+    @property
+    def is_empty(self) -> bool:
+        return (
+            self.vectorize_width is None
+            and self.interleave_count is None
+            and self.vectorize_enable is None
+        )
+
+    def merged_with(self, other: "LoopPragma") -> "LoopPragma":
+        """Combine two pragmas attached to the same loop; ``other`` wins."""
+        return LoopPragma(
+            vectorize_width=(
+                other.vectorize_width
+                if other.vectorize_width is not None
+                else self.vectorize_width
+            ),
+            interleave_count=(
+                other.interleave_count
+                if other.interleave_count is not None
+                else self.interleave_count
+            ),
+            vectorize_enable=(
+                other.vectorize_enable
+                if other.vectorize_enable is not None
+                else self.vectorize_enable
+            ),
+        )
+
+    def __str__(self) -> str:
+        return format_pragma(self)
+
+
+def format_pragma(pragma: LoopPragma) -> str:
+    """Render a :class:`LoopPragma` back to clang pragma syntax."""
+    clauses = []
+    if pragma.vectorize_enable is not None:
+        clauses.append(
+            f"vectorize(enable)" if pragma.vectorize_enable else "vectorize(disable)"
+        )
+    if pragma.vectorize_width is not None:
+        clauses.append(f"vectorize_width({pragma.vectorize_width})")
+    if pragma.interleave_count is not None:
+        clauses.append(f"interleave_count({pragma.interleave_count})")
+    body = " ".join(clauses)
+    return f"#pragma clang loop {body}".rstrip()
+
+
+def parse_pragma_text(text: str) -> Optional[LoopPragma]:
+    """Parse one source line; return a :class:`LoopPragma` or ``None``.
+
+    Lines that are pragmas but not ``clang loop`` pragmas (e.g. ``#pragma
+    omp``) return ``None`` — the caller is expected to ignore them, exactly
+    as the paper's framework only manipulates clang loop hints.
+    """
+    match = _PRAGMA_RE.match(text)
+    if match is None:
+        return None
+    clause_text = match.group(1)
+    vectorize_width: Optional[int] = None
+    interleave_count: Optional[int] = None
+    vectorize_enable: Optional[bool] = None
+    for name, argument in _CLAUSE_RE.findall(clause_text):
+        if name == "vectorize_width":
+            vectorize_width = _parse_positive_int(argument)
+        elif name == "interleave_count":
+            interleave_count = _parse_positive_int(argument)
+        elif name == "vectorize":
+            vectorize_enable = argument.lower() == "enable"
+        elif name == "unroll_count":
+            # Accepted but ignored; the framework never injects unroll hints.
+            continue
+    return LoopPragma(vectorize_width, interleave_count, vectorize_enable)
+
+
+def _parse_positive_int(text: str) -> Optional[int]:
+    try:
+        value = int(text, 0)
+    except ValueError:
+        return None
+    return value if value > 0 else None

@@ -1,0 +1,175 @@
+"""A minimal C preprocessor.
+
+The loop kernels in the dataset only use a handful of preprocessor features:
+object-like ``#define`` macros for loop bounds (``#define N 1024``), comments,
+``#include`` of standard headers (which we ignore), and ``#pragma clang
+loop`` hints.  The preprocessor strips comments, expands object-like macros,
+removes includes, and replaces pragma lines with a marker token the lexer
+turns into a ``PRAGMA`` token so that pragmas survive to the parser attached
+to the right loop.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.frontend.errors import CompileError, SourceLocation
+
+#: Sentinel embedded into preprocessed text so the lexer can recover pragmas.
+PRAGMA_MARKER = "__REPRO_PRAGMA__"
+
+_DEFINE_RE = re.compile(r"^\s*#\s*define\s+([A-Za-z_][A-Za-z0-9_]*)\s*(.*)$")
+_UNDEF_RE = re.compile(r"^\s*#\s*undef\s+([A-Za-z_][A-Za-z0-9_]*)\s*$")
+_INCLUDE_RE = re.compile(r"^\s*#\s*include\b")
+_PRAGMA_RE = re.compile(r"^\s*#\s*pragma\b(.*)$")
+_IFDEF_RE = re.compile(r"^\s*#\s*(ifdef|ifndef|if|else|elif|endif)\b")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+@dataclass
+class MacroDefinition:
+    """An object-like macro: a name bound to replacement text."""
+
+    name: str
+    replacement: str
+    location: SourceLocation
+
+
+@dataclass
+class Preprocessor:
+    """Expands macros and strips comments/includes from C source text.
+
+    Function-like macros and conditional compilation are not needed by the
+    kernel dataset; ``#if``/``#ifdef`` blocks are kept unconditionally (the
+    kernels never rely on excluding code) and a warning is recorded.
+    """
+
+    predefined: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.macros: Dict[str, MacroDefinition] = {}
+        self.warnings: List[str] = []
+        for name, replacement in self.predefined.items():
+            self.macros[name] = MacroDefinition(
+                name, str(replacement), SourceLocation(0, 0, "<predefined>")
+            )
+
+    def process(self, source: str, filename: str = "<source>") -> str:
+        """Return preprocessed source with the same number of lines."""
+        without_comments = strip_comments(source)
+        output_lines: List[str] = []
+        for line_number, line in enumerate(without_comments.split("\n"), start=1):
+            location = SourceLocation(line_number, 1, filename)
+            output_lines.append(self._process_line(line, location))
+        return "\n".join(output_lines)
+
+    def _process_line(self, line: str, location: SourceLocation) -> str:
+        define = _DEFINE_RE.match(line)
+        if define is not None:
+            name, replacement = define.group(1), define.group(2).strip()
+            if "(" in name:
+                self.warnings.append(
+                    f"{location}: function-like macro {name!r} ignored"
+                )
+                return ""
+            self.macros[name] = MacroDefinition(name, replacement, location)
+            return ""
+        undef = _UNDEF_RE.match(line)
+        if undef is not None:
+            self.macros.pop(undef.group(1), None)
+            return ""
+        if _INCLUDE_RE.match(line):
+            return ""
+        pragma = _PRAGMA_RE.match(line)
+        if pragma is not None:
+            body = self._expand(pragma.group(1).strip())
+            return f'{PRAGMA_MARKER}("{body}");'
+        if _IFDEF_RE.match(line):
+            self.warnings.append(
+                f"{location}: conditional compilation directive kept as-is"
+            )
+            return ""
+        return self._expand(line)
+
+    def _expand(self, line: str, depth: int = 0) -> str:
+        """Expand object-like macros in ``line`` (recursively, bounded)."""
+        if depth > 16:
+            raise CompileError("macro expansion too deep (recursive #define?)")
+        if not self.macros:
+            return line
+
+        def replace(match: "re.Match[str]") -> str:
+            name = match.group(0)
+            macro = self.macros.get(name)
+            return macro.replacement if macro is not None else name
+
+        expanded = _IDENT_RE.sub(replace, line)
+        if expanded != line:
+            return self._expand(expanded, depth + 1)
+        return expanded
+
+
+def strip_comments(source: str) -> str:
+    """Remove ``//`` and ``/* */`` comments, preserving line structure."""
+    result: List[str] = []
+    i = 0
+    length = len(source)
+    in_block = False
+    in_line = False
+    in_string: Optional[str] = None
+    while i < length:
+        ch = source[i]
+        nxt = source[i + 1] if i + 1 < length else ""
+        if in_line:
+            if ch == "\n":
+                in_line = False
+                result.append(ch)
+            i += 1
+            continue
+        if in_block:
+            if ch == "*" and nxt == "/":
+                in_block = False
+                i += 2
+                continue
+            if ch == "\n":
+                result.append(ch)
+            i += 1
+            continue
+        if in_string is not None:
+            result.append(ch)
+            if ch == "\\" and nxt:
+                result.append(nxt)
+                i += 2
+                continue
+            if ch == in_string:
+                in_string = None
+            i += 1
+            continue
+        if ch in "\"'":
+            in_string = ch
+            result.append(ch)
+            i += 1
+            continue
+        if ch == "/" and nxt == "/":
+            in_line = True
+            i += 2
+            continue
+        if ch == "/" and nxt == "*":
+            in_block = True
+            i += 2
+            continue
+        result.append(ch)
+        i += 1
+    return "".join(result)
+
+
+def preprocess(
+    source: str,
+    filename: str = "<source>",
+    defines: Optional[Dict[str, str]] = None,
+) -> Tuple[str, Preprocessor]:
+    """Convenience wrapper: preprocess ``source`` and return (text, engine)."""
+    engine = Preprocessor(predefined=dict(defines or {}))
+    return engine.process(source, filename), engine

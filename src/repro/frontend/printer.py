@@ -1,0 +1,230 @@
+"""Pretty-printer that turns the AST back into compilable C text.
+
+Round-tripping is used by the pragma injector (to emit the kernel with the
+agent's chosen hints), by the examples (to show the transformed code), and by
+tests that check parse/print/parse stability.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend import ast
+from repro.frontend.ctypes import ArrayType, CType, PointerType
+from repro.frontend.pragmas import format_pragma
+
+
+class CPrinter:
+    """Renders AST nodes as C source text with a configurable indent."""
+
+    def __init__(self, indent: str = "    "):
+        self.indent = indent
+
+    # -- public API ----------------------------------------------------------
+
+    def print_unit(self, unit: ast.TranslationUnit) -> str:
+        parts: List[str] = []
+        for decl in unit.globals:
+            parts.append(self.print_global(decl))
+        if unit.globals and unit.functions:
+            parts.append("")
+        for index, function in enumerate(unit.functions):
+            if index:
+                parts.append("")
+            parts.append(self.print_function(function))
+        return "\n".join(parts) + "\n"
+
+    def print_global(self, decl: ast.VarDecl) -> str:
+        text = self._declarator(decl.ctype, decl.name)
+        for attribute in decl.attributes:
+            text += f" __attribute__(({attribute}))"
+        if decl.init is not None:
+            text += f" = {self.print_expr(decl.init)}"
+        return text + ";"
+
+    def print_function(self, function: ast.FunctionDecl) -> str:
+        lines: List[str] = []
+        for attribute in function.attributes:
+            lines.append(f"__attribute__(({attribute}))")
+        params = ", ".join(
+            self._declarator(param.ctype, param.name) for param in function.parameters
+        )
+        header = f"{function.return_type} {function.name}({params or ''})"
+        if function.body is None:
+            return "\n".join(lines + [header + ";"])
+        lines.append(header + " {")
+        lines.extend(self._print_block_body(function.body, 1))
+        lines.append("}")
+        return "\n".join(lines)
+
+    def print_stmt(self, stmt: ast.Stmt, level: int = 0) -> str:
+        return "\n".join(self._stmt_lines(stmt, level))
+
+    def print_expr(self, expr: ast.Expr) -> str:
+        return self._expr(expr)
+
+    # -- statements ----------------------------------------------------------
+
+    def _print_block_body(self, block: ast.CompoundStmt, level: int) -> List[str]:
+        lines: List[str] = []
+        for stmt in block.statements:
+            lines.extend(self._stmt_lines(stmt, level))
+        return lines
+
+    def _stmt_lines(self, stmt: ast.Stmt, level: int) -> List[str]:
+        pad = self.indent * level
+        if isinstance(stmt, ast.CompoundStmt):
+            lines = [pad + "{"]
+            lines.extend(self._print_block_body(stmt, level + 1))
+            lines.append(pad + "}")
+            return lines
+        if isinstance(stmt, ast.DeclStmt):
+            rendered = []
+            for decl in stmt.declarations:
+                text = self._declarator(decl.ctype, decl.name)
+                if decl.init is not None:
+                    text += f" = {self._expr(decl.init)}"
+                rendered.append(pad + text + ";")
+            return rendered
+        if isinstance(stmt, ast.ExprStmt):
+            return [pad + self._expr(stmt.expr) + ";"]
+        if isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                return [pad + "return;"]
+            return [pad + f"return {self._expr(stmt.value)};"]
+        if isinstance(stmt, ast.BreakStmt):
+            return [pad + "break;"]
+        if isinstance(stmt, ast.ContinueStmt):
+            return [pad + "continue;"]
+        if isinstance(stmt, ast.PragmaStmt):
+            return [pad + (format_pragma(stmt.pragma) if stmt.pragma else f"#pragma {stmt.raw_text}")]
+        if isinstance(stmt, ast.ForStmt):
+            return self._for_lines(stmt, level)
+        if isinstance(stmt, ast.WhileStmt):
+            lines = []
+            if stmt.pragma is not None and not stmt.pragma.is_empty:
+                lines.append(pad + format_pragma(stmt.pragma))
+            lines.append(pad + f"while ({self._expr(stmt.condition)}) {{")
+            lines.extend(self._body_lines(stmt.body, level + 1))
+            lines.append(pad + "}")
+            return lines
+        if isinstance(stmt, ast.DoWhileStmt):
+            lines = [pad + "do {"]
+            lines.extend(self._body_lines(stmt.body, level + 1))
+            lines.append(pad + f"}} while ({self._expr(stmt.condition)});")
+            return lines
+        if isinstance(stmt, ast.IfStmt):
+            lines = [pad + f"if ({self._expr(stmt.condition)}) {{"]
+            lines.extend(self._body_lines(stmt.then_branch, level + 1))
+            if stmt.else_branch is not None:
+                lines.append(pad + "} else {")
+                lines.extend(self._body_lines(stmt.else_branch, level + 1))
+            lines.append(pad + "}")
+            return lines
+        raise TypeError(f"cannot print statement of type {type(stmt).__name__}")
+
+    def _for_lines(self, stmt: ast.ForStmt, level: int) -> List[str]:
+        pad = self.indent * level
+        lines: List[str] = []
+        if stmt.pragma is not None and not stmt.pragma.is_empty:
+            lines.append(pad + format_pragma(stmt.pragma))
+        init = self._for_init(stmt.init)
+        condition = self._expr(stmt.condition) if stmt.condition is not None else ""
+        increment = self._expr(stmt.increment) if stmt.increment is not None else ""
+        lines.append(pad + f"for ({init}; {condition}; {increment}) {{")
+        lines.extend(self._body_lines(stmt.body, level + 1))
+        lines.append(pad + "}")
+        return lines
+
+    def _for_init(self, init: Optional[ast.Stmt]) -> str:
+        if init is None:
+            return ""
+        if isinstance(init, ast.ExprStmt):
+            return self._expr(init.expr)
+        if isinstance(init, ast.DeclStmt):
+            rendered = []
+            for decl in init.declarations:
+                text = self._declarator(decl.ctype, decl.name)
+                if decl.init is not None:
+                    text += f" = {self._expr(decl.init)}"
+                rendered.append(text)
+            return ", ".join(rendered)
+        return ""
+
+    def _body_lines(self, body: Optional[ast.Stmt], level: int) -> List[str]:
+        if body is None:
+            return []
+        if isinstance(body, ast.CompoundStmt):
+            return self._print_block_body(body, level)
+        return self._stmt_lines(body, level)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _expr(self, expr: Optional[ast.Expr]) -> str:
+        if expr is None:
+            return ""
+        if isinstance(expr, ast.IntLiteral):
+            return str(expr.value)
+        if isinstance(expr, ast.FloatLiteral):
+            text = repr(expr.value)
+            return text
+        if isinstance(expr, ast.CharLiteral):
+            return f"'{chr(expr.value)}'" if 32 <= expr.value < 127 else str(expr.value)
+        if isinstance(expr, ast.StringLiteral):
+            return '"' + expr.value.replace('"', '\\"') + '"'
+        if isinstance(expr, ast.Identifier):
+            return expr.name
+        if isinstance(expr, ast.ArraySubscript):
+            return f"{self._expr(expr.base)}[{self._expr(expr.index)}]"
+        if isinstance(expr, ast.UnaryOp):
+            if expr.is_postfix:
+                return f"{self._expr(expr.operand)}{expr.op}"
+            return f"{expr.op}({self._expr(expr.operand)})" if expr.op in ("-", "!", "~", "*", "&") and isinstance(expr.operand, ast.BinaryOp) else f"{expr.op}{self._expr(expr.operand)}"
+        if isinstance(expr, ast.BinaryOp):
+            return f"({self._expr(expr.left)} {expr.op} {self._expr(expr.right)})"
+        if isinstance(expr, ast.Assignment):
+            return f"{self._expr(expr.target)} {expr.op} {self._expr(expr.value)}"
+        if isinstance(expr, ast.TernaryOp):
+            return (
+                f"({self._expr(expr.condition)} ? "
+                f"{self._expr(expr.then_value)} : {self._expr(expr.else_value)})"
+            )
+        if isinstance(expr, ast.Cast):
+            return f"({expr.target_type}) {self._expr(expr.operand)}"
+        if isinstance(expr, ast.Call):
+            if expr.callee == "__init_list__":
+                return "{" + ", ".join(self._expr(a) for a in expr.args) + "}"
+            args = ", ".join(self._expr(argument) for argument in expr.args)
+            return f"{expr.callee}({args})"
+        if isinstance(expr, ast.SizeOf):
+            if expr.target_type is not None:
+                return f"sizeof({expr.target_type})"
+            return f"sizeof({self._expr(expr.operand)})"
+        raise TypeError(f"cannot print expression of type {type(expr).__name__}")
+
+    # -- declarators -----------------------------------------------------------
+
+    def _declarator(self, ctype: Optional[CType], name: str) -> str:
+        if ctype is None:
+            return f"int {name}"
+        if isinstance(ctype, ArrayType):
+            dims = "".join(f"[{d if d is not None else ''}]" for d in ctype.dims)
+            return f"{ctype.element} {name}{dims}"
+        if isinstance(ctype, PointerType):
+            return f"{ctype.pointee} *{name}"
+        return f"{ctype} {name}"
+
+
+def print_unit(unit: ast.TranslationUnit) -> str:
+    """Render a translation unit to C source text."""
+    return CPrinter().print_unit(unit)
+
+
+def print_stmt(stmt: ast.Stmt) -> str:
+    """Render a single statement (e.g. a loop) to C source text."""
+    return CPrinter().print_stmt(stmt)
+
+
+def print_expr(expr: ast.Expr) -> str:
+    """Render a single expression to C source text."""
+    return CPrinter().print_expr(expr)

@@ -1,0 +1,304 @@
+"""Semantic analysis: symbol resolution and expression type annotation.
+
+The analysis is deliberately permissive — the loop kernels in the dataset are
+frequently fragments whose arrays and bounds are declared elsewhere, so an
+unknown identifier is assumed to be an ``int`` scalar (and a warning is
+recorded) rather than rejected.  What the rest of the pipeline needs from
+sema is:
+
+* a symbol table mapping names to declared types (arrays with shapes),
+* ``ctype`` annotations on expressions (element widths drive both legality
+  and the cost model),
+* detection of obviously malformed programs (assigning to a literal, calling
+  an array, subscripting a scalar).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.frontend import ast
+from repro.frontend.ctypes import (
+    ArrayType,
+    CType,
+    DOUBLE,
+    FLOAT,
+    INT,
+    IntType,
+    PointerType,
+    common_type,
+)
+from repro.frontend.errors import DiagnosticEngine, SemanticError
+
+
+@dataclass
+class Symbol:
+    """A named entity visible to the program: variable, parameter or array."""
+
+    name: str
+    ctype: CType
+    is_global: bool = False
+    is_parameter: bool = False
+    alignment: Optional[int] = None
+    declaration: Optional[ast.Node] = None
+
+
+@dataclass
+class Scope:
+    """One lexical scope in the symbol table chain."""
+
+    parent: Optional["Scope"] = None
+    symbols: Dict[str, Symbol] = field(default_factory=dict)
+
+    def define(self, symbol: Symbol) -> None:
+        self.symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+@dataclass
+class SemanticInfo:
+    """Result of analysing one translation unit."""
+
+    unit: ast.TranslationUnit
+    globals: Dict[str, Symbol] = field(default_factory=dict)
+    function_symbols: Dict[str, Dict[str, Symbol]] = field(default_factory=dict)
+    diagnostics: DiagnosticEngine = field(default_factory=DiagnosticEngine)
+
+    def symbol_for(self, function_name: str, variable: str) -> Optional[Symbol]:
+        table = self.function_symbols.get(function_name, {})
+        if variable in table:
+            return table[variable]
+        return self.globals.get(variable)
+
+
+class SemanticAnalyzer:
+    """Walks the AST, building symbol tables and annotating expression types."""
+
+    def __init__(self, permissive: bool = True):
+        self.permissive = permissive
+        self.diagnostics = DiagnosticEngine()
+
+    def analyze(self, unit: ast.TranslationUnit) -> SemanticInfo:
+        info = SemanticInfo(unit=unit, diagnostics=self.diagnostics)
+        global_scope = Scope()
+        for decl in unit.globals:
+            symbol = Symbol(
+                name=decl.name,
+                ctype=decl.ctype or INT,
+                is_global=True,
+                alignment=decl.alignment,
+                declaration=decl,
+            )
+            global_scope.define(symbol)
+            info.globals[decl.name] = symbol
+            if decl.init is not None:
+                self._visit_expr(decl.init, global_scope)
+        for function in unit.functions:
+            info.function_symbols[function.name] = self._analyze_function(
+                function, global_scope
+            )
+        return info
+
+    # -- functions -------------------------------------------------------------
+
+    def _analyze_function(
+        self, function: ast.FunctionDecl, global_scope: Scope
+    ) -> Dict[str, Symbol]:
+        scope = Scope(parent=global_scope)
+        collected: Dict[str, Symbol] = {}
+        for parameter in function.parameters:
+            if not parameter.name:
+                continue
+            symbol = Symbol(
+                name=parameter.name,
+                ctype=parameter.ctype or INT,
+                is_parameter=True,
+                declaration=parameter,
+            )
+            scope.define(symbol)
+            collected[parameter.name] = symbol
+        if function.body is not None:
+            self._visit_stmt(function.body, scope, collected)
+        return collected
+
+    # -- statements --------------------------------------------------------------
+
+    def _visit_stmt(
+        self, stmt: ast.Stmt, scope: Scope, collected: Dict[str, Symbol]
+    ) -> None:
+        if isinstance(stmt, ast.CompoundStmt):
+            inner = Scope(parent=scope)
+            for child in stmt.statements:
+                self._visit_stmt(child, inner, collected)
+            return
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.declarations:
+                if decl.init is not None:
+                    self._visit_expr(decl.init, scope)
+                symbol = Symbol(
+                    name=decl.name,
+                    ctype=decl.ctype or INT,
+                    alignment=decl.alignment,
+                    declaration=decl,
+                )
+                scope.define(symbol)
+                collected.setdefault(decl.name, symbol)
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._visit_expr(stmt.expr, scope)
+            return
+        if isinstance(stmt, ast.ForStmt):
+            loop_scope = Scope(parent=scope)
+            if stmt.init is not None:
+                self._visit_stmt(stmt.init, loop_scope, collected)
+            if stmt.condition is not None:
+                self._visit_expr(stmt.condition, loop_scope)
+            if stmt.increment is not None:
+                self._visit_expr(stmt.increment, loop_scope)
+            if stmt.body is not None:
+                self._visit_stmt(stmt.body, loop_scope, collected)
+            return
+        if isinstance(stmt, ast.WhileStmt):
+            if stmt.condition is not None:
+                self._visit_expr(stmt.condition, scope)
+            if stmt.body is not None:
+                self._visit_stmt(stmt.body, scope, collected)
+            return
+        if isinstance(stmt, ast.DoWhileStmt):
+            if stmt.body is not None:
+                self._visit_stmt(stmt.body, scope, collected)
+            if stmt.condition is not None:
+                self._visit_expr(stmt.condition, scope)
+            return
+        if isinstance(stmt, ast.IfStmt):
+            self._visit_expr(stmt.condition, scope)
+            if stmt.then_branch is not None:
+                self._visit_stmt(stmt.then_branch, scope, collected)
+            if stmt.else_branch is not None:
+                self._visit_stmt(stmt.else_branch, scope, collected)
+            return
+        if isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self._visit_expr(stmt.value, scope)
+            return
+        # Break, Continue, Pragma: nothing to do.
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _visit_expr(self, expr: Optional[ast.Expr], scope: Scope) -> CType:
+        if expr is None:
+            return INT
+        if isinstance(expr, ast.IntLiteral):
+            expr.ctype = INT
+        elif isinstance(expr, ast.FloatLiteral):
+            expr.ctype = DOUBLE
+        elif isinstance(expr, ast.CharLiteral):
+            expr.ctype = IntType(8, True)
+        elif isinstance(expr, ast.StringLiteral):
+            expr.ctype = PointerType(IntType(8, True))
+        elif isinstance(expr, ast.Identifier):
+            symbol = scope.lookup(expr.name)
+            if symbol is None:
+                if not self.permissive:
+                    raise SemanticError(f"use of undeclared identifier {expr.name!r}")
+                self.diagnostics.warn(
+                    f"identifier {expr.name!r} is not declared; assuming int"
+                )
+                expr.ctype = INT
+            else:
+                expr.ctype = symbol.ctype
+        elif isinstance(expr, ast.ArraySubscript):
+            base_type = self._visit_expr(expr.base, scope)
+            self._visit_expr(expr.index, scope)
+            expr.ctype = _element_type_after_subscript(base_type, self.diagnostics,
+                                                       self.permissive)
+        elif isinstance(expr, ast.UnaryOp):
+            operand_type = self._visit_expr(expr.operand, scope)
+            if expr.op == "!":
+                expr.ctype = INT
+            elif expr.op == "*" and isinstance(operand_type, (PointerType, ArrayType)):
+                expr.ctype = (
+                    operand_type.pointee
+                    if isinstance(operand_type, PointerType)
+                    else operand_type.element
+                )
+            elif expr.op == "&":
+                expr.ctype = PointerType(operand_type)
+            else:
+                expr.ctype = operand_type
+        elif isinstance(expr, ast.BinaryOp):
+            left = self._visit_expr(expr.left, scope)
+            right = self._visit_expr(expr.right, scope)
+            if expr.op in ("==", "!=", "<", ">", "<=", ">=", "&&", "||"):
+                expr.ctype = INT
+            else:
+                expr.ctype = common_type(left, right)
+        elif isinstance(expr, ast.Assignment):
+            target_type = self._visit_expr(expr.target, scope)
+            self._visit_expr(expr.value, scope)
+            if isinstance(expr.target, (ast.IntLiteral, ast.FloatLiteral)):
+                raise SemanticError("cannot assign to a literal")
+            expr.ctype = target_type
+        elif isinstance(expr, ast.TernaryOp):
+            self._visit_expr(expr.condition, scope)
+            then_type = self._visit_expr(expr.then_value, scope)
+            else_type = self._visit_expr(expr.else_value, scope)
+            expr.ctype = common_type(then_type, else_type)
+        elif isinstance(expr, ast.Cast):
+            self._visit_expr(expr.operand, scope)
+            expr.ctype = expr.target_type or INT
+        elif isinstance(expr, ast.Call):
+            for argument in expr.args:
+                self._visit_expr(argument, scope)
+            expr.ctype = _call_return_type(expr.callee)
+        elif isinstance(expr, ast.SizeOf):
+            if expr.operand is not None:
+                self._visit_expr(expr.operand, scope)
+            expr.ctype = IntType(64, False)
+        else:
+            expr.ctype = INT
+        return expr.ctype or INT
+
+
+def _element_type_after_subscript(
+    base_type: CType, diagnostics: DiagnosticEngine, permissive: bool
+) -> CType:
+    if isinstance(base_type, ArrayType):
+        if base_type.rank > 1:
+            return ArrayType(element=base_type.element, dims=base_type.dims[1:])
+        return base_type.element
+    if isinstance(base_type, PointerType):
+        return base_type.pointee
+    if permissive:
+        diagnostics.warn("subscript of a non-array value; assuming int element")
+        return INT
+    raise SemanticError("subscripted value is not an array or pointer")
+
+
+_MATH_CALLS_DOUBLE = {"sqrt", "fabs", "exp", "log", "pow", "sin", "cos", "floor",
+                      "ceil"}
+_MATH_CALLS_FLOAT = {"sqrtf", "fabsf", "expf", "logf", "powf", "sinf", "cosf"}
+
+
+def _call_return_type(callee: str) -> CType:
+    if callee in _MATH_CALLS_DOUBLE:
+        return DOUBLE
+    if callee in _MATH_CALLS_FLOAT:
+        return FLOAT
+    if callee in ("abs", "rand", "strlen"):
+        return INT
+    return INT
+
+
+def analyze(unit: ast.TranslationUnit, permissive: bool = True) -> SemanticInfo:
+    """Run semantic analysis over a parsed translation unit."""
+    return SemanticAnalyzer(permissive=permissive).analyze(unit)

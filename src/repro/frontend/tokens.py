@@ -1,0 +1,184 @@
+"""Token kinds and the Token record produced by the lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.frontend.errors import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Every lexical category the C-subset lexer can produce."""
+
+    # Literals and identifiers.
+    IDENTIFIER = "identifier"
+    INT_LITERAL = "int_literal"
+    FLOAT_LITERAL = "float_literal"
+    CHAR_LITERAL = "char_literal"
+    STRING_LITERAL = "string_literal"
+    KEYWORD = "keyword"
+
+    # Punctuation / operators.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMICOLON = ";"
+    COMMA = ","
+    QUESTION = "?"
+    COLON = ":"
+
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
+    SLASH_ASSIGN = "/="
+    PERCENT_ASSIGN = "%="
+    AND_ASSIGN = "&="
+    OR_ASSIGN = "|="
+    XOR_ASSIGN = "^="
+    SHL_ASSIGN = "<<="
+    SHR_ASSIGN = ">>="
+
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    TILDE = "~"
+    BANG = "!"
+    SHL = "<<"
+    SHR = ">>"
+
+    LOGICAL_AND = "&&"
+    LOGICAL_OR = "||"
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+
+    INCREMENT = "++"
+    DECREMENT = "--"
+    ARROW = "->"
+    DOT = "."
+
+    PRAGMA = "pragma"
+    EOF = "eof"
+
+
+#: Keywords recognised by the lexer.  ``IDENTIFIER`` tokens whose text is in
+#: this set are re-tagged as ``KEYWORD``.
+KEYWORDS = frozenset(
+    {
+        "void",
+        "char",
+        "short",
+        "int",
+        "long",
+        "float",
+        "double",
+        "signed",
+        "unsigned",
+        "const",
+        "volatile",
+        "static",
+        "extern",
+        "restrict",
+        "struct",
+        "return",
+        "if",
+        "else",
+        "for",
+        "while",
+        "do",
+        "break",
+        "continue",
+        "sizeof",
+        "__attribute__",
+        "__restrict__",
+        "inline",
+        "typedef",
+    }
+)
+
+#: Multi-character operators ordered longest-first so maximal munch works.
+MULTI_CHAR_OPERATORS = [
+    ("<<=", TokenKind.SHL_ASSIGN),
+    (">>=", TokenKind.SHR_ASSIGN),
+    ("<<", TokenKind.SHL),
+    (">>", TokenKind.SHR),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("&&", TokenKind.LOGICAL_AND),
+    ("||", TokenKind.LOGICAL_OR),
+    ("+=", TokenKind.PLUS_ASSIGN),
+    ("-=", TokenKind.MINUS_ASSIGN),
+    ("*=", TokenKind.STAR_ASSIGN),
+    ("/=", TokenKind.SLASH_ASSIGN),
+    ("%=", TokenKind.PERCENT_ASSIGN),
+    ("&=", TokenKind.AND_ASSIGN),
+    ("|=", TokenKind.OR_ASSIGN),
+    ("^=", TokenKind.XOR_ASSIGN),
+    ("++", TokenKind.INCREMENT),
+    ("--", TokenKind.DECREMENT),
+    ("->", TokenKind.ARROW),
+]
+
+SINGLE_CHAR_OPERATORS = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMICOLON,
+    ",": TokenKind.COMMA,
+    "?": TokenKind.QUESTION,
+    ":": TokenKind.COLON,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "&": TokenKind.AMP,
+    "|": TokenKind.PIPE,
+    "^": TokenKind.CARET,
+    "~": TokenKind.TILDE,
+    "!": TokenKind.BANG,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    ".": TokenKind.DOT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the decoded literal value for number/char literals and
+    the raw text for identifiers, keywords and pragmas.
+    """
+
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+    value: Union[int, float, str, None] = None
+
+    def is_keyword(self, name: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Token({self.kind.name}, {self.text!r}, {self.location})"

@@ -1,0 +1,74 @@
+"""Structured loop IR.
+
+The middle end does not use a flat SSA CFG: the programs of interest are loop
+kernels, and every consumer (dependence analysis, the vectorizer, the
+polyhedral pass and the cycle simulator) wants the loop-nest structure intact.
+The IR is therefore a *region tree*:
+
+* :class:`~repro.ir.nodes.IRFunction` — one compiled function,
+* :class:`~repro.ir.nodes.Loop` — a counted loop with an induction variable,
+  bounds, step and a body of region nodes,
+* :class:`~repro.ir.nodes.Conditional` — an if/else region,
+* :class:`~repro.ir.nodes.Statement` — a store to memory or an assignment to
+  a scalar, whose right-hand side is an expression DAG
+  (:mod:`repro.ir.expr`).
+
+Lowering from the frontend AST lives in :mod:`repro.ir.lowering`.
+"""
+
+from repro.ir.dtypes import DType, FLOAT32, FLOAT64, INT8, INT16, INT32, INT64
+from repro.ir.expr import (
+    BinOp,
+    CallOp,
+    Compare,
+    Const,
+    Convert,
+    Expr,
+    LoadOp,
+    ScalarRef,
+    Select,
+    UnaryOpExpr,
+)
+from repro.ir.nodes import (
+    ArrayInfo,
+    Conditional,
+    IRFunction,
+    Loop,
+    MemoryAccess,
+    Statement,
+)
+from repro.ir.lowering import LoweringContext, lower_function, lower_unit
+from repro.ir.printer import print_function
+from repro.ir.verifier import VerificationError, verify_function
+
+__all__ = [
+    "DType",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "FLOAT32",
+    "FLOAT64",
+    "Expr",
+    "Const",
+    "ScalarRef",
+    "LoadOp",
+    "BinOp",
+    "UnaryOpExpr",
+    "Compare",
+    "Select",
+    "Convert",
+    "CallOp",
+    "ArrayInfo",
+    "MemoryAccess",
+    "Statement",
+    "Conditional",
+    "Loop",
+    "IRFunction",
+    "LoweringContext",
+    "lower_function",
+    "lower_unit",
+    "print_function",
+    "verify_function",
+    "VerificationError",
+]

@@ -1,0 +1,84 @@
+"""Element data types used by the IR, the vectorizer and the machine model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.ctypes import CType, FloatType, IntType, PointerType, ArrayType
+
+
+@dataclass(frozen=True)
+class DType:
+    """A machine element type: integer or floating point of a given width.
+
+    ``bits`` drives how many lanes of this type fit in a vector register and
+    how wide memory traffic is, which is what both legality (max VF) and the
+    cost model care about.
+    """
+
+    kind: str  # "int", "uint" or "float"
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("int", "uint", "float"):
+            raise ValueError(f"unknown dtype kind {self.kind!r}")
+        if self.bits not in (8, 16, 32, 64):
+            raise ValueError(f"unsupported dtype width {self.bits}")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.bits // 8
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind == "float"
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind in ("int", "uint")
+
+    def __str__(self) -> str:
+        prefix = {"int": "i", "uint": "u", "float": "f"}[self.kind]
+        return f"{prefix}{self.bits}"
+
+
+INT8 = DType("int", 8)
+INT16 = DType("int", 16)
+INT32 = DType("int", 32)
+INT64 = DType("int", 64)
+UINT8 = DType("uint", 8)
+UINT16 = DType("uint", 16)
+UINT32 = DType("uint", 32)
+UINT64 = DType("uint", 64)
+FLOAT32 = DType("float", 32)
+FLOAT64 = DType("float", 64)
+
+
+def dtype_from_ctype(ctype: CType) -> DType:
+    """Map a frontend C type to the IR element type.
+
+    Arrays and pointers map to the dtype of their element; anything the
+    frontend could not resolve falls back to 32-bit int, matching the
+    permissive behaviour of semantic analysis.
+    """
+    if isinstance(ctype, ArrayType):
+        return dtype_from_ctype(ctype.element)
+    if isinstance(ctype, PointerType):
+        return dtype_from_ctype(ctype.pointee)
+    if isinstance(ctype, FloatType):
+        return FLOAT32 if ctype.bits == 32 else FLOAT64
+    if isinstance(ctype, IntType):
+        kind = "int" if ctype.signed else "uint"
+        return DType(kind, max(8, min(64, ctype.bits)))
+    return INT32
+
+
+def promote(left: DType, right: DType) -> DType:
+    """Usual arithmetic promotion between two element types."""
+    if left.is_float or right.is_float:
+        bits = max(left.bits if left.is_float else 32,
+                   right.bits if right.is_float else 32)
+        return DType("float", bits)
+    bits = max(left.bits, right.bits, 32)
+    kind = "int" if (left.kind == "int" and right.kind == "int") else "uint"
+    return DType(kind, bits)

@@ -1,0 +1,172 @@
+"""Constant evaluation of IR expressions under a set of scalar bindings.
+
+Loop bounds frequently reference symbolic parameters (``n``, ``M``); the
+simulator and trip-count computation evaluate them after binding default
+values.  Anything that cannot be resolved evaluates to ``None``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Union
+
+from repro.ir.expr import (
+    BinOp,
+    CallOp,
+    Compare,
+    Const,
+    Convert,
+    Expr,
+    LoadOp,
+    ScalarRef,
+    Select,
+    UnaryOpExpr,
+)
+
+Number = Union[int, float]
+
+
+def evaluate_expr(
+    expr: Optional[Expr], bindings: Optional[Dict[str, Number]] = None
+) -> Optional[Number]:
+    """Evaluate ``expr`` to a number, or ``None`` if it depends on memory or
+    on scalars not present in ``bindings``."""
+    if expr is None:
+        return None
+    bindings = bindings or {}
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, ScalarRef):
+        return bindings.get(expr.name)
+    if isinstance(expr, LoadOp):
+        return None
+    if isinstance(expr, Convert):
+        inner = evaluate_expr(expr.operand, bindings)
+        if inner is None:
+            return None
+        return int(inner) if expr.dtype.is_integer else float(inner)
+    if isinstance(expr, UnaryOpExpr):
+        inner = evaluate_expr(expr.operand, bindings)
+        if inner is None:
+            return None
+        if expr.op == "-":
+            return -inner
+        if expr.op == "!":
+            return 0 if inner else 1
+        if expr.op == "~":
+            return ~int(inner)
+        return inner
+    if isinstance(expr, (BinOp, Compare)):
+        lhs = evaluate_expr(expr.lhs, bindings)
+        rhs = evaluate_expr(expr.rhs, bindings)
+        if lhs is None or rhs is None:
+            return None
+        return _apply_binary(expr.op, lhs, rhs)
+    if isinstance(expr, Select):
+        condition = evaluate_expr(expr.condition, bindings)
+        if condition is None:
+            return None
+        branch = expr.true_value if condition else expr.false_value
+        return evaluate_expr(branch, bindings)
+    if isinstance(expr, CallOp):
+        args = [evaluate_expr(argument, bindings) for argument in expr.args]
+        if any(argument is None for argument in args):
+            return None
+        return _apply_call(expr.callee, args)
+    return None
+
+
+def _apply_binary(op: str, lhs: Number, rhs: Number) -> Optional[Number]:
+    both_int = isinstance(lhs, int) and isinstance(rhs, int)
+    try:
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            if rhs == 0:
+                return None
+            return lhs // rhs if both_int else lhs / rhs
+        if op == "%":
+            return lhs % rhs if rhs != 0 else None
+        if op == "<<":
+            return int(lhs) << int(rhs)
+        if op == ">>":
+            return int(lhs) >> int(rhs)
+        if op == "&":
+            return int(lhs) & int(rhs)
+        if op == "|":
+            return int(lhs) | int(rhs)
+        if op == "^":
+            return int(lhs) ^ int(rhs)
+        if op == "<":
+            return int(lhs < rhs)
+        if op == ">":
+            return int(lhs > rhs)
+        if op == "<=":
+            return int(lhs <= rhs)
+        if op == ">=":
+            return int(lhs >= rhs)
+        if op == "==":
+            return int(lhs == rhs)
+        if op == "!=":
+            return int(lhs != rhs)
+        if op == "&&":
+            return int(bool(lhs) and bool(rhs))
+        if op == "||":
+            return int(bool(lhs) or bool(rhs))
+    except (ValueError, OverflowError):
+        return None
+    return None
+
+
+def _apply_call(callee: str, args: list) -> Optional[Number]:
+    table = {
+        "sqrt": math.sqrt,
+        "sqrtf": math.sqrt,
+        "fabs": abs,
+        "fabsf": abs,
+        "abs": abs,
+        "exp": math.exp,
+        "expf": math.exp,
+        "log": math.log,
+        "floor": math.floor,
+        "ceil": math.ceil,
+    }
+    function = table.get(callee)
+    if function is None:
+        return None
+    try:
+        return function(*args)
+    except (ValueError, TypeError, OverflowError):
+        return None
+
+
+def trip_count_of(
+    lower: Optional[Expr],
+    upper: Optional[Expr],
+    step: int,
+    condition_op: str = "<",
+    bindings: Optional[Dict[str, Number]] = None,
+) -> Optional[int]:
+    """Number of iterations of ``for (v = lower; v <op> upper; v += step)``."""
+    if step == 0:
+        return None
+    low = evaluate_expr(lower, bindings)
+    high = evaluate_expr(upper, bindings)
+    if low is None or high is None:
+        return None
+    if condition_op == "<=":
+        high = high + 1
+    elif condition_op == ">=":
+        high = high - 1
+    if step > 0:
+        span = high - low
+    else:
+        span = low - high
+        step = -step
+    if span <= 0:
+        return 0
+    return int(math.ceil(span / step))

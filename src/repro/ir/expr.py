@@ -1,0 +1,175 @@
+"""Expression DAG used on the right-hand side of IR statements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.ir.dtypes import DType, INT32
+
+
+@dataclass
+class Expr:
+    """Base class for IR expressions.
+
+    Expressions are small immutable-by-convention trees; the simulator and
+    the vectorizer walk them to count operations, classify memory accesses
+    and find reductions.
+    """
+
+    dtype: DType = INT32
+
+    def children(self) -> Iterable["Expr"]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def loads(self) -> List["LoadOp"]:
+        """All memory reads in this expression tree."""
+        return [node for node in self.walk() if isinstance(node, LoadOp)]
+
+    def scalar_refs(self) -> List["ScalarRef"]:
+        return [node for node in self.walk() if isinstance(node, ScalarRef)]
+
+    def op_count(self) -> int:
+        """Number of arithmetic/logic operations (excludes loads and refs)."""
+        return sum(
+            1
+            for node in self.walk()
+            if isinstance(node, (BinOp, UnaryOpExpr, Compare, Select, Convert, CallOp))
+        )
+
+
+@dataclass
+class Const(Expr):
+    """A literal constant."""
+
+    value: float = 0
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass
+class ScalarRef(Expr):
+    """A reference to a scalar variable (induction variable, parameter, local)."""
+
+    name: str = ""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class LoadOp(Expr):
+    """A read from memory: ``array[subscripts...]``.
+
+    ``subscripts`` are IR expressions, one per array dimension, outermost
+    dimension first.
+    """
+
+    array: str = ""
+    subscripts: Tuple[Expr, ...] = ()
+
+    def children(self) -> Iterable[Expr]:
+        return self.subscripts
+
+    def __str__(self) -> str:
+        indices = "][".join(str(s) for s in self.subscripts)
+        return f"{self.array}[{indices}]"
+
+
+@dataclass
+class BinOp(Expr):
+    """Arithmetic/bitwise binary operation."""
+
+    op: str = "+"
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+    def children(self) -> Iterable[Expr]:
+        return (self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass
+class UnaryOpExpr(Expr):
+    """Unary operation (negation, bitwise not, logical not)."""
+
+    op: str = "-"
+    operand: Optional[Expr] = None
+
+    def children(self) -> Iterable[Expr]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.operand}"
+
+
+@dataclass
+class Compare(Expr):
+    """Comparison producing a boolean (modelled as i32 0/1)."""
+
+    op: str = "<"
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+    def children(self) -> Iterable[Expr]:
+        return (self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass
+class Select(Expr):
+    """``cond ? a : b`` — the vectorized form of an if-converted predicate."""
+
+    condition: Optional[Expr] = None
+    true_value: Optional[Expr] = None
+    false_value: Optional[Expr] = None
+
+    def children(self) -> Iterable[Expr]:
+        return (self.condition, self.true_value, self.false_value)
+
+    def __str__(self) -> str:
+        return f"select({self.condition}, {self.true_value}, {self.false_value})"
+
+
+@dataclass
+class Convert(Expr):
+    """Element type conversion (e.g. i16 -> i32, i32 -> f32)."""
+
+    operand: Optional[Expr] = None
+    from_dtype: DType = INT32
+
+    def children(self) -> Iterable[Expr]:
+        return (self.operand,)
+
+    @property
+    def is_widening(self) -> bool:
+        return self.dtype.bits > self.from_dtype.bits or (
+            self.dtype.is_float and self.from_dtype.is_integer
+        )
+
+    def __str__(self) -> str:
+        return f"convert<{self.from_dtype}->{self.dtype}>({self.operand})"
+
+
+@dataclass
+class CallOp(Expr):
+    """A call to a math intrinsic (sqrt, fabs, ...) inside a loop body."""
+
+    callee: str = ""
+    args: Tuple[Expr, ...] = ()
+
+    def children(self) -> Iterable[Expr]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.callee}({', '.join(str(a) for a in self.args)})"

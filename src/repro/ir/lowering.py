@@ -1,0 +1,628 @@
+"""Lowering from the frontend AST to the structured loop IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.frontend import ast
+from repro.frontend.ctypes import ArrayType, CType, PointerType
+from repro.frontend.errors import LoweringError
+from repro.frontend.sema import SemanticInfo, analyze
+from repro.ir.dtypes import DType, INT32, dtype_from_ctype, promote
+from repro.ir.evaluate import trip_count_of
+from repro.ir.expr import (
+    BinOp,
+    CallOp,
+    Compare,
+    Const,
+    Convert,
+    Expr,
+    LoadOp,
+    ScalarRef,
+    Select,
+    UnaryOpExpr,
+)
+from repro.ir.nodes import ArrayInfo, Conditional, IRFunction, Loop, RegionNode, Statement
+
+#: Math functions that vectorize fine and therefore do not disable the loop.
+_MATH_INTRINSICS = frozenset(
+    {"sqrt", "sqrtf", "fabs", "fabsf", "abs", "exp", "expf", "log", "logf",
+     "pow", "powf", "sin", "cos", "sinf", "cosf", "floor", "ceil", "fmax",
+     "fmin", "fmaxf", "fminf"}
+)
+
+_COMPARISON_OPS = frozenset({"<", ">", "<=", ">=", "==", "!="})
+
+
+@dataclass
+class LoweringContext:
+    """Options controlling lowering.
+
+    ``bindings`` supplies compile-time-constant values for named scalars
+    (typically macro-defined bounds already folded by the preprocessor are
+    literals, but callers may pin parameters too).  Symbols that stay unknown
+    leave ``Loop.trip_count`` as ``None``.
+    """
+
+    bindings: Dict[str, int] = field(default_factory=dict)
+    permissive: bool = True
+
+
+class FunctionLowerer:
+    """Lowers a single :class:`FunctionDecl` to an :class:`IRFunction`."""
+
+    def __init__(
+        self,
+        unit: ast.TranslationUnit,
+        sema: SemanticInfo,
+        context: Optional[LoweringContext] = None,
+    ):
+        self.unit = unit
+        self.sema = sema
+        self.context = context or LoweringContext()
+
+    # -- entry point -----------------------------------------------------------
+
+    def lower(self, function: ast.FunctionDecl) -> IRFunction:
+        ir_function = IRFunction(
+            name=function.name,
+            return_dtype=(
+                dtype_from_ctype(function.return_type)
+                if function.return_type is not None and not function.return_type.is_void
+                else None
+            ),
+            source_name=self.unit.filename,
+        )
+        self._register_globals(ir_function)
+        self._register_parameters(function, ir_function)
+        self._loop_stack: List[Loop] = []
+        if function.body is not None:
+            ir_function.body = self._lower_block(function.body, ir_function)
+        return ir_function
+
+    # -- symbol registration ----------------------------------------------------
+
+    def _register_globals(self, ir_function: IRFunction) -> None:
+        for decl in self.unit.globals:
+            ctype = decl.ctype
+            if isinstance(ctype, ArrayType):
+                ir_function.arrays[decl.name] = ArrayInfo(
+                    name=decl.name,
+                    dtype=dtype_from_ctype(ctype),
+                    dims=ctype.dims,
+                    alignment=decl.alignment,
+                    is_global=True,
+                )
+            elif ctype is not None:
+                ir_function.scalars[decl.name] = dtype_from_ctype(ctype)
+
+    def _register_parameters(
+        self, function: ast.FunctionDecl, ir_function: IRFunction
+    ) -> None:
+        for parameter in function.parameters:
+            if not parameter.name:
+                continue
+            ctype = parameter.ctype
+            dtype = dtype_from_ctype(ctype) if ctype is not None else INT32
+            if isinstance(ctype, (ArrayType, PointerType)):
+                dims: Tuple[Optional[int], ...]
+                dims = ctype.dims if isinstance(ctype, ArrayType) else (None,)
+                ir_function.arrays[parameter.name] = ArrayInfo(
+                    name=parameter.name,
+                    dtype=dtype,
+                    dims=dims,
+                    is_parameter=True,
+                )
+            else:
+                ir_function.parameters[parameter.name] = dtype
+                ir_function.scalars[parameter.name] = dtype
+
+    def _register_local(self, decl: ast.VarDecl, ir_function: IRFunction) -> None:
+        ctype = decl.ctype
+        if isinstance(ctype, ArrayType):
+            ir_function.arrays[decl.name] = ArrayInfo(
+                name=decl.name,
+                dtype=dtype_from_ctype(ctype),
+                dims=ctype.dims,
+                alignment=decl.alignment,
+            )
+        else:
+            ir_function.scalars[decl.name] = (
+                dtype_from_ctype(ctype) if ctype is not None else INT32
+            )
+
+    # -- statements ----------------------------------------------------------------
+
+    def _lower_block(
+        self, block: Union[ast.CompoundStmt, ast.Stmt, None], ir_function: IRFunction
+    ) -> List[RegionNode]:
+        if block is None:
+            return []
+        statements = (
+            block.statements if isinstance(block, ast.CompoundStmt) else [block]
+        )
+        nodes: List[RegionNode] = []
+        for statement in statements:
+            nodes.extend(self._lower_stmt(statement, ir_function))
+        return nodes
+
+    def _lower_stmt(self, stmt: ast.Stmt, ir_function: IRFunction) -> List[RegionNode]:
+        if isinstance(stmt, ast.CompoundStmt):
+            return self._lower_block(stmt, ir_function)
+        if isinstance(stmt, ast.DeclStmt):
+            return self._lower_decl(stmt, ir_function)
+        if isinstance(stmt, ast.ExprStmt):
+            return self._lower_expr_stmt(stmt.expr, ir_function)
+        if isinstance(stmt, ast.ForStmt):
+            return [self._lower_for(stmt, ir_function)]
+        if isinstance(stmt, ast.WhileStmt):
+            return [self._lower_while(stmt, ir_function)]
+        if isinstance(stmt, ast.DoWhileStmt):
+            return [self._lower_do_while(stmt, ir_function)]
+        if isinstance(stmt, ast.IfStmt):
+            return [self._lower_if(stmt, ir_function)]
+        if isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt, ast.ReturnStmt)):
+            if isinstance(stmt, (ast.BreakStmt, ast.ReturnStmt)) and self._loop_stack:
+                self._loop_stack[-1].has_early_exit = True
+            if isinstance(stmt, ast.ReturnStmt) and stmt.value is not None:
+                value = self._lower_expr(stmt.value, ir_function)
+                return [
+                    Statement(
+                        kind="scalar",
+                        target_scalar="__return__",
+                        value=value,
+                        dtype=value.dtype,
+                    )
+                ]
+            return []
+        if isinstance(stmt, ast.PragmaStmt):
+            return []
+        raise LoweringError(f"cannot lower statement {type(stmt).__name__}")
+
+    def _lower_decl(
+        self, stmt: ast.DeclStmt, ir_function: IRFunction
+    ) -> List[RegionNode]:
+        nodes: List[RegionNode] = []
+        for decl in stmt.declarations:
+            self._register_local(decl, ir_function)
+            if decl.init is not None and not isinstance(decl.ctype, ArrayType):
+                value = self._lower_expr(decl.init, ir_function)
+                dtype = dtype_from_ctype(decl.ctype) if decl.ctype else value.dtype
+                nodes.append(
+                    Statement(
+                        kind="scalar",
+                        target_scalar=decl.name,
+                        value=self._coerce(value, dtype),
+                        dtype=dtype,
+                    )
+                )
+        return nodes
+
+    def _lower_expr_stmt(
+        self, expr: Optional[ast.Expr], ir_function: IRFunction
+    ) -> List[RegionNode]:
+        if expr is None:
+            return []
+        if isinstance(expr, ast.Assignment):
+            return [self._lower_assignment(expr, ir_function)]
+        if isinstance(expr, ast.UnaryOp) and expr.op in ("++", "--"):
+            return [self._lower_increment(expr, ir_function)]
+        if isinstance(expr, ast.Call):
+            call = self._lower_expr(expr, ir_function)
+            if self._loop_stack and expr.callee not in _MATH_INTRINSICS:
+                self._loop_stack[-1].has_calls = True
+            return [
+                Statement(
+                    kind="scalar",
+                    target_scalar="__void__",
+                    value=call,
+                    dtype=call.dtype,
+                )
+            ]
+        # A bare expression with no side effect: keep it as a scalar statement
+        # so its cost is still visible to the simulator.
+        value = self._lower_expr(expr, ir_function)
+        return [
+            Statement(
+                kind="scalar", target_scalar="__void__", value=value, dtype=value.dtype
+            )
+        ]
+
+    def _lower_assignment(
+        self, expr: ast.Assignment, ir_function: IRFunction
+    ) -> Statement:
+        value = self._lower_expr(expr.value, ir_function)
+        compound_op = expr.op[:-1] if expr.op != "=" else None
+        target = expr.target
+        if isinstance(target, ast.ArraySubscript):
+            root = target.root_array()
+            if root is None:
+                raise LoweringError("store target has no identifiable array")
+            array_name = root.name
+            self._ensure_array(array_name, target, ir_function)
+            info = ir_function.arrays[array_name]
+            subscripts = tuple(
+                self._lower_expr(index, ir_function) for index in target.indices()
+            )
+            if compound_op is not None:
+                load = LoadOp(dtype=info.dtype, array=array_name, subscripts=subscripts)
+                value = BinOp(
+                    dtype=promote(info.dtype, value.dtype),
+                    op=compound_op,
+                    lhs=load,
+                    rhs=value,
+                )
+            return Statement(
+                kind="store",
+                target_array=array_name,
+                target_subscripts=subscripts,
+                value=self._coerce(value, info.dtype),
+                dtype=info.dtype,
+                compound_op=compound_op,
+            )
+        if isinstance(target, ast.Identifier):
+            dtype = ir_function.scalars.get(target.name)
+            if dtype is None:
+                dtype = value.dtype
+                ir_function.scalars[target.name] = dtype
+            if compound_op is not None:
+                value = BinOp(
+                    dtype=promote(dtype, value.dtype),
+                    op=compound_op,
+                    lhs=ScalarRef(dtype=dtype, name=target.name),
+                    rhs=value,
+                )
+            return Statement(
+                kind="scalar",
+                target_scalar=target.name,
+                value=self._coerce(value, dtype),
+                dtype=dtype,
+                compound_op=compound_op,
+            )
+        if isinstance(target, ast.UnaryOp) and target.op == "*":
+            # *p = value  — treat the pointee as a rank-1 array indexed by 0.
+            pointer = target.operand
+            if isinstance(pointer, ast.Identifier):
+                self._ensure_array(pointer.name, None, ir_function)
+                info = ir_function.arrays[pointer.name]
+                return Statement(
+                    kind="store",
+                    target_array=pointer.name,
+                    target_subscripts=(Const(dtype=INT32, value=0),),
+                    value=self._coerce(value, info.dtype),
+                    dtype=info.dtype,
+                    compound_op=compound_op,
+                )
+        raise LoweringError(
+            f"unsupported assignment target {type(target).__name__}"
+        )
+
+    def _lower_increment(
+        self, expr: ast.UnaryOp, ir_function: IRFunction
+    ) -> Statement:
+        if not isinstance(expr.operand, ast.Identifier):
+            raise LoweringError("++/-- is only supported on scalar variables")
+        name = expr.operand.name
+        dtype = ir_function.scalars.get(name, INT32)
+        op = "+" if expr.op == "++" else "-"
+        value = BinOp(
+            dtype=dtype,
+            op=op,
+            lhs=ScalarRef(dtype=dtype, name=name),
+            rhs=Const(dtype=INT32, value=1),
+        )
+        return Statement(
+            kind="scalar", target_scalar=name, value=value, dtype=dtype,
+            compound_op=op,
+        )
+
+    # -- loops -----------------------------------------------------------------
+
+    def _lower_for(self, stmt: ast.ForStmt, ir_function: IRFunction) -> Loop:
+        var, lower = self._induction_from_init(stmt.init, ir_function)
+        upper, condition_op, cond_var = self._bound_from_condition(
+            stmt.condition, ir_function
+        )
+        if var is None:
+            var = cond_var
+        step = self._step_from_increment(stmt.increment, var)
+        if var is None:
+            raise LoweringError("cannot identify the loop induction variable")
+        ir_function.scalars.setdefault(var, INT32)
+        loop = Loop(
+            var=var,
+            lower=lower if lower is not None else Const(dtype=INT32, value=0),
+            upper=upper if upper is not None else ScalarRef(dtype=INT32, name="__unknown_bound__"),
+            step=step,
+            pragma=stmt.pragma,
+            condition_op=condition_op,
+        )
+        loop.trip_count = trip_count_of(
+            loop.lower, loop.upper, loop.step, loop.condition_op, self.context.bindings
+        )
+        self._loop_stack.append(loop)
+        loop.body = self._lower_block(stmt.body, ir_function)
+        self._loop_stack.pop()
+        return loop
+
+    def _lower_while(self, stmt: ast.WhileStmt, ir_function: IRFunction) -> Loop:
+        upper, condition_op, var = self._bound_from_condition(
+            stmt.condition, ir_function
+        )
+        loop = Loop(
+            var=var or "__while_iv__",
+            lower=Const(dtype=INT32, value=0),
+            upper=upper
+            if upper is not None
+            else ScalarRef(dtype=INT32, name="__unknown_bound__"),
+            step=1,
+            pragma=stmt.pragma,
+            condition_op=condition_op,
+        )
+        self._loop_stack.append(loop)
+        loop.body = self._lower_block(stmt.body, ir_function)
+        self._loop_stack.pop()
+        # A while loop whose induction variable is updated by exactly one
+        # statement in its body behaves like a counted loop; otherwise keep it
+        # conservative (unknown trip count, treated as not vectorizable).
+        updates = [
+            node
+            for node in loop.body
+            if isinstance(node, Statement)
+            and node.kind == "scalar"
+            and node.target_scalar == var
+        ]
+        if var is None or len(updates) != 1:
+            loop.has_early_exit = True
+        else:
+            loop.trip_count = trip_count_of(
+                loop.lower, loop.upper, loop.step, loop.condition_op,
+                self.context.bindings,
+            )
+        return loop
+
+    def _lower_do_while(self, stmt: ast.DoWhileStmt, ir_function: IRFunction) -> Loop:
+        loop = Loop(
+            var="__dowhile_iv__",
+            lower=Const(dtype=INT32, value=0),
+            upper=ScalarRef(dtype=INT32, name="__unknown_bound__"),
+            step=1,
+        )
+        loop.has_early_exit = True
+        self._loop_stack.append(loop)
+        loop.body = self._lower_block(stmt.body, ir_function)
+        self._loop_stack.pop()
+        return loop
+
+    def _lower_if(self, stmt: ast.IfStmt, ir_function: IRFunction) -> Conditional:
+        condition = self._lower_expr(stmt.condition, ir_function)
+        conditional = Conditional(condition=condition)
+        conditional.then_body = self._lower_block(stmt.then_branch, ir_function)
+        conditional.else_body = self._lower_block(stmt.else_branch, ir_function)
+        return conditional
+
+    # -- loop-header pattern matching ---------------------------------------------
+
+    def _induction_from_init(
+        self, init: Optional[ast.Stmt], ir_function: IRFunction
+    ) -> Tuple[Optional[str], Optional[Expr]]:
+        if init is None:
+            return None, None
+        if isinstance(init, ast.DeclStmt) and init.declarations:
+            decl = init.declarations[0]
+            ir_function.scalars.setdefault(decl.name, INT32)
+            lower = (
+                self._lower_expr(decl.init, ir_function)
+                if decl.init is not None
+                else Const(dtype=INT32, value=0)
+            )
+            return decl.name, lower
+        if isinstance(init, ast.ExprStmt) and isinstance(init.expr, ast.Assignment):
+            target = init.expr.target
+            if isinstance(target, ast.Identifier):
+                lower = self._lower_expr(init.expr.value, ir_function)
+                return target.name, lower
+        return None, None
+
+    def _bound_from_condition(
+        self, condition: Optional[ast.Expr], ir_function: IRFunction
+    ) -> Tuple[Optional[Expr], str, Optional[str]]:
+        """Return (upper bound expression, comparison op, induction var name)."""
+        if condition is None:
+            return None, "<", None
+        if isinstance(condition, ast.BinaryOp) and condition.op in _COMPARISON_OPS:
+            left, right = condition.left, condition.right
+            if isinstance(left, ast.Identifier):
+                return (
+                    self._lower_expr(right, ir_function),
+                    condition.op,
+                    left.name,
+                )
+            if isinstance(right, ast.Identifier):
+                flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(
+                    condition.op, condition.op
+                )
+                return self._lower_expr(left, ir_function), flipped, right.name
+        return self._lower_expr(condition, ir_function), "<", None
+
+    def _step_from_increment(
+        self, increment: Optional[ast.Expr], var: Optional[str]
+    ) -> int:
+        if increment is None:
+            return 1
+        if isinstance(increment, ast.UnaryOp) and increment.op in ("++", "--"):
+            return 1 if increment.op == "++" else -1
+        if isinstance(increment, ast.Assignment):
+            if increment.op in ("+=", "-="):
+                value = _fold_int(increment.value)
+                if value is not None:
+                    return value if increment.op == "+=" else -value
+            if increment.op == "=" and isinstance(increment.value, ast.BinaryOp):
+                binary = increment.value
+                if (
+                    binary.op in ("+", "-")
+                    and isinstance(binary.left, ast.Identifier)
+                    and var is not None
+                    and binary.left.name == var
+                ):
+                    value = _fold_int(binary.right)
+                    if value is not None:
+                        return value if binary.op == "+" else -value
+        return 1
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _lower_expr(self, expr: Optional[ast.Expr], ir_function: IRFunction) -> Expr:
+        if expr is None:
+            return Const(dtype=INT32, value=0)
+        if isinstance(expr, ast.IntLiteral):
+            return Const(dtype=INT32, value=expr.value)
+        if isinstance(expr, ast.FloatLiteral):
+            return Const(dtype=DType("float", 64), value=expr.value)
+        if isinstance(expr, ast.CharLiteral):
+            return Const(dtype=DType("int", 8), value=expr.value)
+        if isinstance(expr, ast.StringLiteral):
+            return Const(dtype=INT32, value=0)
+        if isinstance(expr, ast.Identifier):
+            dtype = ir_function.scalars.get(expr.name)
+            if dtype is None and expr.name in ir_function.arrays:
+                dtype = ir_function.arrays[expr.name].dtype
+            return ScalarRef(dtype=dtype or INT32, name=expr.name)
+        if isinstance(expr, ast.ArraySubscript):
+            root = expr.root_array()
+            if root is None:
+                return Const(dtype=INT32, value=0)
+            self._ensure_array(root.name, expr, ir_function)
+            info = ir_function.arrays[root.name]
+            subscripts = tuple(
+                self._lower_expr(index, ir_function) for index in expr.indices()
+            )
+            return LoadOp(dtype=info.dtype, array=root.name, subscripts=subscripts)
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op in ("++", "--"):
+                # Value of pre/post increment inside an expression: the scalar.
+                if isinstance(expr.operand, ast.Identifier):
+                    dtype = ir_function.scalars.get(expr.operand.name, INT32)
+                    return ScalarRef(dtype=dtype, name=expr.operand.name)
+                return self._lower_expr(expr.operand, ir_function)
+            if expr.op == "*" and isinstance(expr.operand, ast.Identifier):
+                self._ensure_array(expr.operand.name, None, ir_function)
+                info = ir_function.arrays[expr.operand.name]
+                return LoadOp(
+                    dtype=info.dtype,
+                    array=expr.operand.name,
+                    subscripts=(Const(dtype=INT32, value=0),),
+                )
+            operand = self._lower_expr(expr.operand, ir_function)
+            if expr.op == "+":
+                return operand
+            if expr.op == "&":
+                return operand
+            return UnaryOpExpr(dtype=operand.dtype, op=expr.op, operand=operand)
+        if isinstance(expr, ast.BinaryOp):
+            lhs = self._lower_expr(expr.left, ir_function)
+            rhs = self._lower_expr(expr.right, ir_function)
+            if expr.op in _COMPARISON_OPS:
+                return Compare(dtype=INT32, op=expr.op, lhs=lhs, rhs=rhs)
+            if expr.op in ("&&", "||"):
+                return BinOp(dtype=INT32, op=expr.op, lhs=lhs, rhs=rhs)
+            if expr.op == ",":
+                return rhs
+            dtype = promote(lhs.dtype, rhs.dtype)
+            return BinOp(dtype=dtype, op=expr.op, lhs=lhs, rhs=rhs)
+        if isinstance(expr, ast.Assignment):
+            # Assignment used as a value: lower the RHS only.
+            return self._lower_expr(expr.value, ir_function)
+        if isinstance(expr, ast.TernaryOp):
+            condition = self._lower_expr(expr.condition, ir_function)
+            true_value = self._lower_expr(expr.then_value, ir_function)
+            false_value = self._lower_expr(expr.else_value, ir_function)
+            dtype = promote(true_value.dtype, false_value.dtype)
+            return Select(
+                dtype=dtype,
+                condition=condition,
+                true_value=true_value,
+                false_value=false_value,
+            )
+        if isinstance(expr, ast.Cast):
+            operand = self._lower_expr(expr.operand, ir_function)
+            target = dtype_from_ctype(expr.target_type) if expr.target_type else INT32
+            if target == operand.dtype:
+                return operand
+            return Convert(dtype=target, operand=operand, from_dtype=operand.dtype)
+        if isinstance(expr, ast.Call):
+            args = tuple(self._lower_expr(argument, ir_function) for argument in expr.args)
+            dtype = args[0].dtype if args else DType("float", 64)
+            if self._loop_stack and expr.callee not in _MATH_INTRINSICS:
+                self._loop_stack[-1].has_calls = True
+            return CallOp(dtype=dtype, callee=expr.callee, args=args)
+        if isinstance(expr, ast.SizeOf):
+            size = (
+                expr.target_type.size_bytes
+                if expr.target_type is not None
+                else (expr.operand.ctype.size_bytes if expr.operand is not None and expr.operand.ctype else 4)
+            )
+            return Const(dtype=INT32, value=size)
+        raise LoweringError(f"cannot lower expression {type(expr).__name__}")
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _ensure_array(
+        self,
+        name: str,
+        subscript: Optional[ast.ArraySubscript],
+        ir_function: IRFunction,
+    ) -> None:
+        """Make sure ``name`` has an :class:`ArrayInfo`; infer rank if needed."""
+        if name in ir_function.arrays:
+            return
+        rank = len(subscript.indices()) if subscript is not None else 1
+        dtype = INT32
+        symbol = self.sema.symbol_for(ir_function.name, name)
+        if symbol is not None:
+            dtype = dtype_from_ctype(symbol.ctype)
+        ir_function.arrays[name] = ArrayInfo(
+            name=name, dtype=dtype, dims=tuple([None] * rank), is_parameter=True
+        )
+
+    def _coerce(self, value: Expr, dtype: DType) -> Expr:
+        """Insert a Convert when storing a value into a differently-typed slot."""
+        if value.dtype == dtype:
+            return value
+        if isinstance(value, Const):
+            return Const(dtype=dtype, value=value.value)
+        return Convert(dtype=dtype, operand=value, from_dtype=value.dtype)
+
+
+def _fold_int(expr: Optional[ast.Expr]) -> Optional[int]:
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        inner = _fold_int(expr.operand)
+        return -inner if inner is not None else None
+    return None
+
+
+def lower_function(
+    unit: ast.TranslationUnit,
+    function: ast.FunctionDecl,
+    sema: Optional[SemanticInfo] = None,
+    context: Optional[LoweringContext] = None,
+) -> IRFunction:
+    """Lower one function of a parsed translation unit to the loop IR."""
+    if sema is None:
+        sema = analyze(unit)
+    return FunctionLowerer(unit, sema, context).lower(function)
+
+
+def lower_unit(
+    unit: ast.TranslationUnit,
+    sema: Optional[SemanticInfo] = None,
+    context: Optional[LoweringContext] = None,
+) -> Dict[str, IRFunction]:
+    """Lower every function in the translation unit; returns name -> IR."""
+    if sema is None:
+        sema = analyze(unit)
+    lowerer = FunctionLowerer(unit, sema, context)
+    return {function.name: lowerer.lower(function) for function in unit.functions}

@@ -1,0 +1,52 @@
+"""Textual dump of the loop IR (for debugging, tests and documentation)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.nodes import Conditional, IRFunction, Loop, RegionNode, Statement
+
+
+def print_function(function: IRFunction) -> str:
+    """Render an :class:`IRFunction` as an indented text listing."""
+    lines: List[str] = [f"func @{function.name} {{"]
+    for name, info in sorted(function.arrays.items()):
+        dims = "x".join(str(d) if d is not None else "?" for d in info.dims)
+        origin = "global" if info.is_global else ("param" if info.is_parameter else "local")
+        align = f", align {info.alignment}" if info.alignment else ""
+        lines.append(f"  array {name} : {info.dtype}[{dims}] ({origin}{align})")
+    for name, dtype in sorted(function.parameters.items()):
+        lines.append(f"  param {name} : {dtype}")
+    lines.extend(_print_nodes(function.body, 1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _print_nodes(nodes: List[RegionNode], level: int) -> List[str]:
+    pad = "  " * level
+    lines: List[str] = []
+    for node in nodes:
+        if isinstance(node, Statement):
+            lines.append(f"{pad}{node}")
+        elif isinstance(node, Conditional):
+            lines.append(f"{pad}if ({node.condition}) {{")
+            lines.extend(_print_nodes(node.then_body, level + 1))
+            if node.else_body:
+                lines.append(f"{pad}}} else {{")
+                lines.extend(_print_nodes(node.else_body, level + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(node, Loop):
+            attributes = []
+            if node.trip_count is not None:
+                attributes.append(f"trip={node.trip_count}")
+            if node.pragma is not None and not node.pragma.is_empty:
+                attributes.append(f"pragma[{node.pragma}]")
+            if node.has_early_exit:
+                attributes.append("early-exit")
+            if node.has_calls:
+                attributes.append("calls")
+            suffix = f"  // {' '.join(attributes)}" if attributes else ""
+            lines.append(f"{pad}{node} {{{suffix}")
+            lines.extend(_print_nodes(node.body, level + 1))
+            lines.append(f"{pad}}}")
+    return lines

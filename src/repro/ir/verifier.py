@@ -1,0 +1,96 @@
+"""Structural well-formedness checks for the loop IR.
+
+The verifier catches lowering bugs early: every store must target a known
+array with the right number of subscripts, loop steps must be non-zero,
+induction variables must be registered as scalars, and the region tree must
+be acyclic (no node appears twice).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir.expr import LoadOp
+from repro.ir.nodes import Conditional, IRFunction, Loop, RegionNode, Statement
+
+
+class VerificationError(Exception):
+    """Raised when an IR function violates a structural invariant."""
+
+    def __init__(self, problems: List[str]):
+        self.problems = problems
+        super().__init__("; ".join(problems))
+
+
+def verify_function(function: IRFunction, raise_on_error: bool = True) -> List[str]:
+    """Check ``function`` and return the list of problems found.
+
+    When ``raise_on_error`` is true (the default) a non-empty problem list is
+    raised as :class:`VerificationError`.
+    """
+    problems: List[str] = []
+    seen_nodes: Set[int] = set()
+
+    def check_expr_loads(statement: Statement) -> None:
+        for load in statement.value.loads():
+            _check_access(load.array, len(load.subscripts), statement, problems, function)
+
+    def _check_access(
+        array: str, rank: int, statement: Statement, problems: List[str],
+        function: IRFunction,
+    ) -> None:
+        info = function.arrays.get(array)
+        if info is None:
+            problems.append(
+                f"statement {statement.statement_id}: unknown array {array!r}"
+            )
+            return
+        if info.rank != rank:
+            problems.append(
+                f"statement {statement.statement_id}: array {array!r} has rank "
+                f"{info.rank} but is accessed with {rank} subscripts"
+            )
+
+    def visit(nodes: List[RegionNode], loop_vars: Set[str]) -> None:
+        for node in nodes:
+            if id(node) in seen_nodes:
+                problems.append(f"node {node} appears more than once in the tree")
+                continue
+            seen_nodes.add(id(node))
+            if isinstance(node, Statement):
+                if node.kind == "store":
+                    _check_access(
+                        node.target_array,
+                        len(node.target_subscripts),
+                        node,
+                        problems,
+                        function,
+                    )
+                check_expr_loads(node)
+            elif isinstance(node, Conditional):
+                visit(node.then_body, loop_vars)
+                visit(node.else_body, loop_vars)
+            elif isinstance(node, Loop):
+                if node.step == 0:
+                    problems.append(f"loop over {node.var!r} has step 0")
+                if node.var in loop_vars:
+                    problems.append(
+                        f"induction variable {node.var!r} shadows an enclosing loop"
+                    )
+                if node.var not in function.scalars and not node.var.startswith("__"):
+                    problems.append(
+                        f"induction variable {node.var!r} is not a known scalar"
+                    )
+                if node.trip_count is not None and node.trip_count < 0:
+                    problems.append(
+                        f"loop over {node.var!r} has negative trip count"
+                    )
+                visit(node.body, loop_vars | {node.var})
+            else:
+                problems.append(f"unknown region node type {type(node).__name__}")
+
+    visit(function.body, set())
+
+    if problems and raise_on_error:
+        raise VerificationError(problems)
+    return problems

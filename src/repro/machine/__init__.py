@@ -1,0 +1,30 @@
+"""Parametric SIMD machine descriptions.
+
+The paper measures wall-clock time on an Intel i7-8559U with AVX.  This
+reproduction replaces the physical CPU with a deterministic machine model:
+issue ports, operation latencies/throughputs, vector width, register file
+size and a cache hierarchy.  The simulator in :mod:`repro.simulator` turns a
+(possibly vectorized) loop nest plus one of these descriptions into a cycle
+estimate.
+"""
+
+from repro.machine.cache import CacheHierarchy, CacheLevel
+from repro.machine.description import (
+    MachineDescription,
+    OpClass,
+    avx2_machine,
+    avx512_machine,
+    scalar_machine,
+    DEFAULT_MACHINE,
+)
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevel",
+    "MachineDescription",
+    "OpClass",
+    "avx2_machine",
+    "avx512_machine",
+    "scalar_machine",
+    "DEFAULT_MACHINE",
+]

@@ -1,0 +1,107 @@
+"""Gradient-descent optimisers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+
+class Optimizer:
+    """Base class: holds the parameter list and clears gradients."""
+
+    def __init__(self, parameters: Iterable[Parameter], learning_rate: float):
+        self.parameters: List[Parameter] = list(parameters)
+        self.learning_rate = learning_rate
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def clip_gradients(self, max_norm: float) -> float:
+        """Global-norm gradient clipping; returns the pre-clip norm."""
+        total = 0.0
+        for parameter in self.parameters:
+            if parameter.grad is not None:
+                total += float(np.sum(parameter.grad ** 2))
+        norm = float(np.sqrt(total))
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for parameter in self.parameters:
+                if parameter.grad is not None:
+                    parameter.grad = parameter.grad * scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        learning_rate: float = 1e-2,
+        momentum: float = 0.0,
+    ):
+        super().__init__(parameters, learning_rate)
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            update = parameter.grad
+            if self.momentum > 0:
+                velocity = self._velocity.get(id(parameter))
+                if velocity is None:
+                    velocity = np.zeros_like(parameter.data)
+                velocity = self.momentum * velocity + update
+                self._velocity[id(parameter)] = velocity
+                update = velocity
+            parameter.data = parameter.data - self.learning_rate * update
+
+
+class Adam(Optimizer):
+    """Adam (the optimiser RLlib's PPO uses by default)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        learning_rate: float = 5e-5,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        super().__init__(parameters, learning_rate)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step = 0
+        self._first_moment: Dict[int, np.ndarray] = {}
+        self._second_moment: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step += 1
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            key = id(parameter)
+            first = self._first_moment.get(key)
+            second = self._second_moment.get(key)
+            if first is None:
+                first = np.zeros_like(parameter.data)
+                second = np.zeros_like(parameter.data)
+            first = self.beta1 * first + (1 - self.beta1) * parameter.grad
+            second = self.beta2 * second + (1 - self.beta2) * (parameter.grad ** 2)
+            self._first_moment[key] = first
+            self._second_moment[key] = second
+            first_hat = first / (1 - self.beta1 ** self._step)
+            second_hat = second / (1 - self.beta2 ** self._step)
+            parameter.data = parameter.data - self.learning_rate * first_hat / (
+                np.sqrt(second_hat) + self.epsilon
+            )

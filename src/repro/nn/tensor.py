@@ -1,0 +1,202 @@
+"""Reverse-mode automatic differentiation over numpy arrays."""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence[float]]
+
+_grad_enabled = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def grad_enabled() -> bool:
+    return _grad_enabled
+
+
+class Tensor:
+    """A numpy array plus the bookkeeping needed for backpropagation.
+
+    Operations record their inputs and a backward closure; calling
+    :meth:`backward` on a scalar result walks the recorded graph in reverse
+    topological order accumulating gradients into ``grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Tuple["Tensor", ...] = (),
+        backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad and grad_enabled()
+        self._backward = backward
+        self._parents = parents if self.requires_grad else ()
+        self.name = name
+
+    # -- construction helpers -----------------------------------------------------
+
+    @staticmethod
+    def ensure(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- graph mechanics ------------------------------------------------------------
+
+    def _accumulate(self, gradient: np.ndarray) -> None:
+        gradient = _unbroadcast(gradient, self.data.shape)
+        if self.grad is None:
+            self.grad = gradient.copy()
+        else:
+            self.grad = self.grad + gradient
+
+    def backward(self, gradient: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor (defaults to d(self)/d(self) = 1)."""
+        if gradient is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a gradient requires a scalar")
+            gradient = np.ones_like(self.data)
+        gradient = np.asarray(gradient, dtype=np.float64)
+
+        ordering: List[Tensor] = []
+        visited: Set[int] = set()
+
+        def topological(node: "Tensor") -> None:
+            if id(node) in visited or not node.requires_grad:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                topological(parent)
+            ordering.append(node)
+
+        topological(self)
+        self._accumulate(gradient)
+        for node in reversed(ordering):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # -- operators (thin wrappers over repro.nn.ops) -----------------------------------
+
+    def __add__(self, other):  # noqa: D105
+        from repro.nn import ops
+
+        return ops.add(self, other)
+
+    __radd__ = __add__
+
+    def __mul__(self, other):  # noqa: D105
+        from repro.nn import ops
+
+        return ops.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __sub__(self, other):  # noqa: D105
+        from repro.nn import ops
+
+        return ops.sub(self, other)
+
+    def __rsub__(self, other):  # noqa: D105
+        from repro.nn import ops
+
+        return ops.sub(other, self)
+
+    def __truediv__(self, other):  # noqa: D105
+        from repro.nn import ops
+
+        return ops.div(self, other)
+
+    def __rtruediv__(self, other):  # noqa: D105
+        from repro.nn import ops
+
+        return ops.div(other, self)
+
+    def __neg__(self):  # noqa: D105
+        from repro.nn import ops
+
+        return ops.mul(self, -1.0)
+
+    def __matmul__(self, other):  # noqa: D105
+        from repro.nn import ops
+
+        return ops.matmul(self, other)
+
+    def __pow__(self, exponent: float):  # noqa: D105
+        from repro.nn import ops
+
+        return ops.power(self, exponent)
+
+    def sum(self, axis=None, keepdims: bool = False):
+        from repro.nn import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        from repro.nn import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape: int):
+        from repro.nn import ops
+
+        return ops.reshape(self, shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        grad = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{grad})"
+
+
+def _unbroadcast(gradient: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``gradient`` down to ``shape`` (reverse of numpy broadcasting)."""
+    if gradient.shape == shape:
+        return gradient
+    # Remove leading broadcast dimensions.
+    while gradient.ndim > len(shape):
+        gradient = gradient.sum(axis=0)
+    # Sum along axes that were broadcast from size 1.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and gradient.shape[axis] != 1:
+            gradient = gradient.sum(axis=axis, keepdims=True)
+    return gradient.reshape(shape)

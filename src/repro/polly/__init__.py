@@ -1,0 +1,38 @@
+"""Polly-like polyhedral loop optimizer.
+
+Polly (Grosser et al.) models affine loop nests ("SCoPs") as integer
+polytopes and applies classical loop transformations — "especially tiling and
+loop fusion to improve data-locality" — before the vectorizer runs.  The
+paper compares against Polly on every benchmark suite and combines it with
+the RL vectorizer on PolyBench.
+
+This package provides the pieces the experiments need:
+
+* :mod:`repro.polly.polytope` — iteration domains as systems of affine
+  inequalities, with point counting and membership tests,
+* :mod:`repro.polly.scop` — SCoP detection (affine bounds and subscripts, no
+  early exits or opaque calls),
+* :mod:`repro.polly.transforms` — strip-mining/tiling and fusion on the loop
+  IR,
+* :mod:`repro.polly.optimizer` — the driver that mirrors `-O3 -polly`:
+  detect SCoPs, tile for locality, fuse compatible neighbours, then hand the
+  code to the ordinary vectorizer.
+"""
+
+from repro.polly.polytope import IterationDomain, constraints_from_loop
+from repro.polly.scop import ScopInfo, detect_scop, function_scops
+from repro.polly.transforms import fuse_adjacent_loops, strip_mine, tile_loop_nest
+from repro.polly.optimizer import PollyConfig, PollyOptimizer
+
+__all__ = [
+    "IterationDomain",
+    "constraints_from_loop",
+    "ScopInfo",
+    "detect_scop",
+    "function_scops",
+    "strip_mine",
+    "tile_loop_nest",
+    "fuse_adjacent_loops",
+    "PollyConfig",
+    "PollyOptimizer",
+]

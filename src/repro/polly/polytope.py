@@ -1,0 +1,162 @@
+"""Iteration domains as integer polytopes.
+
+A loop nest ``for (i = 0; i < N; i++) for (j = 0; j < M; j++)`` defines the
+polytope ``{(i, j) : 0 <= i < N, 0 <= j < M}``.  The representation here is a
+list of affine inequality constraints ``sum(coeff * var) + constant >= 0``
+over the nest's induction variables, which is all the tiling/fusion legality
+checks and the tests need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.affine import AffineForm, affine_of
+from repro.ir.evaluate import evaluate_expr
+from repro.ir.nodes import Loop
+
+
+@dataclass
+class AffineConstraint:
+    """``constant + sum(coefficients[var] * var) >= 0``."""
+
+    coefficients: Dict[str, int] = field(default_factory=dict)
+    constant: int = 0
+
+    def evaluate(self, point: Dict[str, int]) -> int:
+        value = self.constant
+        for var, coefficient in self.coefficients.items():
+            value += coefficient * point.get(var, 0)
+        return value
+
+    def satisfied_by(self, point: Dict[str, int]) -> bool:
+        return self.evaluate(point) >= 0
+
+    def __str__(self) -> str:
+        terms = [f"{c}*{v}" for v, c in sorted(self.coefficients.items())]
+        terms.append(str(self.constant))
+        return " + ".join(terms) + " >= 0"
+
+
+@dataclass
+class IterationDomain:
+    """The set of integer points a loop nest iterates over."""
+
+    variables: List[str] = field(default_factory=list)
+    constraints: List[AffineConstraint] = field(default_factory=list)
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.variables)
+
+    def contains(self, point: Dict[str, int]) -> bool:
+        return all(constraint.satisfied_by(point) for constraint in self.constraints)
+
+    def add_constraint(self, constraint: AffineConstraint) -> None:
+        self.constraints.append(constraint)
+
+    def bounding_box(self, default_extent: int = 1024) -> List[Tuple[int, int]]:
+        """Per-variable [low, high] ranges derived from single-variable
+        constraints (used for point counting and sanity checks)."""
+        box: List[Tuple[int, int]] = []
+        for var in self.variables:
+            low, high = 0, default_extent
+            for constraint in self.constraints:
+                coefficients = constraint.coefficients
+                if set(coefficients.keys()) != {var}:
+                    continue
+                coefficient = coefficients[var]
+                if coefficient > 0:
+                    # c*v + k >= 0  →  v >= -k / c
+                    low = max(low, -(-(-constraint.constant) // coefficient))
+                elif coefficient < 0:
+                    # -c*v + k >= 0  →  v <= k / |c|
+                    high = min(high, constraint.constant // (-coefficient))
+            box.append((low, high))
+        return box
+
+    def count_points(self, limit: int = 2_000_000) -> Optional[int]:
+        """Exact lattice-point count by enumeration over the bounding box.
+
+        Returns ``None`` when the box is larger than ``limit`` points (the
+        callers only count small domains in tests).
+        """
+        box = self.bounding_box()
+        total_box = 1
+        for low, high in box:
+            total_box *= max(0, high - low + 1)
+        if total_box > limit:
+            return None
+        count = 0
+        def recurse(index: int, point: Dict[str, int]) -> None:
+            nonlocal count
+            if index == len(self.variables):
+                if self.contains(point):
+                    count += 1
+                return
+            low, high = box[index]
+            var = self.variables[index]
+            for value in range(low, high + 1):
+                point[var] = value
+                recurse(index + 1, point)
+            point.pop(var, None)
+
+        recurse(0, {})
+        return count
+
+    def __str__(self) -> str:
+        vars_text = ", ".join(self.variables)
+        constraints_text = "; ".join(str(c) for c in self.constraints)
+        return f"{{ [{vars_text}] : {constraints_text} }}"
+
+
+def constraints_from_loop(
+    loop: Loop,
+    enclosing: Sequence[Loop] = (),
+    bindings: Optional[Dict[str, int]] = None,
+) -> IterationDomain:
+    """Build the iteration domain of ``loop`` inside its enclosing loops.
+
+    Bounds that cannot be resolved to affine expressions of the enclosing
+    induction variables (after substituting ``bindings``) make the domain
+    unbounded in that dimension; SCoP detection treats that as non-affine.
+    """
+    bindings = bindings or {}
+    domain = IterationDomain()
+    all_loops = list(enclosing) + [loop]
+    induction_vars = [l.var for l in all_loops]
+    domain.variables = induction_vars
+
+    for index, current in enumerate(all_loops):
+        outer_vars = induction_vars[:index]
+        lower_form = affine_of(current.lower, outer_vars)
+        upper_form = affine_of(current.upper, outer_vars)
+        lower_value = evaluate_expr(current.lower, bindings)
+        upper_value = evaluate_expr(current.upper, bindings)
+
+        # var - lower >= 0
+        lower_constraint = AffineConstraint({current.var: 1})
+        if lower_form.is_affine and not lower_form.symbols:
+            lower_constraint.constant = -lower_form.constant
+            for var, coefficient in lower_form.coefficients.items():
+                lower_constraint.coefficients[var] = -coefficient
+        elif lower_value is not None:
+            lower_constraint.constant = -int(lower_value)
+        domain.add_constraint(lower_constraint)
+
+        # upper - var - 1 >= 0   (for '<'; '<=' keeps the full bound)
+        adjust = -1 if current.condition_op == "<" else 0
+        upper_constraint = AffineConstraint({current.var: -1}, adjust)
+        if upper_form.is_affine and not upper_form.symbols:
+            upper_constraint.constant += upper_form.constant
+            for var, coefficient in upper_form.coefficients.items():
+                upper_constraint.coefficients[var] = (
+                    upper_constraint.coefficients.get(var, 0) + coefficient
+                )
+        elif upper_value is not None:
+            upper_constraint.constant += int(upper_value)
+        domain.add_constraint(upper_constraint)
+    return domain

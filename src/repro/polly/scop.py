@@ -1,0 +1,72 @@
+"""SCoP (static control part) detection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.affine import affine_of
+from repro.ir.evaluate import evaluate_expr
+from repro.ir.nodes import Conditional, IRFunction, Loop
+
+
+@dataclass
+class ScopInfo:
+    """Whether a loop nest is a static control part Polly can model."""
+
+    root: Loop
+    is_scop: bool = True
+    reasons: List[str] = field(default_factory=list)
+    depth: int = 1
+    statement_count: int = 0
+
+    def reject(self, reason: str) -> None:
+        self.is_scop = False
+        self.reasons.append(reason)
+
+
+def detect_scop(function: IRFunction, root: Loop) -> ScopInfo:
+    """Check whether the nest rooted at ``root`` is a SCoP.
+
+    Requirements (a practical subset of Polly's):
+
+    * every loop in the nest is a counted loop without early exits or calls,
+    * loop bounds evaluate to constants or affine forms of outer induction
+      variables,
+    * every memory subscript is an affine function of the induction
+      variables.
+    """
+    info = ScopInfo(root=root, depth=root.depth_below)
+    loops = root.all_loops()
+    induction_vars = [loop.var for loop in loops]
+
+    for loop in loops:
+        info.statement_count += len(loop.statements(recursive=False))
+        if loop.has_early_exit:
+            info.reject(f"loop over {loop.var!r} has an early exit")
+        if loop.has_calls:
+            info.reject(f"loop over {loop.var!r} calls an opaque function")
+        outer_vars = [l.var for l in function.enclosing_loops(loop)[:-1]]
+        for bound_name, bound in (("lower", loop.lower), ("upper", loop.upper)):
+            value = evaluate_expr(bound, {})
+            form = affine_of(bound, outer_vars)
+            if value is None and not form.is_affine:
+                info.reject(
+                    f"{bound_name} bound of loop {loop.var!r} is not affine"
+                )
+
+    for statement in root.statements(recursive=True):
+        for access in statement.accesses():
+            for subscript in access.subscripts:
+                form = affine_of(subscript, induction_vars)
+                if not form.is_affine:
+                    info.reject(
+                        f"subscript of {access.array!r} is not affine"
+                    )
+                    break
+    return info
+
+
+def function_scops(function: IRFunction) -> List[ScopInfo]:
+    """SCoP info for every top-level loop nest of the function."""
+    return [detect_scop(function, loop) for loop in function.top_level_loops()]

@@ -1,0 +1,184 @@
+"""The vectorization environment: a contextual bandit over loop embeddings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.loop_extractor import ExtractedLoop, extract_loops
+from repro.core.pipeline import CompilationResult, CompileAndMeasure
+from repro.datasets.kernels import LoopKernel
+from repro.embedding.ast_paths import extract_path_contexts
+from repro.embedding.code2vec import Code2VecModel
+from repro.embedding.vocab import normalize_identifiers
+from repro.rl.spaces import ActionSpace, default_action_space
+
+
+@dataclass
+class EnvSample:
+    """One training sample: a specific innermost loop of a specific kernel."""
+
+    kernel: LoopKernel
+    loop_index: int
+    observation: np.ndarray
+    baseline_cycles: float
+    baseline_compile_seconds: float
+    extracted: Optional[ExtractedLoop] = None
+
+
+def build_samples(
+    kernels: Sequence[LoopKernel],
+    embedding_model: Code2VecModel,
+    pipeline: Optional[CompileAndMeasure] = None,
+    max_contexts: int = 200,
+) -> List[EnvSample]:
+    """Embed every innermost loop of every kernel and record its baseline.
+
+    Kernels whose loops cannot be extracted or measured are skipped (the
+    paper likewise drops programs that fail to compile).
+    """
+    pipeline = pipeline or CompileAndMeasure()
+    samples: List[EnvSample] = []
+    for kernel in kernels:
+        try:
+            loops = extract_loops(kernel.source, function_name=kernel.function_name)
+            baseline = pipeline.measure_baseline(kernel)
+        except Exception:
+            continue
+        for loop in loops:
+            rename_map = normalize_identifiers(loop.nest_root)
+            contexts = extract_path_contexts(
+                loop.nest_root, max_contexts=max_contexts, rename_map=rename_map
+            )
+            observation = embedding_model.embed(contexts)
+            samples.append(
+                EnvSample(
+                    kernel=kernel,
+                    loop_index=loop.loop_index,
+                    observation=observation,
+                    baseline_cycles=baseline.cycles,
+                    baseline_compile_seconds=baseline.compile_seconds,
+                    extracted=loop,
+                )
+            )
+    return samples
+
+
+@dataclass
+class StepResult:
+    """What one environment step returns."""
+
+    reward: float
+    info: Dict[str, float] = field(default_factory=dict)
+
+
+class VectorizationEnv:
+    """Contextual-bandit environment over a set of loop samples.
+
+    ``reset`` returns the embedding of the next loop; ``step`` takes the
+    agent's raw action, decodes it to (VF, IF) through the configured action
+    space, compiles the kernel with those factors for the chosen loop (other
+    loops stay at the baseline's decision), and returns the reward
+
+        reward = (t_baseline - t_agent) / t_baseline                  (Eq. 2)
+
+    with the §3.4 rule: if the estimated compile time exceeds
+    ``compile_time_limit`` times the baseline's compile time the reward is
+    the penalty (-9) instead.
+    """
+
+    def __init__(
+        self,
+        samples: Sequence[EnvSample],
+        pipeline: Optional[CompileAndMeasure] = None,
+        action_space: Optional[ActionSpace] = None,
+        compile_time_limit: float = 10.0,
+        compile_time_penalty: float = -9.0,
+        shuffle: bool = True,
+        seed: int = 0,
+    ):
+        if not samples:
+            raise ValueError("the environment needs at least one sample")
+        self.samples = list(samples)
+        self.pipeline = pipeline or CompileAndMeasure()
+        self.action_space = action_space or default_action_space()
+        self.compile_time_limit = compile_time_limit
+        self.compile_time_penalty = compile_time_penalty
+        self.shuffle = shuffle
+        self.rng = np.random.default_rng(seed)
+        self._order = np.arange(len(self.samples))
+        self._cursor = 0
+        self._current: Optional[EnvSample] = None
+        self.observation_dim = int(self.samples[0].observation.shape[0])
+        self.total_steps = 0
+        self._reward_cache: Dict[Tuple[str, int, int, int], float] = {}
+
+    # -- episode control -------------------------------------------------------------
+
+    def reset(self) -> np.ndarray:
+        if self._cursor >= len(self._order):
+            self._cursor = 0
+            if self.shuffle:
+                self.rng.shuffle(self._order)
+        self._current = self.samples[self._order[self._cursor]]
+        self._cursor += 1
+        return self._current.observation
+
+    def current_sample(self) -> EnvSample:
+        if self._current is None:
+            raise RuntimeError("call reset() before step()")
+        return self._current
+
+    def step(self, action) -> StepResult:
+        sample = self.current_sample()
+        vf, interleave = self.action_space.decode(action)
+        reward, info = self.evaluate_factors(sample, vf, interleave)
+        self.total_steps += 1
+        self._current = None
+        return StepResult(reward=reward, info=info)
+
+    # -- reward computation --------------------------------------------------------------
+
+    def evaluate_factors(
+        self, sample: EnvSample, vf: int, interleave: int
+    ) -> Tuple[float, Dict[str, float]]:
+        """Reward for choosing (vf, interleave) on one sample (cached)."""
+        key = (sample.kernel.name, sample.loop_index, vf, interleave)
+        info: Dict[str, float] = {"vf": float(vf), "interleave": float(interleave)}
+        if key in self._reward_cache:
+            reward = self._reward_cache[key]
+            info["cached"] = 1.0
+            return reward, info
+        result = self.pipeline.measure_with_factors(
+            sample.kernel, {sample.loop_index: (vf, interleave)}
+        )
+        info["cycles"] = result.cycles
+        info["baseline_cycles"] = sample.baseline_cycles
+        info["compile_seconds"] = result.compile_seconds
+        if (
+            sample.baseline_compile_seconds > 0
+            and result.compile_seconds
+            > self.compile_time_limit * sample.baseline_compile_seconds
+        ):
+            reward = self.compile_time_penalty
+            info["compile_time_exceeded"] = 1.0
+        else:
+            reward = (sample.baseline_cycles - result.cycles) / max(
+                sample.baseline_cycles, 1e-9
+            )
+        self._reward_cache[key] = reward
+        return reward, info
+
+    # -- evaluation helpers ---------------------------------------------------------------
+
+    def greedy_rewards(self, policy) -> List[float]:
+        """Reward of the policy's argmax action on every sample (no sampling)."""
+        rewards = []
+        for sample in self.samples:
+            action = policy.act(sample.observation, deterministic=True).action
+            vf, interleave = self.action_space.decode(action)
+            reward, _ = self.evaluate_factors(sample, vf, interleave)
+            rewards.append(reward)
+        return rewards

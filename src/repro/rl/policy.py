@@ -1,0 +1,203 @@
+"""Policy networks (tanh MLPs with categorical or Gaussian heads)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn import ops
+from repro.nn.initializers import zeros_init
+from repro.nn.layers import Dense, MLP, Module, Parameter
+from repro.nn.losses import (
+    categorical_entropy,
+    categorical_log_prob,
+    gaussian_entropy,
+    gaussian_log_prob,
+)
+from repro.nn.tensor import Tensor, no_grad
+from repro.rl.spaces import ContinuousJointSpace, ContinuousPairSpace, DiscreteFactorSpace
+
+
+@dataclass
+class PolicyOutput:
+    """Result of acting on one observation."""
+
+    action: np.ndarray
+    log_prob: float
+    value: float
+
+
+class Policy(Module):
+    """Common interface: act on observations, evaluate log-probs for PPO."""
+
+    observation_dim: int
+
+    def act(self, observation: np.ndarray, deterministic: bool = False) -> PolicyOutput:
+        raise NotImplementedError
+
+    def evaluate(self, observations: np.ndarray, actions: np.ndarray):
+        """Return (log_probs, entropy, values) tensors for a batch."""
+        raise NotImplementedError
+
+
+class DiscretePolicy(Policy):
+    """Two categorical heads (VF index, IF index) plus a value head.
+
+    This is action-space definition 1 of Figure 6, the one the paper finds
+    performs best.  Default hidden sizes are the paper's 64x64 FCNN.
+    """
+
+    def __init__(
+        self,
+        observation_dim: int,
+        space: Optional[DiscreteFactorSpace] = None,
+        hidden_sizes: Sequence[int] = (64, 64),
+        seed: int = 0,
+    ):
+        self.space = space or DiscreteFactorSpace()
+        self.observation_dim = observation_dim
+        vf_classes, if_classes = self.space.sizes
+        rng = np.random.default_rng(seed)
+        self.trunk = MLP(observation_dim, hidden_sizes, hidden_sizes[-1],
+                         activation="tanh", output_activation="tanh", rng=rng)
+        self.vf_head = Dense(hidden_sizes[-1], vf_classes, rng=rng, weight_scale=0.01)
+        self.if_head = Dense(hidden_sizes[-1], if_classes, rng=rng, weight_scale=0.01)
+        self.value_head = Dense(hidden_sizes[-1], 1, rng=rng, weight_scale=0.01)
+        self.rng = np.random.default_rng(seed + 1)
+
+    # -- forward -----------------------------------------------------------------
+
+    def _heads(self, observations: Tensor) -> Tuple[Tensor, Tensor, Tensor]:
+        hidden = self.trunk(observations)
+        return self.vf_head(hidden), self.if_head(hidden), self.value_head(hidden)
+
+    def act(self, observation: np.ndarray, deterministic: bool = False) -> PolicyOutput:
+        with no_grad():
+            batch = Tensor(observation.reshape(1, -1))
+            vf_logits, if_logits, value = self._heads(batch)
+            vf_probs = _softmax(vf_logits.numpy()[0])
+            if_probs = _softmax(if_logits.numpy()[0])
+            if deterministic:
+                vf_index = int(np.argmax(vf_probs))
+                if_index = int(np.argmax(if_probs))
+            else:
+                vf_index = int(self.rng.choice(len(vf_probs), p=vf_probs))
+                if_index = int(self.rng.choice(len(if_probs), p=if_probs))
+            log_prob = float(
+                np.log(vf_probs[vf_index] + 1e-12) + np.log(if_probs[if_index] + 1e-12)
+            )
+            return PolicyOutput(
+                action=np.array([vf_index, if_index]),
+                log_prob=log_prob,
+                value=float(value.numpy()[0, 0]),
+            )
+
+    def evaluate(self, observations: np.ndarray, actions: np.ndarray):
+        batch = Tensor(observations)
+        vf_logits, if_logits, values = self._heads(batch)
+        vf_actions = actions[:, 0].astype(np.int64)
+        if_actions = actions[:, 1].astype(np.int64)
+        log_probs = ops.add(
+            categorical_log_prob(vf_logits, vf_actions),
+            categorical_log_prob(if_logits, if_actions),
+        )
+        entropy = ops.add(categorical_entropy(vf_logits), categorical_entropy(if_logits))
+        return log_probs, entropy, ops.reshape(values, (-1,))
+
+
+class ContinuousPolicy(Policy):
+    """Gaussian policy over 1 or 2 continuous action values in [0, 1].
+
+    These are action-space definitions 2 and 3 of Figure 6; the environment
+    rounds the sampled values to the nearest valid factors.
+    """
+
+    def __init__(
+        self,
+        observation_dim: int,
+        action_dims: int = 1,
+        hidden_sizes: Sequence[int] = (64, 64),
+        seed: int = 0,
+        initial_log_std: float = -0.5,
+    ):
+        if action_dims not in (1, 2):
+            raise ValueError("continuous policies use 1 or 2 action dimensions")
+        self.observation_dim = observation_dim
+        self.action_dims = action_dims
+        self.space = (
+            ContinuousJointSpace() if action_dims == 1 else ContinuousPairSpace()
+        )
+        rng = np.random.default_rng(seed)
+        self.trunk = MLP(observation_dim, hidden_sizes, hidden_sizes[-1],
+                         activation="tanh", output_activation="tanh", rng=rng)
+        self.mean_head = Dense(hidden_sizes[-1], action_dims, rng=rng, weight_scale=0.01)
+        self.value_head = Dense(hidden_sizes[-1], 1, rng=rng, weight_scale=0.01)
+        self.log_std = Parameter(
+            np.full((action_dims,), initial_log_std), name="log_std"
+        )
+        self.rng = np.random.default_rng(seed + 1)
+
+    def _heads(self, observations: Tensor) -> Tuple[Tensor, Tensor]:
+        hidden = self.trunk(observations)
+        mean = ops.sigmoid(self.mean_head(hidden))  # keep the mean in [0, 1]
+        value = self.value_head(hidden)
+        return mean, value
+
+    def act(self, observation: np.ndarray, deterministic: bool = False) -> PolicyOutput:
+        with no_grad():
+            batch = Tensor(observation.reshape(1, -1))
+            mean, value = self._heads(batch)
+            mean_values = mean.numpy()[0]
+            std = np.exp(self.log_std.numpy())
+            if deterministic:
+                sample = mean_values
+            else:
+                sample = mean_values + std * self.rng.standard_normal(self.action_dims)
+            log_prob = float(
+                np.sum(
+                    -0.5 * ((sample - mean_values) / std) ** 2
+                    - np.log(std)
+                    - 0.5 * np.log(2 * np.pi)
+                )
+            )
+            return PolicyOutput(
+                action=np.clip(sample, 0.0, 1.0),
+                log_prob=log_prob,
+                value=float(value.numpy()[0, 0]),
+            )
+
+    def evaluate(self, observations: np.ndarray, actions: np.ndarray):
+        batch = Tensor(observations)
+        mean, values = self._heads(batch)
+        log_probs = gaussian_log_prob(mean, self.log_std, actions)
+        entropy = gaussian_entropy(self.log_std)
+        # Broadcast the (scalar) entropy across the batch for a uniform API.
+        batch_size = observations.shape[0]
+        entropy = ops.mul(entropy, Tensor(np.ones(batch_size)))
+        return log_probs, entropy, ops.reshape(values, (-1,))
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    exps = np.exp(shifted)
+    return exps / exps.sum()
+
+
+def make_policy(
+    kind: str,
+    observation_dim: int,
+    hidden_sizes: Sequence[int] = (64, 64),
+    seed: int = 0,
+) -> Policy:
+    """Factory for the three action-space variants of Figure 6."""
+    if kind == "discrete":
+        return DiscretePolicy(observation_dim, hidden_sizes=hidden_sizes, seed=seed)
+    if kind == "continuous1":
+        return ContinuousPolicy(observation_dim, action_dims=1,
+                                hidden_sizes=hidden_sizes, seed=seed)
+    if kind == "continuous2":
+        return ContinuousPolicy(observation_dim, action_dims=2,
+                                hidden_sizes=hidden_sizes, seed=seed)
+    raise ValueError(f"unknown policy kind {kind!r}")

@@ -1,0 +1,229 @@
+"""Proximal Policy Optimization for the vectorization contextual bandit."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import ops
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.rl.env import VectorizationEnv
+from repro.rl.policy import Policy
+
+
+@dataclass
+class PPOConfig:
+    """Hyperparameters (defaults follow §4: 64x64 FCNN, lr 5e-5, batch 4000)."""
+
+    learning_rate: float = 5e-5
+    train_batch_size: int = 4000
+    minibatch_size: int = 128
+    epochs_per_batch: int = 8
+    clip_ratio: float = 0.3
+    value_coefficient: float = 0.5
+    entropy_coefficient: float = 0.01
+    max_gradient_norm: float = 5.0
+    reward_clip: Optional[float] = None
+
+    def scaled(self, **overrides) -> "PPOConfig":
+        """A copy of this config with some fields replaced."""
+        values = dict(self.__dict__)
+        values.update(overrides)
+        return PPOConfig(**values)
+
+
+@dataclass
+class IterationStats:
+    """Metrics for one training iteration (one collected batch)."""
+
+    iteration: int
+    steps_total: int
+    reward_mean: float
+    reward_min: float
+    reward_max: float
+    total_loss: float
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    wall_time_seconds: float
+
+
+@dataclass
+class TrainingHistory:
+    """Reward/loss curves over training — the data behind Figures 5 and 6."""
+
+    config: PPOConfig
+    iterations: List[IterationStats] = field(default_factory=list)
+
+    def reward_curve(self) -> List[float]:
+        return [it.reward_mean for it in self.iterations]
+
+    def loss_curve(self) -> List[float]:
+        return [it.total_loss for it in self.iterations]
+
+    def steps(self) -> List[int]:
+        return [it.steps_total for it in self.iterations]
+
+    @property
+    def final_reward_mean(self) -> float:
+        return self.iterations[-1].reward_mean if self.iterations else float("nan")
+
+    @property
+    def best_reward_mean(self) -> float:
+        return max((it.reward_mean for it in self.iterations), default=float("nan"))
+
+    def converged_at(self, threshold: float = 0.0) -> Optional[int]:
+        """First step count at which the mean reward exceeds ``threshold``."""
+        for stats in self.iterations:
+            if stats.reward_mean > threshold:
+                return stats.steps_total
+        return None
+
+
+class PPOTrainer:
+    """Single-process PPO trainer over a :class:`VectorizationEnv`.
+
+    Episodes are single-step (contextual bandit), so the advantage of an
+    action is simply ``reward - value_estimate`` and there is no bootstrapping
+    or discounting to do.
+    """
+
+    def __init__(
+        self,
+        env: VectorizationEnv,
+        policy: Policy,
+        config: Optional[PPOConfig] = None,
+    ):
+        self.env = env
+        self.policy = policy
+        self.config = config or PPOConfig()
+        # The environment must decode actions with the policy's own space.
+        if hasattr(policy, "space"):
+            self.env.action_space = policy.space
+        self.optimizer = Adam(policy.parameters(), self.config.learning_rate)
+        self.history = TrainingHistory(config=self.config)
+        self.total_steps = 0
+
+    # -- rollout collection --------------------------------------------------------
+
+    def collect_batch(self, batch_size: int):
+        observations: List[np.ndarray] = []
+        actions: List[np.ndarray] = []
+        log_probs: List[float] = []
+        rewards: List[float] = []
+        values: List[float] = []
+        for _ in range(batch_size):
+            observation = self.env.reset()
+            output = self.policy.act(observation)
+            step = self.env.step(output.action)
+            reward = step.reward
+            if self.config.reward_clip is not None:
+                reward = float(
+                    np.clip(reward, -self.config.reward_clip, self.config.reward_clip)
+                )
+            observations.append(observation)
+            actions.append(np.asarray(output.action, dtype=np.float64))
+            log_probs.append(output.log_prob)
+            rewards.append(reward)
+            values.append(output.value)
+        return (
+            np.stack(observations),
+            np.stack(actions),
+            np.asarray(log_probs),
+            np.asarray(rewards),
+            np.asarray(values),
+        )
+
+    # -- optimisation ---------------------------------------------------------------
+
+    def update(self, observations, actions, old_log_probs, rewards, values) -> Dict[str, float]:
+        advantages = rewards - values
+        if advantages.std() > 1e-8:
+            advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+        returns = rewards
+
+        batch_size = observations.shape[0]
+        indices = np.arange(batch_size)
+        config = self.config
+        last_metrics: Dict[str, float] = {}
+        rng = np.random.default_rng(self.total_steps)
+
+        for _ in range(config.epochs_per_batch):
+            rng.shuffle(indices)
+            for start in range(0, batch_size, config.minibatch_size):
+                batch = indices[start : start + config.minibatch_size]
+                metrics = self._update_minibatch(
+                    observations[batch],
+                    actions[batch],
+                    old_log_probs[batch],
+                    advantages[batch],
+                    returns[batch],
+                )
+                last_metrics = metrics
+        return last_metrics
+
+    def _update_minibatch(
+        self, observations, actions, old_log_probs, advantages, returns
+    ) -> Dict[str, float]:
+        config = self.config
+        log_probs, entropy, values = self.policy.evaluate(observations, actions)
+        ratio = ops.exp(ops.sub(log_probs, Tensor(old_log_probs)))
+        advantage_tensor = Tensor(advantages)
+        unclipped = ops.mul(ratio, advantage_tensor)
+        clipped = ops.mul(
+            ops.clip(ratio, 1.0 - config.clip_ratio, 1.0 + config.clip_ratio),
+            advantage_tensor,
+        )
+        policy_loss = ops.mul(ops.mean(ops.minimum(unclipped, clipped)), -1.0)
+        value_loss = mse_loss(values, Tensor(returns))
+        entropy_bonus = ops.mean(entropy)
+        total_loss = ops.add(
+            ops.add(policy_loss, ops.mul(value_loss, config.value_coefficient)),
+            ops.mul(entropy_bonus, -config.entropy_coefficient),
+        )
+        self.optimizer.zero_grad()
+        total_loss.backward()
+        self.optimizer.clip_gradients(config.max_gradient_norm)
+        self.optimizer.step()
+        return {
+            "total_loss": float(total_loss.item()),
+            "policy_loss": float(policy_loss.item()),
+            "value_loss": float(value_loss.item()),
+            "entropy": float(entropy_bonus.item()),
+        }
+
+    # -- training loop -----------------------------------------------------------------
+
+    def train(self, total_steps: int, batch_size: Optional[int] = None) -> TrainingHistory:
+        """Run training until ``total_steps`` environment steps were consumed."""
+        batch_size = batch_size or min(self.config.train_batch_size, total_steps)
+        iteration = len(self.history.iterations)
+        while self.total_steps < total_steps:
+            start_time = time.perf_counter()
+            current_batch = min(batch_size, total_steps - self.total_steps)
+            observations, actions, log_probs, rewards, values = self.collect_batch(
+                current_batch
+            )
+            metrics = self.update(observations, actions, log_probs, rewards, values)
+            self.total_steps += current_batch
+            iteration += 1
+            self.history.iterations.append(
+                IterationStats(
+                    iteration=iteration,
+                    steps_total=self.total_steps,
+                    reward_mean=float(rewards.mean()),
+                    reward_min=float(rewards.min()),
+                    reward_max=float(rewards.max()),
+                    total_loss=metrics.get("total_loss", float("nan")),
+                    policy_loss=metrics.get("policy_loss", float("nan")),
+                    value_loss=metrics.get("value_loss", float("nan")),
+                    entropy=metrics.get("entropy", float("nan")),
+                    wall_time_seconds=time.perf_counter() - start_time,
+                )
+            )
+        return self.history

@@ -1,0 +1,115 @@
+"""Action-space encodings for the (VF, IF) decision.
+
+Figure 6 of the paper compares three encodings:
+
+1. **discrete** — the agent picks two integers indexing arrays of possible
+   VFs and IFs (this performed best),
+2. **continuous, one value** — a single real number encodes both factors,
+3. **continuous, two values** — one real number per factor, rounded to the
+   nearest valid index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: VF/IF menus used throughout the paper: powers of two, as in Equation (3).
+DEFAULT_VF_VALUES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+DEFAULT_IF_VALUES: Tuple[int, ...] = (1, 2, 4, 8, 16)
+
+
+@dataclass
+class ActionSpace:
+    """Base class: maps raw policy outputs to concrete (VF, IF) factors."""
+
+    vf_values: Tuple[int, ...] = DEFAULT_VF_VALUES
+    if_values: Tuple[int, ...] = DEFAULT_IF_VALUES
+
+    @property
+    def num_factor_pairs(self) -> int:
+        return len(self.vf_values) * len(self.if_values)
+
+    def decode(self, action) -> Tuple[int, int]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def encode(self, vf: int, interleave: int):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def all_factors(self) -> List[Tuple[int, int]]:
+        return [(vf, il) for vf in self.vf_values for il in self.if_values]
+
+    def _nearest_index(self, values: Sequence[int], target: int) -> int:
+        best_index, best_distance = 0, float("inf")
+        for index, value in enumerate(values):
+            distance = abs(value - target)
+            if distance < best_distance:
+                best_index, best_distance = index, distance
+        return best_index
+
+
+@dataclass
+class DiscreteFactorSpace(ActionSpace):
+    """Two categorical choices: an index into the VF menu and the IF menu."""
+
+    @property
+    def sizes(self) -> Tuple[int, int]:
+        return (len(self.vf_values), len(self.if_values))
+
+    def decode(self, action) -> Tuple[int, int]:
+        vf_index, if_index = int(action[0]), int(action[1])
+        vf_index = int(np.clip(vf_index, 0, len(self.vf_values) - 1))
+        if_index = int(np.clip(if_index, 0, len(self.if_values) - 1))
+        return self.vf_values[vf_index], self.if_values[if_index]
+
+    def encode(self, vf: int, interleave: int) -> Tuple[int, int]:
+        return (
+            self._nearest_index(self.vf_values, vf),
+            self._nearest_index(self.if_values, interleave),
+        )
+
+
+@dataclass
+class ContinuousJointSpace(ActionSpace):
+    """A single real number in [0, 1] encoding the flattened (VF, IF) grid."""
+
+    def decode(self, action) -> Tuple[int, int]:
+        value = float(np.asarray(action).reshape(-1)[0])
+        value = float(np.clip(value, 0.0, 1.0))
+        flat_index = int(round(value * (self.num_factor_pairs - 1)))
+        vf_index, if_index = divmod(flat_index, len(self.if_values))
+        return self.vf_values[vf_index], self.if_values[if_index]
+
+    def encode(self, vf: int, interleave: int) -> np.ndarray:
+        vf_index = self._nearest_index(self.vf_values, vf)
+        if_index = self._nearest_index(self.if_values, interleave)
+        flat_index = vf_index * len(self.if_values) + if_index
+        return np.array([flat_index / (self.num_factor_pairs - 1)])
+
+
+@dataclass
+class ContinuousPairSpace(ActionSpace):
+    """Two real numbers in [0, 1], one per factor, rounded to the menus."""
+
+    def decode(self, action) -> Tuple[int, int]:
+        values = np.clip(np.asarray(action, dtype=np.float64).reshape(-1), 0.0, 1.0)
+        vf_index = int(round(float(values[0]) * (len(self.vf_values) - 1)))
+        if_index = int(round(float(values[-1]) * (len(self.if_values) - 1)))
+        return self.vf_values[vf_index], self.if_values[if_index]
+
+    def encode(self, vf: int, interleave: int) -> np.ndarray:
+        vf_index = self._nearest_index(self.vf_values, vf)
+        if_index = self._nearest_index(self.if_values, interleave)
+        return np.array(
+            [
+                vf_index / (len(self.vf_values) - 1),
+                if_index / (len(self.if_values) - 1),
+            ]
+        )
+
+
+def default_action_space() -> DiscreteFactorSpace:
+    """The discrete encoding the paper settles on."""
+    return DiscreteFactorSpace()

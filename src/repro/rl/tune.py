@@ -1,0 +1,92 @@
+"""A miniature Tune: grid search over training configurations.
+
+The paper uses Ray Tune to sweep learning rates, network architectures,
+batch sizes and action-space definitions (Figures 5 and 6); this module
+provides the same "give me a dict of parameter lists, get back a curve per
+configuration" workflow.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.rl.env import VectorizationEnv
+from repro.rl.policy import make_policy
+from repro.rl.ppo import PPOConfig, PPOTrainer, TrainingHistory
+
+
+def grid_search(parameter_grid: Dict[str, Sequence]) -> List[Dict[str, object]]:
+    """Expand a dict of lists into the list of all configurations."""
+    if not parameter_grid:
+        return [{}]
+    keys = sorted(parameter_grid.keys())
+    combos = itertools.product(*(parameter_grid[key] for key in keys))
+    return [dict(zip(keys, combo)) for combo in combos]
+
+
+@dataclass
+class ExperimentResult:
+    """One configuration's training outcome."""
+
+    name: str
+    parameters: Dict[str, object]
+    history: TrainingHistory
+
+    @property
+    def final_reward_mean(self) -> float:
+        return self.history.final_reward_mean
+
+
+def _config_name(parameters: Dict[str, object]) -> str:
+    if not parameters:
+        return "default"
+    return ",".join(f"{key}={value}" for key, value in sorted(parameters.items()))
+
+
+def run_experiments(
+    make_env: Callable[[], VectorizationEnv],
+    parameter_grid: Dict[str, Sequence],
+    total_steps: int,
+    base_config: Optional[PPOConfig] = None,
+    seed: int = 0,
+) -> List[ExperimentResult]:
+    """Train one PPO agent per configuration in the grid.
+
+    Recognised parameter keys:
+
+    * ``learning_rate``, ``train_batch_size``, ``minibatch_size``,
+      ``entropy_coefficient`` — forwarded to :class:`PPOConfig`,
+    * ``hidden_sizes`` — the FCNN architecture (tuple of layer widths),
+    * ``policy`` — ``"discrete"``, ``"continuous1"`` or ``"continuous2"``
+      (the Figure 6 action-space study).
+    """
+    base_config = base_config or PPOConfig()
+    results: List[ExperimentResult] = []
+    for parameters in grid_search(parameter_grid):
+        env = make_env()
+        config_overrides = {
+            key: value
+            for key, value in parameters.items()
+            if key in PPOConfig().__dict__
+        }
+        config = base_config.scaled(**config_overrides)
+        hidden_sizes = tuple(parameters.get("hidden_sizes", (64, 64)))
+        policy_kind = str(parameters.get("policy", "discrete"))
+        policy = make_policy(
+            policy_kind, env.observation_dim, hidden_sizes=hidden_sizes, seed=seed
+        )
+        trainer = PPOTrainer(env, policy, config)
+        history = trainer.train(total_steps)
+        results.append(
+            ExperimentResult(
+                name=_config_name(parameters), parameters=parameters, history=history
+            )
+        )
+    return results
+
+
+def best_experiment(results: Sequence[ExperimentResult]) -> ExperimentResult:
+    """The configuration with the highest final mean reward."""
+    return max(results, key=lambda result: result.final_reward_mean)

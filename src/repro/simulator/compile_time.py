@@ -1,0 +1,67 @@
+"""Compilation-time model.
+
+Section 3.4 of the paper observes that over-aggressive factors blow up
+compile time (the vectorizer has to emit and register-allocate very wide
+bodies), and handles it by capping compilation at 10x the baseline's compile
+time and giving the agent a -9 reward when the cap is hit.  The environment
+needs an analogue of that behaviour, so this module estimates compile time
+as a function of how much code the chosen factors force the compiler to
+emit: roughly linear in the body size and superlinear in the number of
+physical vector copies (register allocation and scheduling).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.ir.nodes import IRFunction
+from repro.machine.description import MachineDescription
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-level import cycle
+    from repro.vectorizer.planner import FunctionVectorPlan
+
+#: Fixed front-end + mid-end time per translation unit (seconds).
+BASE_COMPILE_SECONDS = 0.05
+#: Per-statement lowering/optimisation cost.
+PER_STATEMENT_SECONDS = 0.002
+#: Per emitted vector copy of each statement.
+PER_COPY_SECONDS = 0.0008
+#: Superlinear term modelling register allocation / scheduling pressure.
+PRESSURE_SECONDS = 0.00012
+
+
+def estimate_compile_time(
+    function: IRFunction,
+    plan: Optional[FunctionVectorPlan] = None,
+    machine: Optional[MachineDescription] = None,
+) -> float:
+    """Estimated seconds to compile ``function`` with the given plan."""
+    machine = machine or (plan.machine if plan is not None else MachineDescription())
+    seconds = BASE_COMPILE_SECONDS
+    seconds += PER_STATEMENT_SECONDS * len(function.statements())
+    for loop in function.innermost_loops():
+        statements = len(loop.statements(recursive=True))
+        vf, interleave = 1, 1
+        element_bits = 32
+        if plan is not None:
+            loop_plan = plan.plan_for(loop)
+            if loop_plan is not None:
+                vf, interleave = loop_plan.vf, loop_plan.interleave
+                element_bits = loop_plan.analysis.element_bits
+        parts = machine.physical_parts(vf, element_bits)
+        copies = parts * interleave
+        seconds += PER_COPY_SECONDS * statements * copies
+        seconds += PRESSURE_SECONDS * (copies ** 2)
+    return seconds
+
+
+def compile_time_ratio(
+    function: IRFunction,
+    plan: FunctionVectorPlan,
+    baseline_plan: Optional[FunctionVectorPlan] = None,
+    machine: Optional[MachineDescription] = None,
+) -> float:
+    """Compile time of ``plan`` relative to the baseline plan (>1 = slower)."""
+    chosen = estimate_compile_time(function, plan, machine)
+    baseline = estimate_compile_time(function, baseline_plan, machine)
+    return chosen / max(baseline, 1e-9)

@@ -1,0 +1,197 @@
+"""Whole-function cycle estimation (walks the region tree)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Union
+
+from repro.analysis.loopinfo import LoopAnalysis, OperationMix, analyze_loop, _count_statement
+from repro.ir.evaluate import evaluate_expr, trip_count_of
+from repro.ir.nodes import Conditional, IRFunction, Loop, RegionNode, Statement
+from repro.machine.description import MachineDescription, OpClass
+from repro.simulator.cost import LoopCost, estimate_loop_cost
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-level import cycle
+    from repro.vectorizer.planner import FunctionVectorPlan
+
+
+@dataclass
+class FunctionCost:
+    """Estimated execution cost of one function call."""
+
+    function: IRFunction
+    machine: MachineDescription
+    total_cycles: float
+    loop_costs: Dict[int, LoopCost] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return self.machine.cycles_to_seconds(self.total_cycles)
+
+    def speedup_over(self, other: "FunctionCost") -> float:
+        """How much faster *this* cost is than ``other`` (>1 means faster)."""
+        if self.total_cycles <= 0:
+            return float("inf")
+        return other.total_cycles / self.total_cycles
+
+
+class Simulator:
+    """Estimates cycles for IR functions under a vectorization plan.
+
+    ``bindings`` provide runtime values for symbolic loop bounds and scalar
+    parameters (the equivalent of the paper's test harness choosing concrete
+    array sizes); any symbol still unknown falls back to
+    ``default_symbol_value``.
+    """
+
+    def __init__(
+        self,
+        machine: Optional[MachineDescription] = None,
+        bindings: Optional[Dict[str, float]] = None,
+        default_symbol_value: int = 256,
+    ):
+        self.machine = machine or MachineDescription()
+        self.bindings = dict(bindings or {})
+        self.default_symbol_value = default_symbol_value
+        self._analysis_cache: Dict[int, LoopAnalysis] = {}
+
+    # -- public API ---------------------------------------------------------------
+
+    def simulate(
+        self,
+        function: IRFunction,
+        plan: Optional[FunctionVectorPlan] = None,
+        extra_bindings: Optional[Dict[str, float]] = None,
+    ) -> FunctionCost:
+        bindings = dict(self.bindings)
+        if extra_bindings:
+            bindings.update(extra_bindings)
+        cost = FunctionCost(function=function, machine=self.machine, total_cycles=0.0)
+        cost.total_cycles = self._region_cycles(function.body, function, plan, bindings, cost)
+        return cost
+
+    def loop_analysis(self, function: IRFunction, loop: Loop) -> LoopAnalysis:
+        cached = self._analysis_cache.get(loop.loop_id)
+        if cached is not None and cached.function is function:
+            return cached
+        analysis = analyze_loop(function, loop)
+        self._analysis_cache[loop.loop_id] = analysis
+        return analysis
+
+    # -- region walking ---------------------------------------------------------------
+
+    def _region_cycles(
+        self,
+        nodes: Iterable[RegionNode],
+        function: IRFunction,
+        plan: Optional[FunctionVectorPlan],
+        bindings: Dict[str, float],
+        cost: FunctionCost,
+    ) -> float:
+        cycles = 0.0
+        for node in nodes:
+            if isinstance(node, Statement):
+                cycles += self._statement_cycles(node)
+            elif isinstance(node, Conditional):
+                then_cycles = self._region_cycles(
+                    node.then_body, function, plan, bindings, cost
+                )
+                else_cycles = self._region_cycles(
+                    node.else_body, function, plan, bindings, cost
+                )
+                cycles += 1.0 + max(then_cycles, else_cycles)
+            elif isinstance(node, Loop):
+                cycles += self._loop_cycles(node, function, plan, bindings, cost)
+        return cycles
+
+    def _loop_cycles(
+        self,
+        loop: Loop,
+        function: IRFunction,
+        plan: Optional[FunctionVectorPlan],
+        bindings: Dict[str, float],
+        cost: FunctionCost,
+    ) -> float:
+        trip = self._runtime_trip_count(loop, bindings)
+        if loop.is_innermost:
+            analysis = self.loop_analysis(function, loop)
+            loop_plan = plan.plan_for(loop) if plan is not None else None
+            if loop_plan is not None:
+                loop_cost = estimate_loop_cost(
+                    loop_plan.analysis,
+                    self.machine,
+                    loop_plan.vf,
+                    loop_plan.interleave,
+                    trip,
+                    legality=loop_plan.legality,
+                )
+            else:
+                loop_cost = estimate_loop_cost(analysis, self.machine, 1, 1, trip)
+            cost.loop_costs[loop.loop_id] = loop_cost
+            return loop_cost.total_cycles + 2.0
+        body_cycles = self._region_cycles(loop.body, function, plan, bindings, cost)
+        per_iteration = body_cycles + self.machine.loop_overhead_cycles
+        return trip * per_iteration + 4.0
+
+    # -- leaves ----------------------------------------------------------------------
+
+    def _statement_cycles(self, statement: Statement) -> float:
+        mix = OperationMix()
+        _count_statement(statement, mix)
+        machine = self.machine
+        cycles = (
+            mix.int_add * machine.cost(OpClass.INT_ADD).recip_throughput
+            + mix.int_mul * machine.cost(OpClass.INT_MUL).recip_throughput
+            + mix.int_div * machine.cost(OpClass.INT_DIV).recip_throughput
+            + mix.float_add * machine.cost(OpClass.FLOAT_ADD).recip_throughput
+            + mix.float_mul * machine.cost(OpClass.FLOAT_MUL).recip_throughput
+            + mix.float_div * machine.cost(OpClass.FLOAT_DIV).recip_throughput
+            + mix.bitwise * machine.cost(OpClass.BITWISE).recip_throughput
+            + mix.shift * machine.cost(OpClass.SHIFT).recip_throughput
+            + mix.compare * machine.cost(OpClass.COMPARE).recip_throughput
+            + mix.select * machine.cost(OpClass.SELECT).recip_throughput
+            + mix.convert * machine.cost(OpClass.CONVERT).recip_throughput
+            + mix.math_call * machine.cost(OpClass.MATH_CALL).recip_throughput
+            + mix.loads * machine.cost(OpClass.LOAD).recip_throughput
+            + mix.stores * machine.cost(OpClass.STORE).recip_throughput
+        )
+        return max(cycles, 0.25)
+
+    def _runtime_trip_count(self, loop: Loop, bindings: Dict[str, float]) -> int:
+        trip = trip_count_of(
+            loop.lower, loop.upper, loop.step, loop.condition_op, bindings
+        )
+        if trip is not None:
+            return int(trip)
+        if loop.trip_count is not None:
+            return loop.trip_count
+        # Bind every unknown symbol in the bounds to the default and retry.
+        symbols = {
+            ref.name
+            for expr in (loop.lower, loop.upper)
+            if expr is not None
+            for ref in expr.scalar_refs()
+        }
+        padded = dict(bindings)
+        for name in symbols:
+            padded.setdefault(name, self.default_symbol_value)
+        trip = trip_count_of(
+            loop.lower, loop.upper, loop.step, loop.condition_op, padded
+        )
+        if trip is not None:
+            return int(trip)
+        return self.default_symbol_value
+
+
+def simulate_function(
+    function: IRFunction,
+    plan: Optional[FunctionVectorPlan] = None,
+    machine: Optional[MachineDescription] = None,
+    bindings: Optional[Dict[str, float]] = None,
+    default_symbol_value: int = 256,
+) -> FunctionCost:
+    """Convenience wrapper around :class:`Simulator`."""
+    simulator = Simulator(
+        machine=machine, bindings=bindings, default_symbol_value=default_symbol_value
+    )
+    return simulator.simulate(function, plan)

@@ -1,0 +1,40 @@
+"""Loop vectorizer: legality, planning, the LLVM-like baseline cost model and
+the brute-force oracle.
+
+The flow mirrors LLVM's LoopVectorize pass:
+
+1. :mod:`repro.vectorizer.legality` decides whether a loop may be vectorized
+   at all and bounds the legal VF (dependences, early exits, calls).
+2. :mod:`repro.vectorizer.planner` turns *requested* factors (from pragmas or
+   an agent's action) into an *effective* :class:`LoopVectorPlan` after
+   clamping against legality and the machine.
+3. :mod:`repro.vectorizer.cost_model` is the baseline: it picks VF/IF with a
+   linear per-instruction cost table, exactly the kind of model the paper
+   criticises for ignoring the computation graph.
+4. :mod:`repro.vectorizer.bruteforce` sweeps every (VF, IF) pair through the
+   cycle simulator and returns the oracle optimum used for Figures 1, 2 and
+   the supervised labels.
+"""
+
+from repro.vectorizer.legality import VectorizationLegality, check_legality
+from repro.vectorizer.planner import (
+    FunctionVectorPlan,
+    LoopVectorPlan,
+    build_plan,
+    plan_from_pragmas,
+)
+from repro.vectorizer.cost_model import BaselineCostModel, BaselineDecision
+from repro.vectorizer.bruteforce import BruteForceResult, brute_force_search
+
+__all__ = [
+    "VectorizationLegality",
+    "check_legality",
+    "LoopVectorPlan",
+    "FunctionVectorPlan",
+    "build_plan",
+    "plan_from_pragmas",
+    "BaselineCostModel",
+    "BaselineDecision",
+    "BruteForceResult",
+    "brute_force_search",
+]

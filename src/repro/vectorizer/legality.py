@@ -1,0 +1,118 @@
+"""Vectorization legality analysis (the "can we?" half of the vectorizer)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.loopinfo import LoopAnalysis
+from repro.machine.description import MachineDescription
+
+
+@dataclass
+class VectorizationLegality:
+    """Outcome of the legality check for one innermost loop.
+
+    ``max_vf`` is the largest VF any transformation may use (1 means the loop
+    must stay scalar).  The boolean flags describe work the vectorized loop
+    will have to do at runtime, which the simulator charges for.
+    """
+
+    analysis: LoopAnalysis
+    max_vf: int = 1
+    needs_if_conversion: bool = False
+    needs_runtime_trip_check: bool = False
+    needs_alias_checks: bool = False
+    alias_check_count: int = 0
+    blocked_reasons: List[str] = field(default_factory=list)
+
+    @property
+    def can_vectorize(self) -> bool:
+        return self.max_vf > 1
+
+    def clamp_vf(self, requested_vf: int) -> int:
+        """Largest legal power-of-two VF not exceeding the request."""
+        vf = 1
+        while vf * 2 <= min(requested_vf, self.max_vf):
+            vf *= 2
+        return vf
+
+    def describe(self) -> str:
+        if self.can_vectorize:
+            extras = []
+            if self.needs_if_conversion:
+                extras.append("if-conversion")
+            if self.needs_runtime_trip_check:
+                extras.append("runtime trip check")
+            if self.needs_alias_checks:
+                extras.append(f"{self.alias_check_count} alias checks")
+            suffix = f" ({', '.join(extras)})" if extras else ""
+            return f"vectorizable up to VF={self.max_vf}{suffix}"
+        reasons = "; ".join(self.blocked_reasons) or "unknown reason"
+        return f"not vectorizable: {reasons}"
+
+
+def check_legality(
+    analysis: LoopAnalysis, machine: Optional[MachineDescription] = None
+) -> VectorizationLegality:
+    """Run the legality checks LLVM's LoopVectorizationLegality performs.
+
+    The structural checks (early exits, unknown calls, non-reduction scalar
+    recurrences, unanalysable dependences) force the loop to stay scalar;
+    loop-carried dependences at a finite distance merely cap the VF.
+    """
+    machine = machine or MachineDescription()
+    legality = VectorizationLegality(analysis=analysis)
+    loop = analysis.loop
+
+    if loop.has_early_exit:
+        legality.blocked_reasons.append("loop has an early exit or unknown bound")
+        legality.max_vf = 1
+        return legality
+    if loop.has_calls:
+        legality.blocked_reasons.append("loop body calls a non-vectorizable function")
+        legality.max_vf = 1
+        return legality
+
+    graph = analysis.dependence_graph
+    if graph is not None and graph.scalar_recurrences:
+        names = ", ".join(graph.scalar_recurrences)
+        legality.blocked_reasons.append(
+            f"loop-carried scalar recurrence on {names} is not a reduction"
+        )
+        legality.max_vf = 1
+        return legality
+
+    max_vf = analysis.max_legal_vf(machine.max_vectorize_width)
+    if max_vf <= 1:
+        legality.blocked_reasons.append(
+            "memory dependence prevents packing consecutive iterations"
+        )
+        legality.max_vf = 1
+        return legality
+
+    legality.max_vf = max_vf
+    legality.needs_if_conversion = analysis.has_predicates or any(
+        isinstance_select(analysis)
+    )
+    legality.needs_runtime_trip_check = analysis.has_unknown_trip_count
+
+    # Alias checks: distinct pointer-parameter arrays with at least one write
+    # need pairwise runtime memchecks (we assume the checks pass).
+    pointer_arrays = {
+        p.access.array
+        for p in analysis.access_patterns
+        if analysis.function.arrays.get(p.access.array) is not None
+        and analysis.function.arrays[p.access.array].is_parameter
+    }
+    written = {p.access.array for p in analysis.access_patterns if p.access.is_write}
+    if written & pointer_arrays and len(pointer_arrays) > 1:
+        pairs = len(pointer_arrays) * (len(pointer_arrays) - 1) // 2
+        legality.needs_alias_checks = True
+        legality.alias_check_count = pairs
+    return legality
+
+
+def isinstance_select(analysis: LoopAnalysis) -> List[bool]:
+    """True entries for each select in the loop (ternaries already lowered)."""
+    return [True] * analysis.operation_mix.select

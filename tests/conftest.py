@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import CompileAndMeasure
+from repro.datasets.motivating import dot_product_kernel
+from repro.frontend import parse_source
+from repro.ir.lowering import lower_unit
+from repro.machine.description import MachineDescription
+
+
+DOT_PRODUCT_SOURCE = """
+int vec[512] __attribute__((aligned(16)));
+int example1() {
+    int sum = 0;
+    for (int i = 0; i < 512; i++) {
+        sum += vec[i] * vec[i];
+    }
+    return sum;
+}
+"""
+
+SAXPY_SOURCE = """
+float x[4096], y[4096];
+void saxpy(float alpha) {
+    for (int i = 0; i < 4096; i++) {
+        y[i] = alpha * x[i] + y[i];
+    }
+}
+"""
+
+MATMUL_SOURCE = """
+float A[64][64], B[64][64], C[64][64];
+void matmul(float alpha) {
+    for (int i = 0; i < 64; i++) {
+        for (int j = 0; j < 64; j++) {
+            float sum = 0;
+            for (int k = 0; k < 64; k++) {
+                sum += alpha * A[i][k] * B[k][j];
+            }
+            C[i][j] = sum;
+        }
+    }
+}
+"""
+
+PREDICATE_SOURCE = """
+void clip(int *a, int *b, int n, int limit) {
+    for (int i = 0; i < n; i++) {
+        int j = a[i];
+        b[i] = (j > limit ? limit : 0);
+    }
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def machine() -> MachineDescription:
+    return MachineDescription()
+
+
+@pytest.fixture(scope="session")
+def pipeline(machine) -> CompileAndMeasure:
+    return CompileAndMeasure(machine=machine)
+
+
+@pytest.fixture(scope="session")
+def dot_kernel():
+    return dot_product_kernel()
+
+
+@pytest.fixture
+def dot_ir():
+    unit = parse_source(DOT_PRODUCT_SOURCE)
+    return lower_unit(unit)["example1"]
+
+
+@pytest.fixture
+def saxpy_ir():
+    unit = parse_source(SAXPY_SOURCE)
+    return lower_unit(unit)["saxpy"]
+
+
+@pytest.fixture
+def matmul_ir():
+    unit = parse_source(MATMUL_SOURCE)
+    return lower_unit(unit)["matmul"]
+
+
+@pytest.fixture
+def predicate_ir():
+    unit = parse_source(PREDICATE_SOURCE)
+    return lower_unit(unit)["clip"]

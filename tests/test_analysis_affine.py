@@ -1,0 +1,153 @@
+"""Affine analysis and access-pattern classification tests."""
+
+import pytest
+
+from repro.analysis.affine import affine_of, classify_access
+from repro.analysis.loopinfo import analyze_loop
+from repro.frontend import parse_source
+from repro.ir.expr import BinOp, Const, LoadOp, ScalarRef
+from repro.ir.lowering import lower_unit
+
+
+def _ir(source, name=None):
+    functions = lower_unit(parse_source(source))
+    return next(iter(functions.values())) if name is None else functions[name]
+
+
+class TestAffineForms:
+    def test_constant(self):
+        form = affine_of(Const(value=5), ["i"])
+        assert form.is_constant
+        assert form.constant == 5
+
+    def test_induction_variable(self):
+        form = affine_of(ScalarRef(name="i"), ["i"])
+        assert form.coefficient("i") == 1
+
+    def test_linear_combination(self):
+        # 2*i + 3
+        expr = BinOp(op="+", lhs=BinOp(op="*", lhs=Const(value=2), rhs=ScalarRef(name="i")),
+                     rhs=Const(value=3))
+        form = affine_of(expr, ["i"])
+        assert form.coefficient("i") == 2
+        assert form.constant == 3
+
+    def test_two_variables(self):
+        # i*8 + j
+        expr = BinOp(op="+", lhs=BinOp(op="*", lhs=ScalarRef(name="i"), rhs=Const(value=8)),
+                     rhs=ScalarRef(name="j"))
+        form = affine_of(expr, ["i", "j"])
+        assert form.coefficient("i") == 8
+        assert form.coefficient("j") == 1
+
+    def test_subtraction_and_negation(self):
+        expr = BinOp(op="-", lhs=ScalarRef(name="i"), rhs=Const(value=1))
+        form = affine_of(expr, ["i"])
+        assert form.constant == -1
+
+    def test_shift_as_multiplication(self):
+        expr = BinOp(op="<<", lhs=ScalarRef(name="i"), rhs=Const(value=2))
+        form = affine_of(expr, ["i"])
+        assert form.coefficient("i") == 4
+
+    def test_symbolic_invariant(self):
+        expr = BinOp(op="+", lhs=ScalarRef(name="i"), rhs=ScalarRef(name="offset"))
+        form = affine_of(expr, ["i"])
+        assert form.is_affine
+        assert form.symbols == {"offset": 1}
+
+    def test_product_of_variables_not_affine(self):
+        expr = BinOp(op="*", lhs=ScalarRef(name="i"), rhs=ScalarRef(name="i"))
+        assert not affine_of(expr, ["i"]).is_affine
+
+    def test_load_not_affine(self):
+        expr = LoadOp(array="idx", subscripts=(ScalarRef(name="i"),))
+        assert not affine_of(expr, ["i"]).is_affine
+
+    def test_difference_is_constant(self):
+        a = affine_of(BinOp(op="+", lhs=ScalarRef(name="i"), rhs=Const(value=4)), ["i"])
+        b = affine_of(ScalarRef(name="i"), ["i"])
+        assert a.difference_is_constant(b) == 4
+        c = affine_of(BinOp(op="*", lhs=Const(value=2), rhs=ScalarRef(name="i")), ["i"])
+        assert a.difference_is_constant(c) is None
+
+    def test_division_by_even_divisor(self):
+        expr = BinOp(op="/", lhs=BinOp(op="*", lhs=Const(value=4), rhs=ScalarRef(name="i")),
+                     rhs=Const(value=2))
+        form = affine_of(expr, ["i"])
+        assert form.coefficient("i") == 2
+
+
+class TestAccessClassification:
+    def _patterns(self, source, name=None):
+        ir = _ir(source, name)
+        loop = ir.innermost_loops()[0]
+        analysis = analyze_loop(ir, loop)
+        return {
+            (p.access.array, p.access.is_write): p for p in analysis.access_patterns
+        }
+
+    def test_contiguous_access(self):
+        patterns = self._patterns(
+            "float a[64], b[64];\nvoid f() { for (int i = 0; i < 64; i++) a[i] = b[i]; }"
+        )
+        assert patterns[("b", False)].kind == "contiguous"
+        assert patterns[("a", True)].kind == "contiguous"
+        assert patterns[("b", False)].stride_elements == 1
+
+    def test_strided_access(self):
+        patterns = self._patterns(
+            "float a[32], b[64];\nvoid f() { for (int i = 0; i < 32; i++) a[i] = b[2*i]; }"
+        )
+        assert patterns[("b", False)].kind == "strided"
+        assert patterns[("b", False)].stride_elements == 2
+
+    def test_loop_step_contributes_to_stride(self):
+        patterns = self._patterns(
+            "float a[64];\nvoid f() { for (int i = 0; i < 64; i += 4) a[i] = 0; }"
+        )
+        assert patterns[("a", True)].stride_elements == 4
+
+    def test_invariant_access(self):
+        patterns = self._patterns(
+            "float a[64], b[4];\nvoid f(int k) { for (int i = 0; i < 64; i++) a[i] = b[k]; }"
+        )
+        assert patterns[("b", False)].kind == "invariant"
+
+    def test_gather_through_index_array(self):
+        patterns = self._patterns(
+            "int idx[64];\nfloat a[64], b[256];\n"
+            "void f() { for (int i = 0; i < 64; i++) a[i] = b[idx[i]]; }"
+        )
+        assert patterns[("b", False)].kind == "gather"
+        assert patterns[("b", False)].stride_elements is None
+
+    def test_matrix_row_access_is_contiguous(self):
+        patterns = self._patterns(
+            "float A[16][16], out[16];\nvoid f() {"
+            " for (int i = 0; i < 16; i++) { float s = 0;"
+            " for (int j = 0; j < 16; j++) { s += A[i][j]; } out[i] = s; } }"
+        )
+        assert patterns[("A", False)].kind == "contiguous"
+
+    def test_matrix_column_access_is_strided(self):
+        patterns = self._patterns(
+            "float A[16][16], out[16];\nvoid f() {"
+            " for (int j = 0; j < 16; j++) { float s = 0;"
+            " for (int i = 0; i < 16; i++) { s += A[i][j]; } out[j] = s; } }"
+        )
+        assert patterns[("A", False)].kind == "strided"
+        assert patterns[("A", False)].stride_elements == 16
+
+    def test_stride_bytes(self):
+        patterns = self._patterns(
+            "double a[64];\nvoid f() { for (int i = 0; i < 64; i++) a[i] = 1.0; }"
+        )
+        assert patterns[("a", True)].stride_bytes == 8
+
+    def test_scalar_subscript_written_in_body_is_gather(self):
+        patterns = self._patterns(
+            "int a[64], b[64];\nvoid f() {"
+            " for (int i = 0; i < 64; i++) { int j = a[i]; b[j] = 1; } }"
+        )
+        assert patterns[("b", True)].kind == "gather"

@@ -1,0 +1,192 @@
+"""Dependence analysis and reduction recognition tests."""
+
+import pytest
+
+from repro.analysis.dependence import analyze_dependences, max_safe_vf
+from repro.analysis.loopinfo import analyze_loop
+from repro.analysis.reduction import find_reductions
+from repro.frontend import parse_source
+from repro.ir.lowering import lower_unit
+
+
+def _loop_and_function(source, name=None):
+    functions = lower_unit(parse_source(source))
+    function = next(iter(functions.values())) if name is None else functions[name]
+    return function, function.innermost_loops()[0]
+
+
+class TestDependences:
+    def test_independent_elementwise(self):
+        function, loop = _loop_and_function(
+            "float a[64], b[64];\nvoid f() { for (int i = 0; i < 64; i++) a[i] = b[i]; }"
+        )
+        graph = analyze_dependences(loop, function.arrays)
+        assert graph.min_carried_distance() is None
+        assert max_safe_vf(graph) == 64
+
+    def test_carried_dependence_distance(self):
+        function, loop = _loop_and_function(
+            "float a[64];\nvoid f() { for (int i = 4; i < 64; i++) a[i] = a[i-4]; }"
+        )
+        graph = analyze_dependences(loop, function.arrays)
+        assert graph.min_carried_distance() == 4
+        assert max_safe_vf(graph) == 4
+
+    def test_distance_one_prevents_vectorization(self):
+        function, loop = _loop_and_function(
+            "float a[64];\nvoid f() { for (int i = 1; i < 64; i++) a[i] = a[i-1] + 1; }"
+        )
+        graph = analyze_dependences(loop, function.arrays)
+        assert graph.min_carried_distance() == 1
+        assert max_safe_vf(graph) == 1
+
+    def test_read_read_pairs_ignored(self):
+        function, loop = _loop_and_function(
+            "float a[64], b[64];\nvoid f() { for (int i = 0; i < 64; i++) b[i] = a[i] + a[i+1]; }"
+        )
+        graph = analyze_dependences(loop, function.arrays)
+        # a[i] vs a[i+1] are both reads: no dependence recorded between them.
+        assert all(
+            dep.source.array != "a" or dep.sink.array != "a"
+            for dep in graph.dependences
+        )
+
+    def test_self_store_at_same_index_not_carried(self):
+        function, loop = _loop_and_function(
+            "int a[64], b[64];\nvoid f() { for (int i = 0; i < 64; i++) a[i] = a[i] + b[i]; }"
+        )
+        graph = analyze_dependences(loop, function.arrays)
+        assert graph.min_carried_distance() is None
+        assert max_safe_vf(graph) == 64
+
+    def test_gather_subscript_is_unknown_dependence(self):
+        function, loop = _loop_and_function(
+            "int idx[64];\nfloat a[64], b[64];\n"
+            "void f() { for (int i = 0; i < 64; i++) a[idx[i]] = b[i]; }"
+        )
+        graph = analyze_dependences(loop, function.arrays)
+        assert graph.has_unknown_dependence
+        assert max_safe_vf(graph) == 1
+
+    def test_different_arrays_never_depend(self):
+        function, loop = _loop_and_function(
+            "float a[64], b[64];\nvoid f() { for (int i = 0; i < 64; i++) { a[i] = 1; b[i] = 2; } }"
+        )
+        graph = analyze_dependences(loop, function.arrays)
+        assert not graph.carried
+
+    def test_gcd_test_proves_independence(self):
+        # writes even elements, reads odd elements
+        function, loop = _loop_and_function(
+            "float a[128];\nvoid f() { for (int i = 0; i < 63; i++) a[2*i] = a[2*i+1]; }"
+        )
+        graph = analyze_dependences(loop, function.arrays)
+        assert max_safe_vf(graph) == 64
+
+    def test_scalar_recurrence_detected(self):
+        function, loop = _loop_and_function(
+            "float a[64], b[64];\nvoid f() {"
+            " float carry = 0; for (int i = 0; i < 64; i++) { carry = a[i] - carry; b[i] = carry; } }"
+        )
+        graph = analyze_dependences(loop, function.arrays)
+        assert "carry" in graph.scalar_recurrences
+        assert max_safe_vf(graph) == 1
+
+    def test_reduction_not_reported_as_recurrence(self):
+        function, loop = _loop_and_function(
+            "float a[64];\nfloat f() { float s = 0; for (int i = 0; i < 64; i++) s += a[i]; return s; }"
+        )
+        reductions = find_reductions(loop)
+        graph = analyze_dependences(
+            loop, function.arrays, reduction_vars=[r.variable for r in reductions]
+        )
+        assert graph.scalar_recurrences == []
+
+    def test_temporary_scalar_not_a_recurrence(self):
+        function, loop = _loop_and_function(
+            "int a[64], b[64];\nvoid f(int m) {"
+            " for (int i = 0; i < 64; i++) { int j = a[i]; b[i] = (j > m ? m : 0); } }"
+        )
+        graph = analyze_dependences(loop, function.arrays)
+        assert graph.scalar_recurrences == []
+
+    def test_outer_variable_treated_as_symbol(self):
+        function, loop = _loop_and_function(
+            "float A[16][16];\nvoid f() { for (int i = 0; i < 16; i++)"
+            " for (int j = 0; j < 16; j++) A[i][j] = A[i][j] * 2; }"
+        )
+        graph = analyze_dependences(loop, function.arrays, enclosing_vars=["i"])
+        assert max_safe_vf(graph) == 64
+
+
+class TestReductions:
+    def _loop(self, source):
+        return _loop_and_function(source)[1]
+
+    def test_sum_reduction(self):
+        loop = self._loop(
+            "int a[64];\nint f() { int s = 0; for (int i = 0; i < 64; i++) s += a[i]; return s; }"
+        )
+        reductions = find_reductions(loop)
+        assert len(reductions) == 1
+        assert reductions[0].variable == "s"
+        assert reductions[0].op == "+"
+
+    def test_dot_product_reduction(self):
+        loop = self._loop(
+            "float a[64], b[64];\nfloat f() { float s = 0;"
+            " for (int i = 0; i < 64; i++) s += a[i] * b[i]; return s; }"
+        )
+        reductions = find_reductions(loop)
+        assert reductions[0].op == "+"
+        assert reductions[0].is_float
+
+    def test_product_reduction(self):
+        loop = self._loop(
+            "float a[64];\nfloat f() { float p = 1;"
+            " for (int i = 0; i < 64; i++) p *= a[i]; return p; }"
+        )
+        assert find_reductions(loop)[0].op == "*"
+
+    def test_max_reduction_via_ternary(self):
+        loop = self._loop(
+            "int a[64];\nint f() { int m = 0;"
+            " for (int i = 0; i < 64; i++) m = (m < a[i] ? a[i] : m); return m; }"
+        )
+        reductions = find_reductions(loop)
+        assert len(reductions) == 1
+        assert reductions[0].op in ("max", "min")
+
+    def test_bitwise_or_reduction(self):
+        loop = self._loop(
+            "unsigned int a[64];\nunsigned int f() { unsigned int m = 0;"
+            " for (int i = 0; i < 64; i++) m |= a[i]; return m; }"
+        )
+        assert find_reductions(loop)[0].op == "|"
+
+    def test_non_associative_update_not_a_reduction(self):
+        loop = self._loop(
+            "float a[64];\nfloat f() { float s = 0;"
+            " for (int i = 0; i < 64; i++) s = a[i] - s; return s; }"
+        )
+        assert find_reductions(loop) == []
+
+    def test_variable_used_elsewhere_not_a_reduction(self):
+        loop = self._loop(
+            "float a[64], b[64];\nfloat f() { float s = 0;"
+            " for (int i = 0; i < 64; i++) { s += a[i]; b[i] = s; } return s; }"
+        )
+        assert find_reductions(loop) == []
+
+    def test_induction_variable_not_a_reduction(self):
+        loop = self._loop(
+            "int a[64];\nvoid f() { for (int i = 0; i < 64; i++) a[i] = i; }"
+        )
+        assert find_reductions(loop) == []
+
+    def test_plain_overwrite_not_a_reduction(self):
+        loop = self._loop(
+            "float a[64];\nfloat f() { float last = 0;"
+            " for (int i = 0; i < 64; i++) last = a[i]; return last; }"
+        )
+        assert find_reductions(loop) == []

@@ -1,0 +1,132 @@
+"""Loop-analysis roll-up tests."""
+
+import pytest
+
+from repro.analysis.loopinfo import analyze_function, analyze_loop
+from repro.frontend import parse_source
+from repro.ir.lowering import lower_unit
+
+
+def _analysis(source, name=None):
+    functions = lower_unit(parse_source(source))
+    function = next(iter(functions.values())) if name is None else functions[name]
+    loop = function.innermost_loops()[0]
+    return analyze_loop(function, loop)
+
+
+class TestOperationMix:
+    def test_dot_product_mix(self):
+        analysis = _analysis(
+            "int a[64];\nint f() { int s = 0; for (int i = 0; i < 64; i++) s += a[i] * a[i]; return s; }"
+        )
+        mix = analysis.operation_mix
+        assert mix.int_mul == 1
+        assert mix.int_add == 1
+        assert mix.loads == 2
+        assert mix.stores == 0
+
+    def test_store_counted(self):
+        analysis = _analysis(
+            "float a[64], b[64];\nvoid f() { for (int i = 0; i < 64; i++) a[i] = b[i] + 1; }"
+        )
+        assert analysis.operation_mix.stores == 1
+        assert analysis.operation_mix.loads == 1
+        assert analysis.operation_mix.float_add == 1
+
+    def test_division_and_call_counted(self):
+        analysis = _analysis(
+            "double a[64], b[64];\nvoid f() { for (int i = 0; i < 64; i++) b[i] = sqrt(a[i]) / 3.0; }"
+        )
+        assert analysis.operation_mix.float_div == 1
+        assert analysis.operation_mix.math_call == 1
+
+    def test_convert_counted(self):
+        analysis = _analysis(
+            "void f(int *a, short *b) { for (int i = 0; i < 64; i++) a[i] = (int) b[i]; }"
+        )
+        assert analysis.operation_mix.convert == 1
+        assert analysis.operation_mix.widening_convert == 1
+
+    def test_select_and_compare_counted(self):
+        analysis = _analysis(
+            "int a[64], b[64];\nvoid f(int m) { for (int i = 0; i < 64; i++)"
+            " b[i] = (a[i] > m ? m : a[i]); }"
+        )
+        assert analysis.operation_mix.select == 1
+        assert analysis.operation_mix.compare == 1
+
+
+class TestDerivedProperties:
+    def test_element_bits_widest(self):
+        analysis = _analysis(
+            "void f(double *a, short *b) { for (int i = 0; i < 64; i++) a[i] = b[i]; }"
+        )
+        assert analysis.element_bits == 64
+        assert analysis.narrowest_element_bits == 16
+
+    def test_vectorizable_simple_loop(self):
+        analysis = _analysis(
+            "float a[64], b[64];\nvoid f() { for (int i = 0; i < 64; i++) a[i] = b[i]; }"
+        )
+        assert analysis.is_vectorizable
+        assert analysis.max_legal_vf(64) == 64
+
+    def test_early_exit_not_vectorizable(self):
+        analysis = _analysis(
+            "int a[64];\nvoid f() { for (int i = 0; i < 64; i++) { if (a[i]) break; a[i] = 1; } }"
+        )
+        assert not analysis.is_vectorizable
+        assert analysis.max_legal_vf(64) == 1
+
+    def test_unknown_trip_count_flag(self):
+        analysis = _analysis(
+            "void f(float *a, int n) { for (int i = 0; i < n; i++) a[i] = 1; }"
+        )
+        assert analysis.has_unknown_trip_count
+
+    def test_predicate_count(self):
+        analysis = _analysis(
+            "float a[64], b[64];\nvoid f() { for (int i = 0; i < 64; i++)"
+            " { if (a[i] > 0) { b[i] = a[i]; } } }"
+        )
+        assert analysis.predicate_count == 1
+        assert analysis.has_predicates
+
+    def test_reduction_detected_in_analysis(self):
+        analysis = _analysis(
+            "float a[64];\nfloat f() { float s = 0; for (int i = 0; i < 64; i++) s += a[i]; return s; }"
+        )
+        assert analysis.has_reduction
+
+    def test_enclosing_vars_for_nested(self):
+        functions = lower_unit(parse_source(
+            "float G[8][8];\nvoid f(float x) { for (int i = 0; i < 8; i++)"
+            " for (int j = 0; j < 8; j++) G[i][j] = x; }"
+        ))
+        function = functions["f"]
+        analysis = analyze_loop(function, function.innermost_loops()[0])
+        assert analysis.enclosing_vars == ["i"]
+
+    def test_bytes_per_iteration(self):
+        analysis = _analysis(
+            "double a[64], b[64];\nvoid f() { for (int i = 0; i < 64; i++) a[i] = b[i]; }"
+        )
+        assert analysis.bytes_per_iteration() == 16
+
+    def test_feature_vector_length_and_content(self):
+        analysis = _analysis(
+            "float a[64], b[64];\nvoid f() { for (int i = 0; i < 64; i++) a[i] = b[i]; }"
+        )
+        features = analysis.feature_vector()
+        assert len(features) == 20
+        assert features[0] == 64.0  # trip count
+
+    def test_analyze_function_covers_all_innermost_loops(self):
+        functions = lower_unit(parse_source(
+            "float a[8], b[8];\nvoid f() {"
+            " for (int i = 0; i < 8; i++) a[i] = 1;"
+            " for (int j = 0; j < 8; j++) b[j] = 2; }"
+        ))
+        nest = analyze_function(functions["f"])
+        assert len(nest.loops) == 2
+        assert nest.for_loop(functions["f"].innermost_loops()[1]) is not None

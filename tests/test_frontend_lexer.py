@@ -1,0 +1,172 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.frontend.errors import LexError
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("int foo")
+        assert tokens[0].kind == TokenKind.KEYWORD
+        assert tokens[0].text == "int"
+        assert tokens[1].kind == TokenKind.IDENTIFIER
+        assert tokens[1].text == "foo"
+
+    def test_eof_is_last(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind == TokenKind.EOF
+
+    def test_empty_source_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == TokenKind.EOF
+
+    def test_underscore_identifier(self):
+        tokens = tokenize("__attribute__ _x x_1")
+        assert tokens[0].kind == TokenKind.KEYWORD
+        assert tokens[1].text == "_x"
+        assert tokens[2].text == "x_1"
+
+    def test_whitespace_is_skipped(self):
+        assert texts("a\t \n b") == ["a", "b"]
+
+
+class TestNumbers:
+    def test_decimal_integer(self):
+        token = tokenize("1234")[0]
+        assert token.kind == TokenKind.INT_LITERAL
+        assert token.value == 1234
+
+    def test_hex_integer(self):
+        token = tokenize("0xFF")[0]
+        assert token.kind == TokenKind.INT_LITERAL
+        assert token.value == 255
+
+    def test_integer_suffixes_ignored(self):
+        token = tokenize("10UL")[0]
+        assert token.value == 10
+
+    def test_float_literal(self):
+        token = tokenize("3.5")[0]
+        assert token.kind == TokenKind.FLOAT_LITERAL
+        assert token.value == pytest.approx(3.5)
+
+    def test_float_with_exponent(self):
+        token = tokenize("1e3")[0]
+        assert token.kind == TokenKind.FLOAT_LITERAL
+        assert token.value == pytest.approx(1000.0)
+
+    def test_float_with_f_suffix(self):
+        token = tokenize("0.25f")[0]
+        assert token.kind == TokenKind.FLOAT_LITERAL
+        assert token.value == pytest.approx(0.25)
+
+    def test_leading_dot_float(self):
+        token = tokenize(".5")[0]
+        assert token.kind == TokenKind.FLOAT_LITERAL
+        assert token.value == pytest.approx(0.5)
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "source, kind",
+        [
+            ("+", TokenKind.PLUS),
+            ("-", TokenKind.MINUS),
+            ("*", TokenKind.STAR),
+            ("/", TokenKind.SLASH),
+            ("%", TokenKind.PERCENT),
+            ("<<", TokenKind.SHL),
+            (">>", TokenKind.SHR),
+            ("<=", TokenKind.LE),
+            (">=", TokenKind.GE),
+            ("==", TokenKind.EQ),
+            ("!=", TokenKind.NE),
+            ("&&", TokenKind.LOGICAL_AND),
+            ("||", TokenKind.LOGICAL_OR),
+            ("+=", TokenKind.PLUS_ASSIGN),
+            ("-=", TokenKind.MINUS_ASSIGN),
+            ("*=", TokenKind.STAR_ASSIGN),
+            ("++", TokenKind.INCREMENT),
+            ("--", TokenKind.DECREMENT),
+            ("<<=", TokenKind.SHL_ASSIGN),
+        ],
+    )
+    def test_operator_kinds(self, source, kind):
+        assert tokenize(source)[0].kind == kind
+
+    def test_maximal_munch(self):
+        # '+++' lexes as '++' then '+'.
+        tokens = tokenize("a+++b")
+        assert [t.kind for t in tokens[:-1]] == [
+            TokenKind.IDENTIFIER,
+            TokenKind.INCREMENT,
+            TokenKind.PLUS,
+            TokenKind.IDENTIFIER,
+        ]
+
+    def test_brackets_and_punctuation(self):
+        assert kinds("a[i];")[:5] == [
+            TokenKind.IDENTIFIER,
+            TokenKind.LBRACKET,
+            TokenKind.IDENTIFIER,
+            TokenKind.RBRACKET,
+            TokenKind.SEMICOLON,
+        ]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestLiterals:
+    def test_char_literal(self):
+        token = tokenize("'A'")[0]
+        assert token.kind == TokenKind.CHAR_LITERAL
+        assert token.value == 65
+
+    def test_char_escape(self):
+        token = tokenize(r"'\n'")[0]
+        assert token.value == 10
+
+    def test_string_literal(self):
+        token = tokenize('"hello"')[0]
+        assert token.kind == TokenKind.STRING_LITERAL
+        assert token.value == "hello"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_filename_propagates(self):
+        tokens = tokenize("x", filename="kernel.c")
+        assert tokens[0].location.filename == "kernel.c"
+
+
+class TestPragmaMarker:
+    def test_pragma_marker_round_trip(self):
+        from repro.frontend.preprocessor import preprocess
+
+        text, _ = preprocess("#pragma clang loop vectorize_width(4)\nint x;")
+        tokens = tokenize(text)
+        assert tokens[0].kind == TokenKind.PRAGMA
+        assert "vectorize_width(4)" in tokens[0].value

@@ -1,0 +1,270 @@
+"""Parser tests."""
+
+import pytest
+
+from repro.frontend import ast, parse_source
+from repro.frontend.ctypes import ArrayType, FloatType, IntType, PointerType
+from repro.frontend.errors import ParseError
+
+
+class TestTopLevel:
+    def test_global_array_with_alignment(self):
+        unit = parse_source("int vec[512] __attribute__((aligned(16)));")
+        decl = unit.globals[0]
+        assert decl.name == "vec"
+        assert isinstance(decl.ctype, ArrayType)
+        assert decl.ctype.dims == (512,)
+        assert decl.alignment == 16
+
+    def test_multiple_globals_in_one_declaration(self):
+        unit = parse_source("float a[4], b[4], c[4];")
+        assert [g.name for g in unit.globals] == ["a", "b", "c"]
+
+    def test_function_with_attribute(self):
+        unit = parse_source("__attribute__((noinline)) int f() { return 1; }")
+        function = unit.functions[0]
+        assert function.name == "f"
+        assert "noinline" in function.attributes
+
+    def test_function_parameters(self):
+        unit = parse_source("void f(int *a, float b, short c[]) {}")
+        params = unit.functions[0].parameters
+        assert [p.name for p in params] == ["a", "b", "c"]
+        assert isinstance(params[0].ctype, PointerType)
+        assert isinstance(params[1].ctype, FloatType)
+        assert isinstance(params[2].ctype, ArrayType)
+
+    def test_void_parameter_list(self):
+        unit = parse_source("int f(void) { return 0; }")
+        assert unit.functions[0].parameters == []
+
+    def test_two_dimensional_global(self):
+        unit = parse_source("double G[16][32];")
+        assert unit.globals[0].ctype.dims == (16, 32)
+
+    def test_macro_dimension_folds(self):
+        unit = parse_source("#define N 8\nint a[N*2];")
+        assert unit.globals[0].ctype.dims == (16,)
+
+    def test_find_function(self):
+        unit = parse_source("void a() {} void b() {}")
+        assert unit.find_function("b").name == "b"
+        assert unit.find_function("missing") is None
+
+    def test_prototype_without_body(self):
+        unit = parse_source("int f(int x);")
+        assert unit.functions[0].body is None
+
+
+class TestStatements:
+    def _body(self, source):
+        unit = parse_source("void f() { " + source + " }")
+        return unit.functions[0].body.statements
+
+    def test_declaration_with_init(self):
+        statements = self._body("int x = 3;")
+        decl = statements[0].declarations[0]
+        assert decl.name == "x"
+        assert isinstance(decl.init, ast.IntLiteral)
+
+    def test_for_loop_structure(self):
+        statements = self._body("for (int i = 0; i < 10; i++) { }")
+        loop = statements[0]
+        assert isinstance(loop, ast.ForStmt)
+        assert isinstance(loop.init, ast.DeclStmt)
+        assert isinstance(loop.condition, ast.BinaryOp)
+
+    def test_while_loop(self):
+        statements = self._body("while (x < 10) x++;")
+        assert isinstance(statements[0], ast.WhileStmt)
+
+    def test_do_while_loop(self):
+        statements = self._body("do { x++; } while (x < 3);")
+        assert isinstance(statements[0], ast.DoWhileStmt)
+
+    def test_if_else(self):
+        statements = self._body("if (x) y = 1; else y = 2;")
+        branch = statements[0]
+        assert isinstance(branch, ast.IfStmt)
+        assert branch.else_branch is not None
+
+    def test_break_and_continue(self):
+        statements = self._body("for (;;) { if (x) break; continue; }")
+        loop = statements[0]
+        assert isinstance(loop, ast.ForStmt)
+
+    def test_return_value(self):
+        statements = self._body("return x + 1;")
+        assert isinstance(statements[0], ast.ReturnStmt)
+
+    def test_empty_statement(self):
+        statements = self._body(";")
+        assert isinstance(statements[0], ast.CompoundStmt)
+
+
+class TestPragmaAttachment:
+    def test_pragma_attaches_to_following_for(self):
+        source = """
+void f(int *a) {
+    #pragma clang loop vectorize_width(8) interleave_count(2)
+    for (int i = 0; i < 64; i++) {
+        a[i] = i;
+    }
+}
+"""
+        unit = parse_source(source)
+        loop = next(ast.iter_loops(unit.functions[0]))
+        assert loop.pragma.vectorize_width == 8
+        assert loop.pragma.interleave_count == 2
+
+    def test_pragma_before_inner_loop(self):
+        source = """
+float G[8][8];
+void f(float x) {
+    for (int i = 0; i < 8; i++) {
+        #pragma clang loop vectorize_width(4)
+        for (int j = 0; j < 8; j++) {
+            G[i][j] = x;
+        }
+    }
+}
+"""
+        unit = parse_source(source)
+        loops = list(ast.iter_loops(unit.functions[0]))
+        assert loops[0].pragma is None
+        assert loops[1].pragma.vectorize_width == 4
+
+    def test_pragma_directly_inside_braceless_position(self):
+        source = """
+void f(int *a, int n) {
+    for (int i = 0; i < n; i++)
+        a[i] = i;
+}
+"""
+        unit = parse_source(source)
+        assert len(list(ast.iter_loops(unit.functions[0]))) == 1
+
+
+class TestExpressions:
+    def _expr(self, text):
+        unit = parse_source(f"void f() {{ x = {text}; }}")
+        stmt = unit.functions[0].body.statements[0]
+        return stmt.expr.value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("a + b * c")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        expr = self._expr("(a + b) * c")
+        assert expr.op == "*"
+
+    def test_ternary(self):
+        expr = self._expr("a > b ? a : b")
+        assert isinstance(expr, ast.TernaryOp)
+
+    def test_cast_expression(self):
+        expr = self._expr("(float) a")
+        assert isinstance(expr, ast.Cast)
+        assert isinstance(expr.target_type, FloatType)
+
+    def test_nested_subscripts(self):
+        expr = self._expr("A[i][j]")
+        assert isinstance(expr, ast.ArraySubscript)
+        assert expr.root_array().name == "A"
+        assert len(expr.indices()) == 2
+
+    def test_call_expression(self):
+        expr = self._expr("sqrt(a * a)")
+        assert isinstance(expr, ast.Call)
+        assert expr.callee == "sqrt"
+
+    def test_unary_minus(self):
+        expr = self._expr("-a + b")
+        assert expr.op == "+"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_compound_assignment(self):
+        unit = parse_source("void f() { x += y * 2; }")
+        stmt = unit.functions[0].body.statements[0]
+        assert stmt.expr.op == "+="
+
+    def test_shift_and_bitwise(self):
+        expr = self._expr("(a & b) | (c >> 2)")
+        assert expr.op == "|"
+
+    def test_logical_operators(self):
+        expr = self._expr("a && b || c")
+        assert expr.op == "||"
+
+    def test_sizeof_type(self):
+        expr = self._expr("sizeof(int)")
+        assert isinstance(expr, ast.SizeOf)
+
+    def test_comparison_chain_left_assoc(self):
+        expr = self._expr("a - b - c")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_source("void f() { int x = 1 }")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_source("void f() { x = (1 + 2; }")
+
+    def test_unknown_type(self):
+        with pytest.raises(ParseError):
+            parse_source("void f() { mystruct x; }")
+
+
+class TestAstHelpers:
+    def test_iter_loops_order(self):
+        source = """
+void f(int *a) {
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 4; j++) { a[j] = j; }
+    }
+    for (int k = 0; k < 4; k++) { a[k] = k; }
+}
+"""
+        unit = parse_source(source)
+        loops = list(ast.iter_loops(unit.functions[0]))
+        assert len(loops) == 3
+
+    def test_innermost_loops(self):
+        source = """
+void f(int *a) {
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 4; j++) { a[j] = j; }
+    }
+}
+"""
+        unit = parse_source(source)
+        inner = ast.innermost_loops(unit.functions[0])
+        assert len(inner) == 1
+
+    def test_loop_nest_depth(self):
+        source = """
+void f(int *a) {
+    for (int i = 0; i < 4; i++)
+        for (int j = 0; j < 4; j++)
+            for (int k = 0; k < 4; k++)
+                a[k] = k;
+}
+"""
+        unit = parse_source(source)
+        root = next(ast.iter_loops(unit.functions[0]))
+        assert ast.loop_nest_depth(root) == 3
+
+    def test_count_nodes(self):
+        unit = parse_source("void f() { x = 1 + 2; }")
+        assert ast.count_nodes(unit, ast.IntLiteral) == 2
+
+    def test_walk_includes_self(self):
+        unit = parse_source("int x;")
+        assert unit in list(unit.walk())

@@ -1,0 +1,80 @@
+"""Loop pragma parsing/formatting tests."""
+
+import pytest
+
+from repro.frontend.pragmas import LoopPragma, format_pragma, parse_pragma_text
+
+
+class TestParsing:
+    def test_full_pragma(self):
+        pragma = parse_pragma_text(
+            "#pragma clang loop vectorize_width(8) interleave_count(4)"
+        )
+        assert pragma.vectorize_width == 8
+        assert pragma.interleave_count == 4
+
+    def test_only_width(self):
+        pragma = parse_pragma_text("#pragma clang loop vectorize_width(16)")
+        assert pragma.vectorize_width == 16
+        assert pragma.interleave_count is None
+
+    def test_enable_clause(self):
+        pragma = parse_pragma_text("#pragma clang loop vectorize(enable)")
+        assert pragma.vectorize_enable is True
+
+    def test_disable_clause(self):
+        pragma = parse_pragma_text("#pragma clang loop vectorize(disable)")
+        assert pragma.vectorize_enable is False
+
+    def test_non_loop_pragma_returns_none(self):
+        assert parse_pragma_text("#pragma omp parallel for") is None
+
+    def test_non_pragma_line_returns_none(self):
+        assert parse_pragma_text("int x = 3;") is None
+
+    def test_whitespace_tolerance(self):
+        pragma = parse_pragma_text("  #  pragma   clang loop vectorize_width( 4 )")
+        assert pragma.vectorize_width == 4
+
+    def test_zero_width_rejected(self):
+        pragma = parse_pragma_text("#pragma clang loop vectorize_width(0)")
+        assert pragma.vectorize_width is None
+
+    def test_unroll_clause_ignored(self):
+        pragma = parse_pragma_text("#pragma clang loop unroll_count(4) vectorize_width(2)")
+        assert pragma.vectorize_width == 2
+
+
+class TestFormatting:
+    def test_round_trip(self):
+        original = LoopPragma(vectorize_width=32, interleave_count=8)
+        parsed = parse_pragma_text(format_pragma(original))
+        assert parsed == original
+
+    def test_format_matches_paper_syntax(self):
+        text = format_pragma(LoopPragma(vectorize_width=4, interleave_count=2))
+        assert text == "#pragma clang loop vectorize_width(4) interleave_count(2)"
+
+    def test_format_disable(self):
+        text = format_pragma(LoopPragma(vectorize_enable=False))
+        assert "vectorize(disable)" in text
+
+    def test_is_empty(self):
+        assert LoopPragma().is_empty
+        assert not LoopPragma(vectorize_width=2).is_empty
+
+
+class TestMerging:
+    def test_merge_prefers_other(self):
+        first = LoopPragma(vectorize_width=4)
+        second = LoopPragma(vectorize_width=8, interleave_count=2)
+        merged = first.merged_with(second)
+        assert merged.vectorize_width == 8
+        assert merged.interleave_count == 2
+
+    def test_merge_keeps_missing_fields(self):
+        first = LoopPragma(vectorize_width=4, interleave_count=2)
+        second = LoopPragma(interleave_count=8)
+        merged = first.merged_with(second)
+        assert merged.vectorize_width == 4
+        assert merged.interleave_count == 8

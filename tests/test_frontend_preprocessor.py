@@ -1,0 +1,74 @@
+"""Preprocessor tests."""
+
+import pytest
+
+from repro.frontend.preprocessor import PRAGMA_MARKER, Preprocessor, preprocess, strip_comments
+
+
+class TestComments:
+    def test_line_comment_removed(self):
+        assert strip_comments("int x; // comment\nint y;") == "int x; \nint y;"
+
+    def test_block_comment_removed(self):
+        assert strip_comments("a /* comment */ b") == "a  b"
+
+    def test_multiline_block_comment_preserves_lines(self):
+        text = strip_comments("a /* one\ntwo */ b")
+        assert text.count("\n") == 1
+
+    def test_comment_inside_string_kept(self):
+        assert strip_comments('s = "// not a comment";') == 's = "// not a comment";'
+
+    def test_nested_slashes(self):
+        assert strip_comments("a / b") == "a / b"
+
+
+class TestDefines:
+    def test_object_macro_expansion(self):
+        text, _ = preprocess("#define N 512\nint a[N];")
+        assert "int a[512];" in text
+
+    def test_macro_used_in_expression(self):
+        text, _ = preprocess("#define N 16\nfor (i = 0; i < N*2; i++) {}")
+        assert "16*2" in text or "16 *2" in text or "16* 2" in text
+
+    def test_chained_macros(self):
+        text, _ = preprocess("#define A 4\n#define B A\nint x = B;")
+        assert "int x = 4;" in text
+
+    def test_undef_removes_macro(self):
+        text, _ = preprocess("#define N 4\n#undef N\nint x = N;")
+        assert "int x = N;" in text
+
+    def test_predefined_macros(self):
+        text, _ = preprocess("int a[N];", defines={"N": "128"})
+        assert "int a[128];" in text
+
+    def test_macro_does_not_expand_inside_longer_identifier(self):
+        text, _ = preprocess("#define N 4\nint NN = 2;")
+        assert "NN = 2" in text
+
+    def test_function_like_macro_warns_and_is_dropped(self):
+        engine = Preprocessor()
+        engine.process("#define MAX(a,b) ((a)>(b)?(a):(b))\nint x;")
+        assert any("function-like" in warning for warning in engine.warnings)
+
+
+class TestDirectives:
+    def test_include_removed(self):
+        text, _ = preprocess("#include <stdio.h>\nint x;")
+        assert "stdio" not in text
+
+    def test_pragma_becomes_marker(self):
+        text, _ = preprocess("#pragma clang loop vectorize_width(8)\nfor(;;);")
+        assert PRAGMA_MARKER in text
+
+    def test_line_count_preserved(self):
+        source = "#define N 4\nint a[N];\n// c\nint b;"
+        text, _ = preprocess(source)
+        assert text.count("\n") == source.count("\n")
+
+    def test_ifdef_recorded_as_warning(self):
+        engine = Preprocessor()
+        engine.process("#ifdef FOO\nint x;\n#endif")
+        assert len(engine.warnings) >= 1

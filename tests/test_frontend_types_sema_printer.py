@@ -1,0 +1,171 @@
+"""Tests for the type system, semantic analysis and the C printer."""
+
+import pytest
+
+from repro.frontend import ast, parse_source
+from repro.frontend.ctypes import (
+    ArrayType,
+    DOUBLE,
+    FLOAT,
+    INT,
+    IntType,
+    LONG,
+    PointerType,
+    SHORT,
+    UCHAR,
+    common_type,
+    is_widening_conversion,
+    type_from_specifiers,
+)
+from repro.frontend.errors import SemanticError
+from repro.frontend.printer import print_expr, print_unit
+from repro.frontend.sema import analyze
+
+
+class TestTypeSystem:
+    @pytest.mark.parametrize(
+        "specifiers, expected",
+        [
+            (["int"], INT),
+            (["unsigned", "char"], UCHAR),
+            (["short", "int"], SHORT),
+            (["long", "long"], LONG),
+            (["float"], FLOAT),
+            (["double"], DOUBLE),
+            (["const", "int"], INT),
+            (["unsigned"], IntType(32, False)),
+        ],
+    )
+    def test_type_from_specifiers(self, specifiers, expected):
+        assert type_from_specifiers(specifiers) == expected
+
+    def test_unknown_specifiers(self):
+        assert type_from_specifiers(["struct"]) is None
+
+    def test_sizes(self):
+        assert INT.size_bytes == 4
+        assert SHORT.size_bytes == 2
+        assert DOUBLE.size_bytes == 8
+        assert PointerType(INT).size_bytes == 8
+
+    def test_array_type_properties(self):
+        array = ArrayType(element=FLOAT, dims=(8, 16))
+        assert array.rank == 2
+        assert array.element_count == 128
+        assert array.size_bytes == 128 * 4
+
+    def test_common_type_promotions(self):
+        assert common_type(SHORT, INT) == INT
+        assert common_type(INT, FLOAT).is_float
+        assert common_type(FLOAT, DOUBLE) == DOUBLE
+        assert common_type(IntType(32, False), INT) == IntType(32, False)
+
+    def test_widening_conversion(self):
+        assert is_widening_conversion(SHORT, INT)
+        assert is_widening_conversion(INT, FLOAT)
+        assert is_widening_conversion(FLOAT, DOUBLE)
+        assert not is_widening_conversion(INT, SHORT)
+        assert not is_widening_conversion(DOUBLE, FLOAT)
+
+
+class TestSema:
+    def test_expression_types_annotated(self):
+        unit = parse_source(
+            "float a[8];\nvoid f(int n) { for (int i = 0; i < n; i++) a[i] = a[i] * 2; }"
+        )
+        analyze(unit)
+        loop = next(ast.iter_loops(unit.functions[0]))
+        store = loop.body.statements[0].expr
+        assert store.target.ctype == FLOAT
+
+    def test_symbol_table_contains_globals_and_params(self):
+        unit = parse_source("int g[4];\nvoid f(float x) { g[0] = (int) x; }")
+        info = analyze(unit)
+        assert "g" in info.globals
+        assert info.symbol_for("f", "x").ctype == FLOAT
+
+    def test_undeclared_identifier_warns_in_permissive_mode(self):
+        unit = parse_source("void f() { y = z + 1; }")
+        info = analyze(unit)
+        assert len(info.diagnostics.warnings) >= 1
+
+    def test_undeclared_identifier_raises_in_strict_mode(self):
+        unit = parse_source("void f() { y = z + 1; }")
+        with pytest.raises(SemanticError):
+            analyze(unit, permissive=False)
+
+    def test_assignment_to_literal_rejected(self):
+        unit = parse_source("void f() { 3 = 4; }")
+        with pytest.raises(SemanticError):
+            analyze(unit)
+
+    def test_subscript_of_pointer_parameter(self):
+        unit = parse_source("void f(short *a) { a[0] = 1; }")
+        analyze(unit)
+        stmt = unit.functions[0].body.statements[0]
+        assert stmt.expr.target.ctype == SHORT
+
+    def test_math_call_type(self):
+        unit = parse_source("void f(double x) { x = sqrt(x); }")
+        analyze(unit)
+        stmt = unit.functions[0].body.statements[0]
+        assert stmt.expr.value.ctype == DOUBLE
+
+    def test_multidim_subscript_type(self):
+        unit = parse_source("double G[4][4];\nvoid f() { G[1][2] = 0.5; }")
+        analyze(unit)
+        stmt = unit.functions[0].body.statements[0]
+        assert stmt.expr.target.ctype == DOUBLE
+
+
+class TestPrinter:
+    def test_round_trip_parses_again(self):
+        source = """
+int vec[512] __attribute__((aligned(16)));
+int f(int n) {
+    int sum = 0;
+    #pragma clang loop vectorize_width(4) interleave_count(2)
+    for (int i = 0; i < n; i++) {
+        sum += vec[i] * vec[i];
+    }
+    return sum;
+}
+"""
+        unit = parse_source(source)
+        printed = print_unit(unit)
+        reparsed = parse_source(printed)
+        assert [f.name for f in reparsed.functions] == ["f"]
+        loop = next(ast.iter_loops(reparsed.functions[0]))
+        assert loop.pragma.vectorize_width == 4
+
+    def test_pragma_emitted_before_loop(self):
+        source = """
+void f(int *a) {
+    #pragma clang loop vectorize_width(8)
+    for (int i = 0; i < 8; i++) { a[i] = i; }
+}
+"""
+        printed = print_unit(parse_source(source))
+        lines = [line.strip() for line in printed.splitlines()]
+        pragma_index = next(i for i, l in enumerate(lines) if l.startswith("#pragma"))
+        assert lines[pragma_index + 1].startswith("for (")
+
+    def test_expression_rendering(self):
+        unit = parse_source("void f() { x = a[i] * (b + 2); }")
+        stmt = unit.functions[0].body.statements[0]
+        text = print_expr(stmt.expr)
+        assert "a[i]" in text and "*" in text
+
+    def test_if_else_rendering(self):
+        source = "void f(int x, int y) { if (x > 0) { y = 1; } else { y = 2; } }"
+        printed = print_unit(parse_source(source))
+        assert "if (" in printed and "else" in printed
+
+    def test_ternary_and_cast_rendering(self):
+        source = "void f(int j, int m, int *b) { b[0] = (j > m ? m : (int) 0); }"
+        printed = print_unit(parse_source(source))
+        assert "?" in printed
+
+    def test_global_initializer_rendering(self):
+        printed = print_unit(parse_source("int x = 3;"))
+        assert "int x = 3;" in printed

@@ -1,0 +1,229 @@
+"""IR lowering tests."""
+
+import pytest
+
+from repro.frontend import parse_source
+from repro.ir.dtypes import FLOAT32, INT16, INT32
+from repro.ir.expr import BinOp, Convert, LoadOp, Select
+from repro.ir.lowering import LoweringContext, lower_function, lower_unit
+from repro.ir.nodes import Conditional, Loop, Statement
+from repro.ir.verifier import verify_function
+
+
+def lower(source, name=None, bindings=None):
+    unit = parse_source(source)
+    functions = lower_unit(
+        unit, context=LoweringContext(bindings=dict(bindings or {}))
+    )
+    for function in functions.values():
+        verify_function(function)
+    if name is None:
+        return next(iter(functions.values()))
+    return functions[name]
+
+
+class TestLoopLowering:
+    def test_simple_counted_loop(self):
+        ir = lower("int a[64];\nvoid f() { for (int i = 0; i < 64; i++) a[i] = i; }")
+        loop = ir.innermost_loops()[0]
+        assert loop.var == "i"
+        assert loop.step == 1
+        assert loop.trip_count == 64
+
+    def test_strided_loop_step(self):
+        ir = lower("int a[64];\nvoid f() { for (int i = 0; i < 64; i += 2) a[i] = i; }")
+        loop = ir.innermost_loops()[0]
+        assert loop.step == 2
+        assert loop.trip_count == 32
+
+    def test_symbolic_bound_has_unknown_trip(self):
+        ir = lower("void f(int *a, int n) { for (int i = 0; i < n; i++) a[i] = i; }")
+        assert ir.innermost_loops()[0].trip_count is None
+
+    def test_symbolic_bound_with_binding(self):
+        ir = lower(
+            "void f(int *a, int n) { for (int i = 0; i < n; i++) a[i] = i; }",
+            bindings={"n": 100},
+        )
+        assert ir.innermost_loops()[0].trip_count == 100
+
+    def test_le_condition(self):
+        ir = lower("int a[65];\nvoid f() { for (int i = 0; i <= 64; i++) a[i] = i; }")
+        assert ir.innermost_loops()[0].trip_count == 65
+
+    def test_nested_loop_structure(self):
+        ir = lower(
+            "float G[8][8];\nvoid f(float x) {"
+            " for (int i = 0; i < 8; i++) for (int j = 0; j < 8; j++) G[i][j] = x; }"
+        )
+        assert len(ir.all_loops()) == 2
+        assert len(ir.innermost_loops()) == 1
+        assert ir.innermost_loops()[0].var == "j"
+
+    def test_pragma_carried_to_ir(self):
+        ir = lower(
+            "int a[8];\nvoid f() {"
+            " #pragma clang loop vectorize_width(8) interleave_count(2)\n"
+            " for (int i = 0; i < 8; i++) a[i] = i; }"
+        )
+        loop = ir.innermost_loops()[0]
+        assert loop.pragma.vectorize_width == 8
+
+    def test_while_loop_counted_pattern(self):
+        ir = lower(
+            "void f(int *a, int n) { int i = 0; while (i < n) { a[i] = i; i++; } }"
+        )
+        loop = ir.innermost_loops()[0]
+        assert loop.var == "i"
+        assert not loop.has_early_exit
+
+    def test_break_marks_early_exit(self):
+        ir = lower(
+            "void f(int *a) { for (int i = 0; i < 8; i++) { if (a[i]) break; a[i] = 1; } }"
+        )
+        assert ir.innermost_loops()[0].has_early_exit
+
+    def test_call_marks_has_calls(self):
+        ir = lower("void f(int *a) { for (int i = 0; i < 8; i++) log_value(a[i]); }")
+        assert ir.innermost_loops()[0].has_calls
+
+    def test_math_intrinsic_does_not_mark_calls(self):
+        ir = lower(
+            "double a[8], b[8];\nvoid f() { for (int i = 0; i < 8; i++) b[i] = sqrt(a[i]); }"
+        )
+        assert not ir.innermost_loops()[0].has_calls
+
+    def test_decrementing_loop(self):
+        ir = lower("int a[64];\nvoid f() { for (int i = 63; i >= 0; i--) a[i] = i; }")
+        loop = ir.innermost_loops()[0]
+        assert loop.step == -1
+
+
+class TestStatementLowering:
+    def test_store_statement(self):
+        ir = lower("float a[8], b[8];\nvoid f() { for (int i = 0; i < 8; i++) a[i] = b[i]; }")
+        statement = ir.innermost_loops()[0].statements()[0]
+        assert statement.kind == "store"
+        assert statement.target_array == "a"
+        assert isinstance(statement.value, LoadOp)
+
+    def test_compound_store_expands_to_load_plus_op(self):
+        ir = lower("int a[8], b[8];\nvoid f() { for (int i = 0; i < 8; i++) a[i] += b[i]; }")
+        statement = ir.innermost_loops()[0].statements()[0]
+        assert statement.compound_op == "+"
+        assert isinstance(statement.value, BinOp)
+        assert len(statement.value.loads()) == 2
+
+    def test_scalar_reduction_statement(self):
+        ir = lower(
+            "int a[8];\nint f() { int s = 0; for (int i = 0; i < 8; i++) s += a[i]; return s; }"
+        )
+        loop = ir.innermost_loops()[0]
+        statement = loop.statements()[0]
+        assert statement.kind == "scalar"
+        assert statement.target_scalar == "s"
+
+    def test_cast_becomes_convert(self):
+        ir = lower(
+            "void f(int *a, short *b) { for (int i = 0; i < 8; i++) a[i] = (int) b[i]; }"
+        )
+        statement = ir.innermost_loops()[0].statements()[0]
+        assert isinstance(statement.value, Convert)
+        assert statement.value.from_dtype == INT16
+        assert statement.value.dtype == INT32
+
+    def test_ternary_becomes_select(self):
+        ir = lower(
+            "void f(int *a, int *b, int m) {"
+            " for (int i = 0; i < 8; i++) { int j = a[i]; b[i] = (j > m ? m : 0); } }"
+        )
+        statements = ir.innermost_loops()[0].statements()
+        assert any(isinstance(s.value, Select) for s in statements)
+
+    def test_if_becomes_conditional(self):
+        ir = lower(
+            "float a[8], b[8];\nvoid f() {"
+            " for (int i = 0; i < 8; i++) { if (a[i] > 0) { b[i] = a[i]; } } }"
+        )
+        loop = ir.innermost_loops()[0]
+        assert len(loop.conditionals()) == 1
+
+    def test_store_coerces_value_dtype(self):
+        ir = lower("float a[8];\nvoid f(int x) { for (int i = 0; i < 8; i++) a[i] = x; }")
+        statement = ir.innermost_loops()[0].statements()[0]
+        assert statement.dtype == FLOAT32
+
+    def test_return_becomes_scalar_statement(self):
+        ir = lower("int f() { return 42; }")
+        statements = ir.statements()
+        assert any(s.target_scalar == "__return__" for s in statements)
+
+    def test_multidim_store_subscripts(self):
+        ir = lower("float G[4][8];\nvoid f(float x) {"
+                   " for (int i = 0; i < 4; i++) for (int j = 0; j < 8; j++) G[i][j] = x; }")
+        statement = ir.innermost_loops()[0].statements()[0]
+        assert len(statement.target_subscripts) == 2
+
+
+class TestSymbols:
+    def test_global_arrays_registered(self):
+        ir = lower("float a[16];\nvoid f() { }")
+        assert ir.arrays["a"].dtype == FLOAT32
+        assert ir.arrays["a"].dims == (16,)
+        assert ir.arrays["a"].is_global
+
+    def test_pointer_parameter_becomes_array(self):
+        ir = lower("void f(short *p) { p[0] = 1; }")
+        assert ir.arrays["p"].dtype == INT16
+        assert ir.arrays["p"].is_parameter
+
+    def test_scalar_parameters_registered(self):
+        ir = lower("void f(float alpha, int n) { }")
+        assert ir.parameters["alpha"] == FLOAT32
+        assert ir.parameters["n"] == INT32
+
+    def test_alignment_attribute_kept(self):
+        ir = lower("int vec[512] __attribute__((aligned(32)));\nvoid f() { vec[0] = 1; }")
+        assert ir.arrays["vec"].alignment == 32
+
+    def test_local_array_registered(self):
+        ir = lower("void f() { int buffer[32]; for (int i = 0; i < 32; i++) buffer[i] = i; }")
+        assert "buffer" in ir.arrays
+        assert not ir.arrays["buffer"].is_global
+
+
+class TestStructureQueries:
+    def test_enclosing_loops_chain(self):
+        ir = lower(
+            "float G[4][4];\nvoid f(float x) {"
+            " for (int i = 0; i < 4; i++) for (int j = 0; j < 4; j++) G[i][j] = x; }"
+        )
+        inner = ir.innermost_loops()[0]
+        chain = ir.enclosing_loops(inner)
+        assert [loop.var for loop in chain] == ["i", "j"]
+
+    def test_parent_map(self):
+        ir = lower(
+            "float G[4][4];\nvoid f(float x) {"
+            " for (int i = 0; i < 4; i++) for (int j = 0; j < 4; j++) G[i][j] = x; }"
+        )
+        parents = ir.parent_map()
+        inner = ir.innermost_loops()[0]
+        assert parents[inner.loop_id].var == "i"
+
+    def test_loop_depth_below(self):
+        ir = lower(
+            "float A[4][4][4];\nvoid f(float x) {"
+            " for (int i = 0; i < 4; i++) for (int j = 0; j < 4; j++)"
+            " for (int k = 0; k < 4; k++) A[i][j][k] = x; }"
+        )
+        assert ir.top_level_loops()[0].depth_below == 3
+
+    def test_statements_recursive_flag(self):
+        ir = lower(
+            "int a[4];\nvoid f() { for (int i = 0; i < 4; i++) {"
+            " a[i] = 0; for (int j = 0; j < 4; j++) a[j] = j; } }"
+        )
+        outer = ir.top_level_loops()[0]
+        assert len(outer.statements(recursive=True)) == 2
+        assert len(outer.statements(recursive=False)) == 1

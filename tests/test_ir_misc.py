@@ -1,0 +1,189 @@
+"""Tests for IR dtypes, expression helpers, evaluation, printer and verifier."""
+
+import pytest
+
+from repro.frontend import parse_source
+from repro.frontend.ctypes import DOUBLE, FLOAT, INT, SHORT, UCHAR, ArrayType, PointerType
+from repro.ir.dtypes import DType, FLOAT32, FLOAT64, INT8, INT16, INT32, dtype_from_ctype, promote
+from repro.ir.evaluate import evaluate_expr, trip_count_of
+from repro.ir.expr import BinOp, CallOp, Compare, Const, Convert, LoadOp, ScalarRef, Select
+from repro.ir.lowering import lower_unit
+from repro.ir.nodes import ArrayInfo, IRFunction, Loop, Statement
+from repro.ir.printer import print_function
+from repro.ir.verifier import VerificationError, verify_function
+
+
+class TestDTypes:
+    def test_dtype_from_ctype(self):
+        assert dtype_from_ctype(INT) == INT32
+        assert dtype_from_ctype(SHORT) == INT16
+        assert dtype_from_ctype(FLOAT) == FLOAT32
+        assert dtype_from_ctype(DOUBLE) == FLOAT64
+        assert dtype_from_ctype(UCHAR) == DType("uint", 8)
+
+    def test_dtype_from_array_and_pointer(self):
+        assert dtype_from_ctype(ArrayType(element=FLOAT, dims=(4,))) == FLOAT32
+        assert dtype_from_ctype(PointerType(SHORT)) == INT16
+
+    def test_promote(self):
+        assert promote(INT32, FLOAT32) == FLOAT32
+        assert promote(INT16, INT32) == INT32
+        assert promote(FLOAT32, FLOAT64) == FLOAT64
+        assert promote(INT8, INT8) == INT32  # C integer promotion
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            DType("complex", 32)
+        with pytest.raises(ValueError):
+            DType("int", 12)
+
+    def test_size_bytes(self):
+        assert INT32.size_bytes == 4
+        assert FLOAT64.size_bytes == 8
+
+
+class TestExprHelpers:
+    def test_loads_collects_memory_reads(self):
+        expr = BinOp(
+            op="+",
+            lhs=LoadOp(array="a", subscripts=(ScalarRef(name="i"),)),
+            rhs=LoadOp(array="b", subscripts=(ScalarRef(name="i"),)),
+        )
+        assert {load.array for load in expr.loads()} == {"a", "b"}
+
+    def test_scalar_refs(self):
+        expr = BinOp(op="*", lhs=ScalarRef(name="x"), rhs=ScalarRef(name="y"))
+        assert {ref.name for ref in expr.scalar_refs()} == {"x", "y"}
+
+    def test_op_count(self):
+        expr = BinOp(op="+", lhs=BinOp(op="*", lhs=Const(value=1), rhs=Const(value=2)),
+                     rhs=Const(value=3))
+        assert expr.op_count() == 2
+
+    def test_convert_widening(self):
+        widening = Convert(dtype=INT32, operand=Const(value=1), from_dtype=INT16)
+        narrowing = Convert(dtype=INT16, operand=Const(value=1), from_dtype=INT32)
+        assert widening.is_widening
+        assert not narrowing.is_widening
+
+
+class TestEvaluate:
+    def test_constant(self):
+        assert evaluate_expr(Const(value=7)) == 7
+
+    def test_scalar_binding(self):
+        assert evaluate_expr(ScalarRef(name="n"), {"n": 12}) == 12
+        assert evaluate_expr(ScalarRef(name="n")) is None
+
+    def test_arithmetic(self):
+        expr = BinOp(op="*", lhs=ScalarRef(name="n"), rhs=Const(value=2))
+        assert evaluate_expr(expr, {"n": 21}) == 42
+
+    def test_division_by_zero_is_none(self):
+        expr = BinOp(op="/", lhs=Const(value=4), rhs=Const(value=0))
+        assert evaluate_expr(expr) is None
+
+    def test_comparison_and_select(self):
+        expr = Select(
+            condition=Compare(op="<", lhs=Const(value=1), rhs=Const(value=2)),
+            true_value=Const(value=10),
+            false_value=Const(value=20),
+        )
+        assert evaluate_expr(expr) == 10
+
+    def test_load_is_unknown(self):
+        assert evaluate_expr(LoadOp(array="a", subscripts=(Const(value=0),))) is None
+
+    def test_call_evaluation(self):
+        expr = CallOp(callee="sqrt", args=(Const(value=16.0),))
+        assert evaluate_expr(expr) == pytest.approx(4.0)
+
+    @pytest.mark.parametrize(
+        "lower, upper, step, op, expected",
+        [
+            (0, 512, 1, "<", 512),
+            (0, 512, 2, "<", 256),
+            (0, 10, 3, "<", 4),
+            (0, 64, 1, "<=", 65),
+            (1, 1, 1, "<", 0),
+            (63, -1, -1, ">", 64),
+        ],
+    )
+    def test_trip_count(self, lower, upper, step, op, expected):
+        assert (
+            trip_count_of(Const(value=lower), Const(value=upper), step, op) == expected
+        )
+
+    def test_trip_count_unknown_symbol(self):
+        assert trip_count_of(Const(value=0), ScalarRef(name="n"), 1) is None
+
+    def test_trip_count_zero_step(self):
+        assert trip_count_of(Const(value=0), Const(value=8), 0) is None
+
+
+class TestPrinterAndVerifier:
+    def _dot_ir(self):
+        unit = parse_source(
+            "int vec[8];\nint f() { int s = 0; for (int i = 0; i < 8; i++) s += vec[i]; return s; }"
+        )
+        return lower_unit(unit)["f"]
+
+    def test_print_function_mentions_arrays_and_loops(self):
+        text = print_function(self._dot_ir())
+        assert "array vec" in text
+        assert "for (i = 0" in text
+
+    def test_verify_accepts_valid_function(self):
+        assert verify_function(self._dot_ir()) == []
+
+    def test_verify_rejects_unknown_array(self):
+        function = IRFunction(name="bad")
+        function.body = [
+            Statement(
+                kind="store",
+                target_array="ghost",
+                target_subscripts=(Const(value=0),),
+                value=Const(value=1),
+            )
+        ]
+        with pytest.raises(VerificationError):
+            verify_function(function)
+
+    def test_verify_rejects_rank_mismatch(self):
+        function = IRFunction(name="bad")
+        function.arrays["a"] = ArrayInfo(name="a", dtype=INT32, dims=(4, 4))
+        function.body = [
+            Statement(
+                kind="store",
+                target_array="a",
+                target_subscripts=(Const(value=0),),
+                value=Const(value=1),
+            )
+        ]
+        problems = verify_function(function, raise_on_error=False)
+        assert any("rank" in problem for problem in problems)
+
+    def test_verify_rejects_zero_step_loop(self):
+        function = IRFunction(name="bad")
+        function.scalars["i"] = INT32
+        function.body = [
+            Loop(var="i", lower=Const(value=0), upper=Const(value=4), step=0)
+        ]
+        problems = verify_function(function, raise_on_error=False)
+        assert any("step 0" in problem for problem in problems)
+
+    def test_statement_requires_target(self):
+        with pytest.raises(ValueError):
+            Statement(kind="store", value=Const(value=1))
+        with pytest.raises(ValueError):
+            Statement(kind="scalar", value=Const(value=1))
+
+    def test_statement_reads_and_writes(self):
+        statement = Statement(
+            kind="store",
+            target_array="a",
+            target_subscripts=(ScalarRef(name="i"),),
+            value=LoadOp(array="b", subscripts=(ScalarRef(name="i"),)),
+        )
+        assert [a.array for a in statement.reads()] == ["b"]
+        assert [a.array for a in statement.writes()] == ["a"]

@@ -1,0 +1,282 @@
+"""RL stack tests: spaces, environment, policies, PPO, tune."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import build_embedding_model
+from repro.core.pipeline import CompileAndMeasure
+from repro.datasets.kernels import LoopKernel
+from repro.rl.env import VectorizationEnv, build_samples
+from repro.rl.policy import ContinuousPolicy, DiscretePolicy, make_policy
+from repro.rl.ppo import PPOConfig, PPOTrainer
+from repro.rl.spaces import (
+    ContinuousJointSpace,
+    ContinuousPairSpace,
+    DiscreteFactorSpace,
+    default_action_space,
+)
+from repro.rl.tune import best_experiment, grid_search, run_experiments
+
+
+def _tiny_kernels():
+    sources = {
+        "reduction": (
+            "float a[2048], b[2048];\nfloat kernel() { float s = 0;"
+            " for (int i = 0; i < 2048; i++) s += a[i] * b[i]; return s; }"
+        ),
+        "stream": (
+            "float x[2048], y[2048];\nvoid kernel(float a) {"
+            " for (int i = 0; i < 2048; i++) y[i] = a * x[i] + y[i]; }"
+        ),
+        "tiny": (
+            "int a[16], b[16];\nvoid kernel() {"
+            " for (int i = 0; i < 16; i++) a[i] = a[i] + b[i]; }"
+        ),
+        "recurrence": (
+            "float a[2048], b[2048];\nvoid kernel() { float c = 0;"
+            " for (int i = 0; i < 2048; i++) { c = a[i] - c; b[i] = c; } }"
+        ),
+    }
+    return [
+        LoopKernel(name=name, source=source, function_name="kernel", suite="test")
+        for name, source in sources.items()
+    ]
+
+
+@pytest.fixture(scope="module")
+def tiny_env():
+    kernels = _tiny_kernels()
+    pipeline = CompileAndMeasure()
+    embedding = build_embedding_model(kernels)
+    samples = build_samples(kernels, embedding, pipeline)
+    return VectorizationEnv(samples, pipeline=pipeline, seed=0)
+
+
+class TestActionSpaces:
+    def test_discrete_decode(self):
+        space = DiscreteFactorSpace()
+        assert space.decode((0, 0)) == (1, 1)
+        assert space.decode((6, 4)) == (64, 16)
+        assert space.decode((2, 1)) == (4, 2)
+
+    def test_discrete_decode_clips_out_of_range(self):
+        space = DiscreteFactorSpace()
+        assert space.decode((99, -3)) == (64, 1)
+
+    def test_discrete_encode_round_trip(self):
+        space = DiscreteFactorSpace()
+        for vf in space.vf_values:
+            for interleave in space.if_values:
+                assert space.decode(space.encode(vf, interleave)) == (vf, interleave)
+
+    def test_num_factor_pairs_is_35(self):
+        assert default_action_space().num_factor_pairs == 35
+
+    def test_continuous_joint_covers_extremes(self):
+        space = ContinuousJointSpace()
+        assert space.decode([0.0]) == (1, 1)
+        assert space.decode([1.0]) == (64, 16)
+
+    def test_continuous_joint_round_trip(self):
+        space = ContinuousJointSpace()
+        for vf in (1, 4, 64):
+            for interleave in (1, 8):
+                assert space.decode(space.encode(vf, interleave)) == (vf, interleave)
+
+    def test_continuous_pair_round_trip(self):
+        space = ContinuousPairSpace()
+        for vf in (2, 16):
+            for interleave in (2, 16):
+                assert space.decode(space.encode(vf, interleave)) == (vf, interleave)
+
+    def test_continuous_values_are_clipped(self):
+        space = ContinuousPairSpace()
+        assert space.decode([5.0, -2.0]) == (64, 1)
+
+
+class TestEnvironment:
+    def test_reset_returns_embedding(self, tiny_env):
+        observation = tiny_env.reset()
+        assert observation.shape == (tiny_env.observation_dim,)
+
+    def test_step_requires_reset(self, tiny_env):
+        tiny_env.reset()
+        tiny_env.step((2, 1))
+        with pytest.raises(RuntimeError):
+            tiny_env.step((2, 1))
+
+    def test_baseline_action_gives_zero_reward(self, tiny_env):
+        sample = tiny_env.samples[0]
+        pipeline = tiny_env.pipeline
+        baseline = pipeline.measure_baseline(sample.kernel)
+        factors = baseline.factors[sample.loop_index]
+        reward, _ = tiny_env.evaluate_factors(sample, *factors)
+        assert reward == pytest.approx(0.0, abs=1e-9)
+
+    def test_scalar_action_usually_negative(self, tiny_env):
+        rewards = [
+            tiny_env.evaluate_factors(sample, 1, 1)[0] for sample in tiny_env.samples
+        ]
+        assert min(rewards) < 0
+
+    def test_reward_cache_hits(self, tiny_env):
+        sample = tiny_env.samples[0]
+        tiny_env.evaluate_factors(sample, 8, 2)
+        _, info = tiny_env.evaluate_factors(sample, 8, 2)
+        assert info.get("cached") == 1.0
+
+    def test_all_samples_visited_before_repeat(self):
+        kernels = _tiny_kernels()
+        pipeline = CompileAndMeasure()
+        embedding = build_embedding_model(kernels)
+        samples = build_samples(kernels, embedding, pipeline)
+        env = VectorizationEnv(samples, pipeline=pipeline, shuffle=False, seed=0)
+        names = set()
+        for _ in range(len(samples)):
+            env.reset()
+            names.add(env.current_sample().kernel.name)
+            env.step((0, 0))
+        assert len(names) == len({s.kernel.name for s in samples})
+
+    def test_compile_time_penalty_applied(self):
+        kernels = [
+            LoopKernel(
+                name="wide_double",
+                source=(
+                    "double a[8192], b[8192], c[8192], d[8192], e[8192], f2[8192];\n"
+                    "void kernel() { for (int i = 0; i < 8192; i++)"
+                    " f2[i] = a[i] * b[i] + c[i] * d[i] + e[i] * f2[i] + a[i] * c[i]; }"
+                ),
+                function_name="kernel",
+            )
+        ]
+        pipeline = CompileAndMeasure()
+        embedding = build_embedding_model(kernels)
+        samples = build_samples(kernels, embedding, pipeline)
+        env = VectorizationEnv(
+            samples, pipeline=pipeline, compile_time_limit=2.0, compile_time_penalty=-9.0
+        )
+        reward, info = env.evaluate_factors(samples[0], 64, 16)
+        assert reward == -9.0
+        assert info.get("compile_time_exceeded") == 1.0
+
+    def test_env_requires_samples(self):
+        with pytest.raises(ValueError):
+            VectorizationEnv([])
+
+
+class TestPolicies:
+    def test_discrete_policy_act_shapes(self):
+        policy = DiscretePolicy(observation_dim=16, seed=0)
+        output = policy.act(np.zeros(16))
+        assert output.action.shape == (2,)
+        assert isinstance(output.log_prob, float)
+
+    def test_discrete_policy_deterministic_is_argmax(self):
+        policy = DiscretePolicy(observation_dim=8, seed=0)
+        observation = np.random.default_rng(0).normal(size=8)
+        first = policy.act(observation, deterministic=True).action
+        second = policy.act(observation, deterministic=True).action
+        assert np.array_equal(first, second)
+
+    def test_discrete_policy_evaluate_shapes(self):
+        policy = DiscretePolicy(observation_dim=8, seed=0)
+        observations = np.zeros((5, 8))
+        actions = np.zeros((5, 2))
+        log_probs, entropy, values = policy.evaluate(observations, actions)
+        assert log_probs.shape == (5,)
+        assert entropy.shape == (5,)
+        assert values.shape == (5,)
+
+    def test_continuous_policy_action_in_unit_interval(self):
+        policy = ContinuousPolicy(observation_dim=8, action_dims=2, seed=0)
+        output = policy.act(np.zeros(8))
+        assert np.all(output.action >= 0.0) and np.all(output.action <= 1.0)
+
+    def test_make_policy_factory(self):
+        assert isinstance(make_policy("discrete", 8), DiscretePolicy)
+        assert make_policy("continuous1", 8).action_dims == 1
+        assert make_policy("continuous2", 8).action_dims == 2
+        with pytest.raises(ValueError):
+            make_policy("bogus", 8)
+
+    def test_policy_hidden_sizes_configurable(self):
+        small = DiscretePolicy(observation_dim=8, hidden_sizes=(32, 32))
+        large = DiscretePolicy(observation_dim=8, hidden_sizes=(128, 128))
+        assert large.num_parameters() > small.num_parameters()
+
+
+class TestPPO:
+    def test_training_improves_greedy_reward(self, tiny_env):
+        policy = DiscretePolicy(tiny_env.observation_dim, seed=1)
+        before = float(np.mean(tiny_env.greedy_rewards(policy)))
+        trainer = PPOTrainer(
+            tiny_env,
+            policy,
+            PPOConfig(learning_rate=1e-3, train_batch_size=48, minibatch_size=24,
+                      epochs_per_batch=4),
+        )
+        history = trainer.train(total_steps=480, batch_size=48)
+        after = float(np.mean(tiny_env.greedy_rewards(policy)))
+        assert len(history.iterations) == 10
+        assert after > before
+
+    def test_history_reward_curve_monotone_steps(self, tiny_env):
+        policy = DiscretePolicy(tiny_env.observation_dim, seed=2)
+        trainer = PPOTrainer(tiny_env, policy, PPOConfig(train_batch_size=24,
+                                                         minibatch_size=12,
+                                                         epochs_per_batch=2,
+                                                         learning_rate=1e-3))
+        history = trainer.train(total_steps=72, batch_size=24)
+        steps = history.steps()
+        assert steps == sorted(steps)
+        assert history.final_reward_mean == history.reward_curve()[-1]
+
+    def test_continuous_policy_trains_without_error(self, tiny_env):
+        policy = make_policy("continuous1", tiny_env.observation_dim, seed=0)
+        trainer = PPOTrainer(tiny_env, policy, PPOConfig(train_batch_size=24,
+                                                         minibatch_size=12,
+                                                         epochs_per_batch=2,
+                                                         learning_rate=1e-3))
+        history = trainer.train(total_steps=48, batch_size=24)
+        assert len(history.iterations) == 2
+
+    def test_trainer_sets_env_action_space(self, tiny_env):
+        policy = make_policy("continuous2", tiny_env.observation_dim, seed=0)
+        PPOTrainer(tiny_env, policy, PPOConfig())
+        assert isinstance(tiny_env.action_space, ContinuousPairSpace)
+        # restore the discrete space for other tests in this module
+        PPOTrainer(tiny_env, make_policy("discrete", tiny_env.observation_dim), PPOConfig())
+
+    def test_config_scaled(self):
+        config = PPOConfig(learning_rate=1e-4)
+        scaled = config.scaled(learning_rate=5e-3, train_batch_size=10)
+        assert scaled.learning_rate == 5e-3
+        assert scaled.train_batch_size == 10
+        assert config.learning_rate == 1e-4
+
+
+class TestTune:
+    def test_grid_search_expansion(self):
+        grid = grid_search({"a": [1, 2], "b": ["x", "y", "z"]})
+        assert len(grid) == 6
+        assert {"a": 1, "b": "x"} in grid
+
+    def test_grid_search_empty(self):
+        assert grid_search({}) == [{}]
+
+    def test_run_experiments_and_best(self, tiny_env):
+        def make_env():
+            return tiny_env
+
+        results = run_experiments(
+            make_env,
+            {"learning_rate": [1e-3, 1e-4]},
+            total_steps=48,
+            base_config=PPOConfig(train_batch_size=24, minibatch_size=12,
+                                  epochs_per_batch=2),
+        )
+        assert len(results) == 2
+        assert all(result.history.iterations for result in results)
+        best = best_experiment(results)
+        assert best.final_reward_mean == max(r.final_reward_mean for r in results)
