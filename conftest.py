@@ -1,0 +1,86 @@
+"""Repo-wide pytest configuration: per-test timeout enforcement.
+
+The seed suite once hung forever on a lexer EOF bug; a per-test wall-clock
+limit turns any future hang into a fast, attributable failure.  When the
+``pytest-timeout`` plugin is installed (see the ``test`` extra in setup.py)
+it honours the ``timeout`` ini option natively and this module stays out of
+the way.  Offline environments without the plugin get a SIGALRM-based
+fallback that reads the same ini option and ``@pytest.mark.timeout`` marker.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    HAVE_PYTEST_TIMEOUT = False
+
+_FALLBACK_DEFAULT_TIMEOUT = 120.0
+
+
+if not HAVE_PYTEST_TIMEOUT:
+
+    def pytest_addoption(parser):
+        # pytest-timeout normally owns this ini key; registering it here
+        # (only when the plugin is absent) keeps pytest.ini warning-free.
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (fallback shim)",
+            default=str(_FALLBACK_DEFAULT_TIMEOUT),
+        )
+
+    def _timeout_for(item) -> float:
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            return float(marker.args[0])
+        try:
+            return float(item.config.getini("timeout"))
+        except (TypeError, ValueError):
+            return _FALLBACK_DEFAULT_TIMEOUT
+
+    def _alarm_guard(item, phase):
+        seconds = _timeout_for(item)
+        if seconds <= 0 or not hasattr(signal, "SIGALRM"):
+            return None, None
+
+        def _on_timeout(signum, frame):
+            raise TimeoutError(
+                f"test {phase} exceeded the {seconds:g}s per-test timeout "
+                "(conftest fallback shim)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_timeout)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        return previous, seconds
+
+    def _alarm_release(previous):
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+    def _guarded(item, phase):
+        previous, seconds = _alarm_guard(item, phase)
+        try:
+            yield
+        finally:
+            if seconds is not None:
+                _alarm_release(previous)
+
+    # A hang can live in a fixture just as easily as in the test body, so
+    # setup and teardown get the same alarm as the call phase.
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_setup(item):
+        yield from _guarded(item, "setup")
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        yield from _guarded(item, "call")
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_teardown(item):
+        yield from _guarded(item, "teardown")

@@ -7,4 +7,15 @@ setuptools lacks PEP 660 editable-wheel support.
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        # Per-test timeouts keep a hang from wedging the suite; environments
+        # without pytest-timeout fall back to the SIGALRM shim in conftest.py.
+        "test": [
+            "pytest",
+            "pytest-timeout",
+            "pytest-benchmark",
+            "hypothesis",
+        ],
+    },
+)

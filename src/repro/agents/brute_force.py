@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.agents.base import AgentDecision, VectorizationAgent
+from repro.cache.reward_cache import EvaluationBatcher, RewardCache
 from repro.core.pipeline import CompileAndMeasure
 from repro.datasets.kernels import LoopKernel
 from repro.rl.spaces import DEFAULT_IF_VALUES, DEFAULT_VF_VALUES
@@ -19,13 +20,22 @@ class BruteForceAgent(VectorizationAgent):
     it needs the kernel itself (not just the embedding) and ~35 compilations
     per loop, which is exactly why the paper trains a policy instead of
     shipping this.
+
+    All measurements go through a shared :class:`RewardCache` (pass the
+    run's instance to share work with the environment and other agents), so
+    repeat queries — and pairs the RL env already evaluated — cost a lookup
+    instead of a compile.
     """
 
     name = "brute_force"
 
-    def __init__(self, pipeline: Optional[CompileAndMeasure] = None):
+    def __init__(
+        self,
+        pipeline: Optional[CompileAndMeasure] = None,
+        reward_cache: Optional[RewardCache] = None,
+    ):
         self.pipeline = pipeline or CompileAndMeasure()
-        self._cache: Dict[Tuple[str, int], AgentDecision] = {}
+        self.reward_cache = RewardCache() if reward_cache is None else reward_cache
 
     def select_factors(
         self,
@@ -35,20 +45,18 @@ class BruteForceAgent(VectorizationAgent):
     ) -> AgentDecision:
         if kernel is None:
             raise ValueError("BruteForceAgent needs the kernel to search")
-        key = (kernel.name, loop_index)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+        batcher = EvaluationBatcher(self.pipeline, self.reward_cache)
+        grid = [
+            (vf, interleave)
+            for vf in DEFAULT_VF_VALUES
+            for interleave in DEFAULT_IF_VALUES
+        ]
+        for vf, interleave in grid:
+            batcher.add(kernel, loop_index, vf, interleave)
         best_factors: Tuple[int, int] = (1, 1)
         best_cycles = float("inf")
-        for vf in DEFAULT_VF_VALUES:
-            for interleave in DEFAULT_IF_VALUES:
-                result = self.pipeline.measure_with_factors(
-                    kernel, {loop_index: (vf, interleave)}
-                )
-                if result.cycles < best_cycles:
-                    best_cycles = result.cycles
-                    best_factors = (vf, interleave)
-        decision = AgentDecision(*best_factors)
-        self._cache[key] = decision
-        return decision
+        for (vf, interleave), outcome in zip(grid, batcher.flush()):
+            if outcome.measurement.cycles < best_cycles:
+                best_cycles = outcome.measurement.cycles
+                best_factors = (vf, interleave)
+        return AgentDecision(*best_factors)

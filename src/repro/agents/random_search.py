@@ -7,6 +7,8 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.agents.base import AgentDecision, VectorizationAgent
+from repro.cache.reward_cache import EvaluationBatcher, RewardCache
+from repro.core.pipeline import CompileAndMeasure
 from repro.datasets.kernels import LoopKernel
 from repro.rl.spaces import DEFAULT_IF_VALUES, DEFAULT_VF_VALUES
 
@@ -17,6 +19,11 @@ class RandomSearchAgent(VectorizationAgent):
     The paper uses this to show that the RL agent's gains come from learned
     structure and not from the action space itself: "Random search performed
     much worse than the baseline" (§4).
+
+    With ``candidates > 1`` (and a pipeline) the agent becomes best-of-N
+    random search: it draws N candidate pairs and keeps the fastest, with
+    every measurement routed through the shared :class:`RewardCache` so
+    repeated draws cost a lookup instead of a compile.
     """
 
     name = "random"
@@ -26,10 +33,18 @@ class RandomSearchAgent(VectorizationAgent):
         vf_values: Sequence[int] = DEFAULT_VF_VALUES,
         if_values: Sequence[int] = DEFAULT_IF_VALUES,
         seed: int = 0,
+        candidates: int = 1,
+        pipeline: Optional[CompileAndMeasure] = None,
+        reward_cache: Optional[RewardCache] = None,
     ):
+        if candidates < 1:
+            raise ValueError("candidates must be at least 1")
         self.vf_values = tuple(vf_values)
         self.if_values = tuple(if_values)
         self.rng = np.random.default_rng(seed)
+        self.candidates = candidates
+        self.pipeline = pipeline
+        self.reward_cache = RewardCache() if reward_cache is None else reward_cache
 
     def select_factors(
         self,
@@ -39,4 +54,20 @@ class RandomSearchAgent(VectorizationAgent):
     ) -> AgentDecision:
         vf = int(self.rng.choice(self.vf_values))
         interleave = int(self.rng.choice(self.if_values))
-        return AgentDecision(vf, interleave)
+        if self.candidates == 1 or kernel is None or self.pipeline is None:
+            return AgentDecision(vf, interleave)
+        draws = [(vf, interleave)]
+        for _ in range(self.candidates - 1):
+            draws.append(
+                (int(self.rng.choice(self.vf_values)), int(self.rng.choice(self.if_values)))
+            )
+        batcher = EvaluationBatcher(self.pipeline, self.reward_cache)
+        for candidate_vf, candidate_if in draws:
+            batcher.add(kernel, loop_index, candidate_vf, candidate_if)
+        best_factors = draws[0]
+        best_cycles = float("inf")
+        for factors, outcome in zip(draws, batcher.flush()):
+            if outcome.measurement.cycles < best_cycles:
+                best_cycles = outcome.measurement.cycles
+                best_factors = factors
+        return AgentDecision(*best_factors)

@@ -1,0 +1,21 @@
+"""Content-keyed reward caching and batched evaluation for training loops."""
+
+from repro.cache.reward_cache import (
+    CachedMeasurement,
+    CacheStats,
+    EvaluationBatcher,
+    RewardCache,
+    RewardKey,
+    kernel_fingerprint,
+    machine_fingerprint,
+)
+
+__all__ = [
+    "CachedMeasurement",
+    "CacheStats",
+    "EvaluationBatcher",
+    "RewardCache",
+    "RewardKey",
+    "kernel_fingerprint",
+    "machine_fingerprint",
+]

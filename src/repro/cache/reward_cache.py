@@ -1,0 +1,323 @@
+"""Shared reward/measurement cache for the RL and search hot paths.
+
+The paper (§3.4) notes that training is only tractable because rewards for
+already-seen ``(program, action)`` pairs are precomputed and looked up
+instead of recompiled.  This module is that subsystem for the reproduction:
+
+* :class:`RewardCache` — a content-keyed store of simulator measurements.
+  Keys hash the kernel *source text* (plus function name and bindings) and
+  the machine description, so two kernels with identical code share entries
+  and editing a kernel or changing the machine model invalidates nothing it
+  shouldn't.  Every agent and environment in a run can share one instance.
+* :class:`EvaluationBatcher` — collects pending ``(kernel, loop, VF, IF)``
+  requests, deduplicates them against each other and against the cache, and
+  evaluates only the unique misses in one pass.  Rollout collection and
+  brute-force sweeps submit whole batches instead of compiling per step.
+
+Rewards themselves are *derived* from cached measurements by each consumer
+(the environment applies its own compile-time penalty rule), so one cache
+serves environments with different penalty settings without cross-talk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # imported lazily to avoid package import cycles
+    from repro.core.pipeline import CompileAndMeasure
+    from repro.datasets.kernels import LoopKernel
+    from repro.machine.description import MachineDescription
+
+
+# ---------------------------------------------------------------------------
+# Content fingerprints
+# ---------------------------------------------------------------------------
+
+
+def kernel_fingerprint(kernel: "LoopKernel") -> str:
+    """Digest of everything that determines a kernel's measured behaviour."""
+    digest = hashlib.sha1()
+    digest.update(kernel.source.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(kernel.function_name.encode("utf-8"))
+    for name, value in sorted(kernel.bindings.items()):
+        digest.update(f"\x00{name}={value}".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def machine_fingerprint(machine: "MachineDescription") -> str:
+    """Digest of the machine model (dataclass repr covers every cost knob)."""
+    return hashlib.sha1(repr(machine).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RewardKey:
+    """Identity of one measurement: kernel content x machine x action.
+
+    ``default_symbol_value`` is part of the identity because the simulator
+    falls back to it for symbolic loop bounds missing from the bindings —
+    pipelines configured differently must not share entries.
+    """
+
+    kernel_hash: str
+    machine_hash: str
+    loop_index: int
+    vf: int
+    interleave: int
+    default_symbol_value: int = 256
+
+
+@dataclass
+class CachedMeasurement:
+    """The simulator outputs a reward is derived from."""
+
+    cycles: float
+    compile_seconds: float
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`RewardCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    batch_deduplicated: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def compiles_avoided(self) -> int:
+        """Pipeline evaluations saved by cache hits and in-batch dedup."""
+        return self.hits + self.batch_deduplicated
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "batch_deduplicated": float(self.batch_deduplicated),
+            "evictions": float(self.evictions),
+            "hit_rate": self.hit_rate,
+            "compiles_avoided": float(self.compiles_avoided),
+        }
+
+
+class RewardCache:
+    """Content-keyed store of ``(kernel, machine, VF, IF)`` measurements.
+
+    ``max_entries`` bounds memory with FIFO eviction; the default (unbounded)
+    is right for training runs, where the number of unique pairs is
+    ``loops x actions`` and small compared to the number of steps.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive or None")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[RewardKey, CachedMeasurement]" = OrderedDict()
+        # Fingerprints are memoised per object identity.  The memo stores the
+        # object itself so the id() keys cannot be recycled by a later
+        # allocation, and identity is re-checked on every lookup (a kernel
+        # whose ``source`` was reassigned in place re-hashes).
+        self._kernel_fingerprints: Dict[int, Tuple["LoopKernel", str, str]] = {}
+        self._machine_fingerprints: Dict[int, Tuple["MachineDescription", str]] = {}
+
+    #: Entry cap for the fingerprint memos (they pin their objects alive).
+    MAX_FINGERPRINT_MEMO = 4096
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- keys ---------------------------------------------------------------
+
+    def key_for(
+        self,
+        kernel: "LoopKernel",
+        machine: "MachineDescription",
+        loop_index: int,
+        vf: int,
+        interleave: int,
+        default_symbol_value: int = 256,
+    ) -> RewardKey:
+        kernel_memo = self._kernel_fingerprints.get(id(kernel))
+        if (
+            kernel_memo is not None
+            and kernel_memo[0] is kernel
+            and kernel_memo[1] == kernel.source
+        ):
+            kernel_hash = kernel_memo[2]
+        else:
+            kernel_hash = kernel_fingerprint(kernel)
+            if len(self._kernel_fingerprints) >= self.MAX_FINGERPRINT_MEMO:
+                self._kernel_fingerprints.clear()
+            self._kernel_fingerprints[id(kernel)] = (kernel, kernel.source, kernel_hash)
+        machine_memo = self._machine_fingerprints.get(id(machine))
+        if machine_memo is not None and machine_memo[0] is machine:
+            machine_hash = machine_memo[1]
+        else:
+            machine_hash = machine_fingerprint(machine)
+            if len(self._machine_fingerprints) >= self.MAX_FINGERPRINT_MEMO:
+                self._machine_fingerprints.clear()
+            self._machine_fingerprints[id(machine)] = (machine, machine_hash)
+        return RewardKey(
+            kernel_hash,
+            machine_hash,
+            int(loop_index),
+            int(vf),
+            int(interleave),
+            int(default_symbol_value),
+        )
+
+    # -- lookups ------------------------------------------------------------
+
+    def get(self, key: RewardKey) -> Optional[CachedMeasurement]:
+        """Stats-counting lookup."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return entry
+
+    def peek(self, key: RewardKey) -> Optional[CachedMeasurement]:
+        """Lookup without touching the hit/miss counters."""
+        return self._entries.get(key)
+
+    def put(self, key: RewardKey, measurement: CachedMeasurement) -> None:
+        if key not in self._entries and self.max_entries is not None:
+            while len(self._entries) >= self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        self._entries[key] = measurement
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._kernel_fingerprints.clear()
+        self._machine_fingerprints.clear()
+
+    # -- measurement --------------------------------------------------------
+
+    def measure(
+        self,
+        pipeline: "CompileAndMeasure",
+        kernel: "LoopKernel",
+        loop_index: int,
+        vf: int,
+        interleave: int,
+    ) -> Tuple[CachedMeasurement, bool]:
+        """Cached ``measure_with_factors``; returns (measurement, was_hit)."""
+        key = self.key_for(
+            kernel,
+            pipeline.machine,
+            loop_index,
+            vf,
+            interleave,
+            default_symbol_value=pipeline.default_symbol_value,
+        )
+        entry = self.get(key)
+        if entry is not None:
+            return entry, True
+        result = pipeline.measure_with_factors(kernel, {loop_index: (vf, interleave)})
+        entry = CachedMeasurement(
+            cycles=result.cycles, compile_seconds=result.compile_seconds
+        )
+        self.put(key, entry)
+        return entry, False
+
+
+@dataclass
+class _PendingRequest:
+    key: RewardKey
+    kernel: "LoopKernel"
+    loop_index: int
+    vf: int
+    interleave: int
+
+
+@dataclass
+class BatchOutcome:
+    """Per-request result of one :meth:`EvaluationBatcher.flush`."""
+
+    measurement: CachedMeasurement
+    was_cached: bool
+
+
+class EvaluationBatcher:
+    """Deduplicating batch front-end over a :class:`RewardCache`.
+
+    ``add`` enqueues a request and returns a ticket; ``flush`` evaluates the
+    unique cache misses (one pipeline call each), fills the cache, and
+    returns outcomes indexed by ticket.  Duplicate requests within a batch
+    cost one evaluation total and are counted in
+    ``cache.stats.batch_deduplicated``.
+    """
+
+    def __init__(self, pipeline: "CompileAndMeasure", cache: RewardCache):
+        self.pipeline = pipeline
+        self.cache = cache
+        self._pending: List[_PendingRequest] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def add(
+        self, kernel: "LoopKernel", loop_index: int, vf: int, interleave: int
+    ) -> int:
+        key = self.cache.key_for(
+            kernel,
+            self.pipeline.machine,
+            loop_index,
+            vf,
+            interleave,
+            default_symbol_value=self.pipeline.default_symbol_value,
+        )
+        self._pending.append(
+            _PendingRequest(key, kernel, int(loop_index), int(vf), int(interleave))
+        )
+        return len(self._pending) - 1
+
+    def flush(self) -> List[BatchOutcome]:
+        pending, self._pending = self._pending, []
+        first_seen: Dict[RewardKey, int] = {}
+        outcomes: List[Optional[BatchOutcome]] = [None] * len(pending)
+        for ticket, request in enumerate(pending):
+            cached = self.cache.get(request.key)
+            if cached is not None:
+                outcomes[ticket] = BatchOutcome(cached, True)
+                continue
+            leader = first_seen.setdefault(request.key, ticket)
+            if leader != ticket:
+                # A duplicate of an earlier miss in this same batch: the
+                # get() above already counted a miss, correct it to a dedup.
+                self.cache.stats.misses -= 1
+                self.cache.stats.batch_deduplicated += 1
+                continue
+        # Keep this pass's results in a local map too: a bounded cache may
+        # evict them before the outcome loop reads them back.
+        measured: Dict[RewardKey, CachedMeasurement] = {}
+        for key, leader in first_seen.items():
+            request = pending[leader]
+            result = self.pipeline.measure_with_factors(
+                request.kernel, {request.loop_index: (request.vf, request.interleave)}
+            )
+            measurement = CachedMeasurement(
+                cycles=result.cycles, compile_seconds=result.compile_seconds
+            )
+            measured[key] = measurement
+            self.cache.put(key, measurement)
+        for ticket, request in enumerate(pending):
+            if outcomes[ticket] is None:
+                outcomes[ticket] = BatchOutcome(
+                    measured[request.key], first_seen.get(request.key) != ticket
+                )
+        return outcomes  # type: ignore[return-value]

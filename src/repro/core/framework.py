@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache.reward_cache import RewardCache
 from repro.core.loop_extractor import ExtractedLoop, extract_loops
 from repro.core.pipeline import CompilationResult, CompileAndMeasure
 from repro.core.pragma_injector import inject_pragmas
@@ -112,11 +113,22 @@ class NeuroVectorizer:
         agent,
         pipeline: Optional[CompileAndMeasure] = None,
         machine: Optional[MachineDescription] = None,
+        reward_cache: Optional[RewardCache] = None,
     ):
         self.machine = machine or MachineDescription()
         self.pipeline = pipeline or CompileAndMeasure(machine=self.machine)
         self.embedding_model = embedding_model
         self.agent = agent
+        # The run-wide measurement cache: shared with the training env and
+        # any cache-aware agent so every consumer sees each other's work.
+        # (`is None`, not `or`: an empty cache is falsy via __len__.)
+        self.reward_cache = RewardCache() if reward_cache is None else reward_cache
+
+    def cache_stats_report(self, title: str = "reward cache"):
+        """Hit/miss statistics of the shared reward cache as a text table."""
+        from repro.evaluation.report import format_cache_stats_table
+
+        return format_cache_stats_table(self.reward_cache.stats, title=title)
 
     # -- observation -----------------------------------------------------------------
 
@@ -226,6 +238,7 @@ class NeuroVectorizer:
         config = config or TrainingConfig()
         machine = machine or MachineDescription()
         pipeline = CompileAndMeasure(machine=machine)
+        reward_cache = RewardCache()
         embedding_model = build_embedding_model(train_kernels, config.embedding)
 
         # --- stage 1: self-supervised pretraining of the embedding ---------------
@@ -257,7 +270,9 @@ class NeuroVectorizer:
 
         # --- stage 2: PPO over the frozen embedding -------------------------------
         samples = build_samples(train_kernels, embedding_model, pipeline)
-        env = VectorizationEnv(samples, pipeline=pipeline, seed=config.seed)
+        env = VectorizationEnv(
+            samples, pipeline=pipeline, seed=config.seed, reward_cache=reward_cache
+        )
         policy = make_policy(
             config.policy,
             env.observation_dim,
@@ -271,7 +286,9 @@ class NeuroVectorizer:
         trainer = PPOTrainer(env, policy, ppo_config)
         history = trainer.train(config.rl_total_steps, batch_size=config.rl_batch_size)
 
-        framework = cls(embedding_model, PolicyAgent(policy), pipeline, machine)
+        framework = cls(
+            embedding_model, PolicyAgent(policy), pipeline, machine, reward_cache
+        )
         artifacts = TrainingArtifacts(
             history=history, pretrain_result=pretrain_result, samples=samples
         )

@@ -61,6 +61,10 @@ class CompileAndMeasure:
         self.default_symbol_value = default_symbol_value
         self.baseline_model = BaselineCostModel(machine=self.machine)
         self._ir_cache: Dict[Tuple[str, str], IRFunction] = {}
+        # One simulator per (kernel, bindings) so its per-function memos
+        # (statement costs, loop analyses, whole simulations) survive across
+        # the thousands of measure calls a training run makes per kernel.
+        self._simulator_cache: Dict[Tuple[str, Tuple[Tuple[str, int], ...]], Simulator] = {}
 
     # -- lowering --------------------------------------------------------------------
 
@@ -86,11 +90,18 @@ class CompileAndMeasure:
         return ir_function
 
     def _simulator(self, kernel: LoopKernel) -> Simulator:
-        return Simulator(
-            machine=self.machine,
-            bindings=dict(kernel.bindings),
-            default_symbol_value=self.default_symbol_value,
-        )
+        key = (kernel.name, tuple(sorted(kernel.bindings.items())))
+        simulator = self._simulator_cache.get(key)
+        if simulator is None:
+            simulator = Simulator(
+                machine=self.machine,
+                bindings=dict(kernel.bindings),
+                default_symbol_value=self.default_symbol_value,
+            )
+            if len(self._simulator_cache) > 512:
+                self._simulator_cache.clear()
+            self._simulator_cache[key] = simulator
+        return simulator
 
     def _result(
         self, kernel: LoopKernel, ir_function: IRFunction, plan: FunctionVectorPlan

@@ -13,6 +13,7 @@ from repro.agents.decision_tree import DecisionTreeAgent
 from repro.agents.nns import NearestNeighborAgent
 from repro.agents.policy_agent import PolicyAgent
 from repro.agents.random_search import RandomSearchAgent
+from repro.cache.reward_cache import RewardCache
 from repro.core.framework import TrainingConfig, build_embedding_model
 from repro.core.loop_extractor import extract_loops
 from repro.core.pipeline import CompileAndMeasure
@@ -62,6 +63,7 @@ class TrainedAgents:
     brute_force_agent: BruteForceAgent
     history: TrainingHistory
     training_samples: int = 0
+    reward_cache: Optional[RewardCache] = None
 
 
 def _embed_loop(embedding_model: Code2VecModel, loop) -> np.ndarray:
@@ -97,8 +99,13 @@ def train_reference_agents(
             embedding_model, train_kernels, pipeline, pretrain_epochs, seed
         )
 
+    # One measurement cache for the whole comparison: PPO rollouts and the
+    # brute-force labelling sweep share each other's evaluations.
+    reward_cache = RewardCache()
     samples = build_samples(train_kernels, embedding_model, pipeline)
-    env = VectorizationEnv(samples, pipeline=pipeline, seed=seed)
+    env = VectorizationEnv(
+        samples, pipeline=pipeline, seed=seed, reward_cache=reward_cache
+    )
     policy = make_policy("discrete", env.observation_dim, seed=seed)
     trainer = PPOTrainer(
         env,
@@ -110,7 +117,7 @@ def train_reference_agents(
     rl_agent = PolicyAgent(policy)
 
     # Brute-force labels for the supervised methods.
-    brute = BruteForceAgent(pipeline)
+    brute = BruteForceAgent(pipeline, reward_cache=reward_cache)
     label_kernels = list(label_kernels) if label_kernels is not None else list(train_kernels)
     embeddings: List[np.ndarray] = []
     labels: List[Tuple[int, int]] = []
@@ -137,10 +144,13 @@ def train_reference_agents(
         rl_agent=rl_agent,
         nns_agent=nns_agent,
         tree_agent=tree_agent,
+        # The paper's plain uniform-random baseline: one draw, no measuring,
+        # so it takes no cache (best-of-N mode is opt-in via candidates>1).
         random_agent=RandomSearchAgent(seed=seed),
         brute_force_agent=brute,
         history=history,
         training_samples=len(samples),
+        reward_cache=reward_cache,
     )
 
 

@@ -62,6 +62,21 @@ def format_speedup_table(
     return table
 
 
+def format_cache_stats_table(stats, title: str = "reward cache") -> Table:
+    """Render :class:`repro.cache.CacheStats` (or any object with the same
+    counters) as a two-column table, including the derived hit rate and the
+    number of pipeline evaluations the cache avoided."""
+    table = Table(headers=["metric", "value"], title=title)
+    table.add_row(["lookups", stats.lookups])
+    table.add_row(["hits", stats.hits])
+    table.add_row(["misses", stats.misses])
+    table.add_row(["batch deduplicated", stats.batch_deduplicated])
+    table.add_row(["evictions", stats.evictions])
+    table.add_row(["hit rate", stats.hit_rate])
+    table.add_row(["compiles avoided", stats.compiles_avoided])
+    return table
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     values = [v for v in values if v > 0]
     if not values:

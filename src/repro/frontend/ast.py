@@ -458,6 +458,15 @@ def iter_loops(node: Node) -> Iterator[Stmt]:
             yield child
 
 
+def _outermost_loops(node: Node) -> Iterator[Stmt]:
+    """Loops in the subtree with no enclosing loop inside it (node included)."""
+    if isinstance(node, (ForStmt, WhileStmt, DoWhileStmt)):
+        yield node
+        return
+    for child in node.children():
+        yield from _outermost_loops(child)
+
+
 def loop_nest_depth(loop: Node) -> int:
     """Number of loop levels contained in ``loop`` (1 for a simple loop)."""
     if not isinstance(loop, (ForStmt, WhileStmt, DoWhileStmt)):
@@ -465,12 +474,13 @@ def loop_nest_depth(loop: Node) -> int:
     body = getattr(loop, "body", None)
     if body is None:
         return 1
-    inner = [loop_nest_depth(child) for child in iter_loops(body)]
-    direct_inner = 0
-    for child in body.walk() if body else ():
-        if child is not body and isinstance(child, (ForStmt, WhileStmt, DoWhileStmt)):
-            direct_inner = max(direct_inner, loop_nest_depth(child))
-    return 1 + direct_inner
+    # Recurse only on the body's outermost loops (the body itself may be one
+    # for brace-less nesting); visiting every descendant loop would re-enter
+    # deep nests once per ancestor, i.e. exponentially.
+    deepest = 0
+    for child in _outermost_loops(body):
+        deepest = max(deepest, loop_nest_depth(child))
+    return 1 + deepest
 
 
 def innermost_loops(node: Node) -> List[Stmt]:

@@ -78,6 +78,12 @@ class Lexer:
     def _location(self) -> SourceLocation:
         return SourceLocation(self.line, self.column, self.filename)
 
+    def _peek_in(self, chars: str, offset: int = 0) -> bool:
+        # Guard against EOF: ``"" in chars`` is always True, so a bare
+        # membership test on ``_peek()`` spins forever at end of input.
+        ch = self._peek(offset)
+        return bool(ch) and ch in chars
+
     def _skip_whitespace(self) -> None:
         while self.position < len(self.source) and self._peek() in " \t\r\n\f\v":
             self._advance()
@@ -123,10 +129,13 @@ class Lexer:
     def _lex_number(self, location: SourceLocation) -> Token:
         start = self.position
         is_float = False
-        if self._peek() == "0" and self._peek(1) in "xX":
+        if self._peek() == "0" and self._peek_in("xX", 1):
             self._advance(2)
-            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+            digits_start = self.position
+            while self._peek_in("0123456789abcdefABCDEF"):
                 self._advance()
+            if self.position == digits_start:
+                raise LexError("hexadecimal literal requires digits", location)
             text = self.source[start : self.position]
             self._skip_integer_suffix()
             return Token(TokenKind.INT_LITERAL, text, location, int(text, 16))
@@ -137,26 +146,26 @@ class Lexer:
             self._advance()
             while self._peek().isdigit():
                 self._advance()
-        if self._peek() in "eE" and (
+        if self._peek_in("eE") and (
             self._peek(1).isdigit()
-            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            or (self._peek_in("+-", 1) and self._peek(2).isdigit())
         ):
             is_float = True
             self._advance()
-            if self._peek() in "+-":
+            if self._peek_in("+-"):
                 self._advance()
             while self._peek().isdigit():
                 self._advance()
         text = self.source[start : self.position]
         if is_float:
-            if self._peek() in "fFlL":
+            if self._peek_in("fFlL"):
                 self._advance()
             return Token(TokenKind.FLOAT_LITERAL, text, location, float(text))
         self._skip_integer_suffix()
         return Token(TokenKind.INT_LITERAL, text, location, int(text, 10))
 
     def _skip_integer_suffix(self) -> None:
-        while self._peek() in "uUlL":
+        while self._peek_in("uUlL"):
             self._advance()
 
     def _lex_char(self, location: SourceLocation) -> Token:

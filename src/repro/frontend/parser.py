@@ -433,7 +433,11 @@ class Parser:
 
     def _parse_loop_body(self) -> ast.Stmt:
         """Parse a loop body, attaching pragmas that appear directly inside a
-        brace-less body position (the dataset puts pragmas before inner loops)."""
+        brace-less body position (the dataset puts pragmas before inner loops).
+
+        Brace-less bodies are normalised to a single-statement
+        :class:`~repro.frontend.ast.CompoundStmt` so downstream passes (sema,
+        lowering) can rely on ``loop.body.statements`` always existing."""
         if self._check(TokenKind.PRAGMA):
             pragma_stmt = self._parse_pragma_statement()
             body = self._parse_statement()
@@ -443,8 +447,14 @@ class Parser:
                     if body.pragma is None
                     else body.pragma.merged_with(pragma_stmt.pragma)
                 )
+            return self._as_block(body)
+        return self._as_block(self._parse_statement())
+
+    @staticmethod
+    def _as_block(body: ast.Stmt) -> ast.CompoundStmt:
+        if isinstance(body, ast.CompoundStmt):
             return body
-        return self._parse_statement()
+        return ast.CompoundStmt(span=body.span, statements=[body])
 
     def _parse_while(self) -> ast.WhileStmt:
         start = self._expect(TokenKind.KEYWORD, "while").location

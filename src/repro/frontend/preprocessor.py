@@ -20,10 +20,15 @@ from repro.frontend.errors import CompileError, SourceLocation
 #: Sentinel embedded into preprocessed text so the lexer can recover pragmas.
 PRAGMA_MARKER = "__REPRO_PRAGMA__"
 
-_DEFINE_RE = re.compile(r"^\s*#\s*define\s+([A-Za-z_][A-Za-z0-9_]*)\s*(.*)$")
+# A ``(`` immediately after the macro name (no whitespace) marks a
+# function-like macro; ``#define X (1+2)`` stays object-like.
+_DEFINE_RE = re.compile(r"^\s*#\s*define\s+([A-Za-z_][A-Za-z0-9_]*)(\()?\s*(.*)$")
 _UNDEF_RE = re.compile(r"^\s*#\s*undef\s+([A-Za-z_][A-Za-z0-9_]*)\s*$")
 _INCLUDE_RE = re.compile(r"^\s*#\s*include\b")
 _PRAGMA_RE = re.compile(r"^\s*#\s*pragma\b(.*)$")
+# Pragmas that follow other code on the same line (e.g. ``{ #pragma ...``);
+# the directive runs to end of line.
+_MIDLINE_PRAGMA_RE = re.compile(r"#\s*pragma\b(.*)$")
 _IFDEF_RE = re.compile(r"^\s*#\s*(ifdef|ifndef|if|else|elif|endif)\b")
 _IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
@@ -68,12 +73,13 @@ class Preprocessor:
     def _process_line(self, line: str, location: SourceLocation) -> str:
         define = _DEFINE_RE.match(line)
         if define is not None:
-            name, replacement = define.group(1), define.group(2).strip()
-            if "(" in name:
+            name = define.group(1)
+            if define.group(2) is not None:
                 self.warnings.append(
                     f"{location}: function-like macro {name!r} ignored"
                 )
                 return ""
+            replacement = define.group(3).strip()
             self.macros[name] = MacroDefinition(name, replacement, location)
             return ""
         undef = _UNDEF_RE.match(line)
@@ -86,6 +92,11 @@ class Preprocessor:
         if pragma is not None:
             body = self._expand(pragma.group(1).strip())
             return f'{PRAGMA_MARKER}("{body}");'
+        midline = _MIDLINE_PRAGMA_RE.search(line)
+        if midline is not None and _outside_literal(line[: midline.start()]):
+            prefix = self._expand(line[: midline.start()])
+            body = self._expand(midline.group(1).strip())
+            return f'{prefix}{PRAGMA_MARKER}("{body}");'
         if _IFDEF_RE.match(line):
             self.warnings.append(
                 f"{location}: conditional compilation directive kept as-is"
@@ -109,6 +120,25 @@ class Preprocessor:
         if expanded != line:
             return self._expand(expanded, depth + 1)
         return expanded
+
+
+def _outside_literal(prefix: str) -> bool:
+    """True if a position preceded by ``prefix`` is outside string/char
+    literals (tracks escapes, unlike a bare quote-parity count)."""
+    in_literal: Optional[str] = None
+    index = 0
+    while index < len(prefix):
+        ch = prefix[index]
+        if in_literal is not None:
+            if ch == "\\":
+                index += 2
+                continue
+            if ch == in_literal:
+                in_literal = None
+        elif ch in "\"'":
+            in_literal = ch
+        index += 1
+    return in_literal is None
 
 
 def strip_comments(source: str) -> str:

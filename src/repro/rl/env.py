@@ -7,6 +7,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache.reward_cache import (
+    CachedMeasurement,
+    EvaluationBatcher,
+    RewardCache,
+)
 from repro.core.loop_extractor import ExtractedLoop, extract_loops
 from repro.core.pipeline import CompilationResult, CompileAndMeasure
 from repro.datasets.kernels import LoopKernel
@@ -98,6 +103,7 @@ class VectorizationEnv:
         compile_time_penalty: float = -9.0,
         shuffle: bool = True,
         seed: int = 0,
+        reward_cache: Optional[RewardCache] = None,
     ):
         if not samples:
             raise ValueError("the environment needs at least one sample")
@@ -113,7 +119,10 @@ class VectorizationEnv:
         self._current: Optional[EnvSample] = None
         self.observation_dim = int(self.samples[0].observation.shape[0])
         self.total_steps = 0
-        self._reward_cache: Dict[Tuple[str, int, int, int], float] = {}
+        # Shared with other envs/agents when passed in; rewards are derived
+        # from cached raw measurements so each env applies its own penalty.
+        # (`is None`, not `or`: an empty cache is falsy via __len__.)
+        self.reward_cache = RewardCache() if reward_cache is None else reward_cache
 
     # -- episode control -------------------------------------------------------------
 
@@ -145,40 +154,82 @@ class VectorizationEnv:
         self, sample: EnvSample, vf: int, interleave: int
     ) -> Tuple[float, Dict[str, float]]:
         """Reward for choosing (vf, interleave) on one sample (cached)."""
-        key = (sample.kernel.name, sample.loop_index, vf, interleave)
-        info: Dict[str, float] = {"vf": float(vf), "interleave": float(interleave)}
-        if key in self._reward_cache:
-            reward = self._reward_cache[key]
-            info["cached"] = 1.0
-            return reward, info
-        result = self.pipeline.measure_with_factors(
-            sample.kernel, {sample.loop_index: (vf, interleave)}
+        measurement, was_cached = self.reward_cache.measure(
+            self.pipeline, sample.kernel, sample.loop_index, vf, interleave
         )
-        info["cycles"] = result.cycles
-        info["baseline_cycles"] = sample.baseline_cycles
-        info["compile_seconds"] = result.compile_seconds
+        return self._reward_from_measurement(sample, vf, interleave, measurement, was_cached)
+
+    def _reward_from_measurement(
+        self,
+        sample: EnvSample,
+        vf: int,
+        interleave: int,
+        measurement: CachedMeasurement,
+        was_cached: bool,
+    ) -> Tuple[float, Dict[str, float]]:
+        info: Dict[str, float] = {
+            "vf": float(vf),
+            "interleave": float(interleave),
+            "cycles": measurement.cycles,
+            "baseline_cycles": sample.baseline_cycles,
+            "compile_seconds": measurement.compile_seconds,
+        }
+        if was_cached:
+            info["cached"] = 1.0
         if (
             sample.baseline_compile_seconds > 0
-            and result.compile_seconds
+            and measurement.compile_seconds
             > self.compile_time_limit * sample.baseline_compile_seconds
         ):
             reward = self.compile_time_penalty
             info["compile_time_exceeded"] = 1.0
         else:
-            reward = (sample.baseline_cycles - result.cycles) / max(
+            reward = (sample.baseline_cycles - measurement.cycles) / max(
                 sample.baseline_cycles, 1e-9
             )
-        self._reward_cache[key] = reward
         return reward, info
+
+    # -- batched evaluation ----------------------------------------------------------
+
+    def evaluate_factors_batch(
+        self, requests: Sequence[Tuple[EnvSample, int, int]]
+    ) -> List[Tuple[float, Dict[str, float]]]:
+        """Evaluate many explicit ``(sample, vf, interleave)`` requests at once.
+
+        Requests are deduplicated against each other and the reward cache, so
+        repeated pairs cost one pipeline evaluation total.  Results come back
+        in request order.
+        """
+        batcher = EvaluationBatcher(self.pipeline, self.reward_cache)
+        for sample, vf, interleave in requests:
+            batcher.add(sample.kernel, sample.loop_index, vf, interleave)
+        outcomes = batcher.flush()
+        return [
+            self._reward_from_measurement(
+                sample, vf, interleave, outcome.measurement, outcome.was_cached
+            )
+            for (sample, vf, interleave), outcome in zip(requests, outcomes)
+        ]
+
+    def evaluate_batch(
+        self, pairs: Sequence[Tuple[EnvSample, object]]
+    ) -> List[StepResult]:
+        """Batched :meth:`step`: decode raw actions, dedup, evaluate in one pass."""
+        requests = [
+            (sample, *self.action_space.decode(action)) for sample, action in pairs
+        ]
+        results = self.evaluate_factors_batch(requests)
+        self.total_steps += len(pairs)
+        self._current = None
+        return [StepResult(reward=reward, info=info) for reward, info in results]
 
     # -- evaluation helpers ---------------------------------------------------------------
 
     def greedy_rewards(self, policy) -> List[float]:
         """Reward of the policy's argmax action on every sample (no sampling)."""
-        rewards = []
+        requests = []
         for sample in self.samples:
             action = policy.act(sample.observation, deterministic=True).action
             vf, interleave = self.action_space.decode(action)
-            reward, _ = self.evaluate_factors(sample, vf, interleave)
-            rewards.append(reward)
-        return rewards
+            requests.append((sample, vf, interleave))
+        return [reward for reward, _ in self.evaluate_factors_batch(requests)]

@@ -117,20 +117,25 @@ class PPOTrainer:
         log_probs: List[float] = []
         rewards: List[float] = []
         values: List[float] = []
+        pairs = []
         for _ in range(batch_size):
             observation = self.env.reset()
             output = self.policy.act(observation)
-            step = self.env.step(output.action)
+            pairs.append((self.env.current_sample(), output.action))
+            observations.append(observation)
+            actions.append(np.asarray(output.action, dtype=np.float64))
+            log_probs.append(output.log_prob)
+            values.append(output.value)
+        # One deduplicated evaluation pass for the whole rollout: repeated
+        # (loop, action) pairs — the common case once the policy sharpens —
+        # hit the shared reward cache instead of recompiling.
+        for step in self.env.evaluate_batch(pairs):
             reward = step.reward
             if self.config.reward_clip is not None:
                 reward = float(
                     np.clip(reward, -self.config.reward_clip, self.config.reward_clip)
                 )
-            observations.append(observation)
-            actions.append(np.asarray(output.action, dtype=np.float64))
-            log_probs.append(output.log_prob)
             rewards.append(reward)
-            values.append(output.value)
         return (
             np.stack(observations),
             np.stack(actions),

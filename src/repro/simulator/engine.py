@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.loopinfo import LoopAnalysis, OperationMix, analyze_loop, _count_statement
 from repro.ir.evaluate import evaluate_expr, trip_count_of
@@ -44,6 +44,9 @@ class Simulator:
     ``default_symbol_value``.
     """
 
+    #: Entry cap for the per-simulator memo of whole-function simulations.
+    MAX_MEMO_ENTRIES = 4096
+
     def __init__(
         self,
         machine: Optional[MachineDescription] = None,
@@ -53,7 +56,14 @@ class Simulator:
         self.machine = machine or MachineDescription()
         self.bindings = dict(bindings or {})
         self.default_symbol_value = default_symbol_value
-        self._analysis_cache: Dict[int, LoopAnalysis] = {}
+        self._analysis_cache: Dict[Tuple[int, int], LoopAnalysis] = {}
+        # Memoised whole-function simulations keyed by (function, plan
+        # factors, bindings).  The FunctionCost values hold the function
+        # alive, so the id()-based keys cannot be recycled while cached.
+        self._simulate_cache: Dict[tuple, FunctionCost] = {}
+        # Per-statement cycle estimates; statements are immutable during
+        # simulation and shared across repeated simulations of cached IR.
+        self._statement_cache: Dict[int, Tuple[Statement, float]] = {}
 
     # -- public API ---------------------------------------------------------------
 
@@ -66,16 +76,28 @@ class Simulator:
         bindings = dict(self.bindings)
         if extra_bindings:
             bindings.update(extra_bindings)
+        key = (
+            id(function),
+            _plan_fingerprint(plan),
+            tuple(sorted(bindings.items())),
+        )
+        cached = self._simulate_cache.get(key)
+        if cached is not None and cached.function is function:
+            return cached
         cost = FunctionCost(function=function, machine=self.machine, total_cycles=0.0)
         cost.total_cycles = self._region_cycles(function.body, function, plan, bindings, cost)
+        if len(self._simulate_cache) >= self.MAX_MEMO_ENTRIES:
+            self._simulate_cache.clear()
+        self._simulate_cache[key] = cost
         return cost
 
     def loop_analysis(self, function: IRFunction, loop: Loop) -> LoopAnalysis:
-        cached = self._analysis_cache.get(loop.loop_id)
+        key = (id(function), loop.loop_id)
+        cached = self._analysis_cache.get(key)
         if cached is not None and cached.function is function:
             return cached
         analysis = analyze_loop(function, loop)
-        self._analysis_cache[loop.loop_id] = analysis
+        self._analysis_cache[key] = analysis
         return analysis
 
     # -- region walking ---------------------------------------------------------------
@@ -136,6 +158,14 @@ class Simulator:
     # -- leaves ----------------------------------------------------------------------
 
     def _statement_cycles(self, statement: Statement) -> float:
+        cached = self._statement_cache.get(id(statement))
+        if cached is not None and cached[0] is statement:
+            return cached[1]
+        cycles = self._statement_cycles_uncached(statement)
+        self._statement_cache[id(statement)] = (statement, cycles)
+        return cycles
+
+    def _statement_cycles_uncached(self, statement: Statement) -> float:
         mix = OperationMix()
         _count_statement(statement, mix)
         machine = self.machine
@@ -181,6 +211,15 @@ class Simulator:
         if trip is not None:
             return int(trip)
         return self.default_symbol_value
+
+
+def _plan_fingerprint(plan: Optional[FunctionVectorPlan]) -> Optional[tuple]:
+    """Stable identity of a plan's effective factors (cost-relevant state)."""
+    if plan is None:
+        return None
+    return tuple(
+        sorted((loop_id, p.vf, p.interleave) for loop_id, p in plan.plans.items())
+    )
 
 
 def simulate_function(

@@ -81,6 +81,11 @@ class TestGradientChecks:
         rng = np.random.default_rng(0)
         a_data = rng.normal(size=(4, 3))
         b_data = rng.normal(size=(3, 2))
+        # Snapshot the div denominator once: if it were rebuilt from a_data
+        # inside build(), the numeric check would measure the total derivative
+        # through the denominator, which no autodiff graph over `a` alone can
+        # match (the denominator tensor is a detached constant).
+        div_denominator = np.abs(a_data) + 1.0
 
         def build():
             a = Tensor(a_data, requires_grad=True)
@@ -92,7 +97,7 @@ class TestGradientChecks:
             elif operation == "log_softmax":
                 out = ops.sum(ops.log_softmax(a, axis=-1))
             elif operation == "div":
-                out = ops.sum(ops.div(a, Tensor(np.abs(a_data) + 1.0)))
+                out = ops.sum(ops.div(a, Tensor(div_denominator)))
             elif operation == "exp_log":
                 out = ops.sum(ops.log(ops.exp(a)))
             elif operation == "clip":
