@@ -8,15 +8,29 @@ Reproduces a scaled-down version of the paper's main experiment (Figure 7):
 3. evaluate the frozen policy on the 12 held-out test benchmarks against
    random search, Polly, NNS, decision trees and brute force.
 
+Reward evaluation can be sharded across worker processes and persisted to a
+cross-run on-disk store:
+
+    python examples/train_neurovectorizer.py --workers 4 --cache-dir .reward-store
+
+A second invocation with the same ``--cache-dir`` warm-starts from disk and
+recompiles nothing it has already measured.
+
 Run with:  python examples/train_neurovectorizer.py  [--steps 4000] [--kernels 120]
 """
 
 import argparse
 
+from repro.core.pipeline import CompileAndMeasure
 from repro.datasets.llvm_suite import llvm_vectorizer_suite, test_benchmarks
 from repro.datasets.synthetic import SyntheticDatasetConfig, generate_synthetic_dataset
+from repro.distributed import EvaluationService, EvaluationServiceConfig
 from repro.evaluation.comparison import compare_methods, train_reference_agents
-from repro.evaluation.report import format_speedup_table
+from repro.evaluation.report import (
+    format_cache_stats_table,
+    format_service_stats_table,
+    format_speedup_table,
+)
 
 
 def main() -> None:
@@ -26,6 +40,11 @@ def main() -> None:
     parser.add_argument("--kernels", type=int, default=120,
                         help="number of synthetic training kernels")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="evaluation worker processes (0 = serial in-process)")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="directory of the persistent reward store "
+                             "(shared across runs; omit for memory-only)")
     arguments = parser.parse_args()
 
     print(f"generating {arguments.kernels} synthetic training kernels ...")
@@ -37,33 +56,66 @@ def main() -> None:
     held_out = set(test_benchmarks().names())
     kernels.extend(k for k in llvm_vectorizer_suite() if k.name not in held_out)
 
-    print(f"training (pretraining + {arguments.steps} PPO steps) ...")
-    trained = train_reference_agents(
-        kernels,
-        rl_steps=arguments.steps,
-        rl_batch_size=250,
-        learning_rate=5e-4,
-        pretrain_epochs=1,
-        seed=arguments.seed,
+    service = EvaluationService.from_config(
+        CompileAndMeasure(),
+        EvaluationServiceConfig(
+            workers=arguments.workers, cache_dir=arguments.cache_dir
+        ),
     )
-    curve = [round(value, 3) for value in trained.history.reward_curve()]
-    print(f"reward-mean curve over training: {curve}")
+    if arguments.workers or arguments.cache_dir:
+        print(
+            f"evaluation service: {arguments.workers} worker(s), "
+            f"store={arguments.cache_dir or 'memory-only'}, "
+            f"{getattr(service.cache, 'preloaded', 0)} measurement(s) "
+            "warm-started from disk"
+        )
 
-    print("evaluating on the 12 held-out test benchmarks ...")
-    comparison = compare_methods(list(test_benchmarks()), trained)
-    print()
-    print(
-        format_speedup_table(
-            comparison.speedups,
-            comparison.methods,
-            title="Performance normalised to the baseline cost model (Figure 7 analogue)",
-        ).render()
-    )
-    print()
-    for method in comparison.methods:
-        print(f"  average {method:14s}: {comparison.average(method):5.2f}x")
-    rl_vs_brute = comparison.average("rl") / comparison.average("brute_force")
-    print(f"\nRL captures {rl_vs_brute * 100:.0f}% of the brute-force oracle's gain.")
+    try:
+        print(f"training (pretraining + {arguments.steps} PPO steps) ...")
+        trained = train_reference_agents(
+            kernels,
+            rl_steps=arguments.steps,
+            rl_batch_size=250,
+            learning_rate=5e-4,
+            pretrain_epochs=1,
+            seed=arguments.seed,
+            evaluation_service=service,
+        )
+        curve = [round(value, 3) for value in trained.history.reward_curve()]
+        print(f"reward-mean curve over training: {curve}")
+
+        print("evaluating on the 12 held-out test benchmarks ...")
+        comparison = compare_methods(list(test_benchmarks()), trained)
+        print()
+        print(
+            format_speedup_table(
+                comparison.speedups,
+                comparison.methods,
+                title="Performance normalised to the baseline cost model (Figure 7 analogue)",
+            ).render()
+        )
+        print()
+        for method in comparison.methods:
+            print(f"  average {method:14s}: {comparison.average(method):5.2f}x")
+        rl_vs_brute = comparison.average("rl") / comparison.average("brute_force")
+        print(f"\nRL captures {rl_vs_brute * 100:.0f}% of the brute-force oracle's gain.")
+
+        print()
+        print(format_cache_stats_table(service.cache.stats).render())
+        store = getattr(service.cache, "store", None)
+        print()
+        print(
+            format_service_stats_table(
+                service.stats,
+                store_stats=store.stats if store is not None else None,
+                preloaded=getattr(service.cache, "preloaded", 0),
+            ).render()
+        )
+    finally:
+        service.close()
+        closer = getattr(service.cache, "close", None)
+        if closer is not None:
+            closer()
 
 
 if __name__ == "__main__":

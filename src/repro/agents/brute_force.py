@@ -7,7 +7,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.agents.base import AgentDecision, VectorizationAgent
-from repro.cache.reward_cache import EvaluationBatcher, RewardCache
+from repro.cache.reward_cache import RewardCache, evaluate_requests, resolve_cache
 from repro.core.pipeline import CompileAndMeasure
 from repro.datasets.kernels import LoopKernel
 from repro.rl.spaces import DEFAULT_IF_VALUES, DEFAULT_VF_VALUES
@@ -24,7 +24,8 @@ class BruteForceAgent(VectorizationAgent):
     All measurements go through a shared :class:`RewardCache` (pass the
     run's instance to share work with the environment and other agents), so
     repeat queries — and pairs the RL env already evaluated — cost a lookup
-    instead of a compile.
+    instead of a compile.  With an ``evaluation_service`` the grid's unique
+    misses are evaluated by its sharded worker pool instead of in-process.
     """
 
     name = "brute_force"
@@ -33,9 +34,11 @@ class BruteForceAgent(VectorizationAgent):
         self,
         pipeline: Optional[CompileAndMeasure] = None,
         reward_cache: Optional[RewardCache] = None,
+        evaluation_service=None,
     ):
         self.pipeline = pipeline or CompileAndMeasure()
-        self.reward_cache = RewardCache() if reward_cache is None else reward_cache
+        self.evaluation_service = evaluation_service
+        self.reward_cache = resolve_cache(reward_cache, evaluation_service)
 
     def select_factors(
         self,
@@ -45,17 +48,20 @@ class BruteForceAgent(VectorizationAgent):
     ) -> AgentDecision:
         if kernel is None:
             raise ValueError("BruteForceAgent needs the kernel to search")
-        batcher = EvaluationBatcher(self.pipeline, self.reward_cache)
         grid = [
             (vf, interleave)
             for vf in DEFAULT_VF_VALUES
             for interleave in DEFAULT_IF_VALUES
         ]
-        for vf, interleave in grid:
-            batcher.add(kernel, loop_index, vf, interleave)
+        outcomes = evaluate_requests(
+            self.pipeline,
+            self.reward_cache,
+            [(kernel, loop_index, vf, interleave) for vf, interleave in grid],
+            service=self.evaluation_service,
+        )
         best_factors: Tuple[int, int] = (1, 1)
         best_cycles = float("inf")
-        for (vf, interleave), outcome in zip(grid, batcher.flush()):
+        for (vf, interleave), outcome in zip(grid, outcomes):
             if outcome.measurement.cycles < best_cycles:
                 best_cycles = outcome.measurement.cycles
                 best_factors = (vf, interleave)

@@ -7,7 +7,12 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.agents.base import AgentDecision, VectorizationAgent
-from repro.cache.reward_cache import EvaluationBatcher, RewardCache
+from repro.cache.reward_cache import (
+    RewardCache,
+    evaluate_requests,
+    kernel_fingerprint,
+    resolve_cache,
+)
 from repro.core.pipeline import CompileAndMeasure
 from repro.datasets.kernels import LoopKernel
 from repro.rl.spaces import DEFAULT_IF_VALUES, DEFAULT_VF_VALUES
@@ -22,8 +27,16 @@ class RandomSearchAgent(VectorizationAgent):
 
     With ``candidates > 1`` (and a pipeline) the agent becomes best-of-N
     random search: it draws N candidate pairs and keeps the fastest, with
-    every measurement routed through the shared :class:`RewardCache` so
-    repeated draws cost a lookup instead of a compile.
+    every measurement routed through the shared :class:`RewardCache` (or
+    the sharded ``evaluation_service`` when one is attached) so repeated
+    draws cost a lookup instead of a compile.
+
+    **Determinism.** Queries that carry a kernel derive their random stream
+    from ``(seed, kernel content hash, loop_index)``, so the decision for a
+    given loop depends only on the agent's seed — never on how many other
+    loops were queried first.  Cache hits, shared caches, or a service
+    reordering evaluation therefore cannot change the outcome of a seeded
+    run.  Embedding-only queries (no kernel) keep a per-agent stream.
     """
 
     name = "random"
@@ -36,15 +49,30 @@ class RandomSearchAgent(VectorizationAgent):
         candidates: int = 1,
         pipeline: Optional[CompileAndMeasure] = None,
         reward_cache: Optional[RewardCache] = None,
+        evaluation_service=None,
     ):
         if candidates < 1:
             raise ValueError("candidates must be at least 1")
         self.vf_values = tuple(vf_values)
         self.if_values = tuple(if_values)
+        self.seed = int(seed)
         self.rng = np.random.default_rng(seed)
         self.candidates = candidates
         self.pipeline = pipeline
-        self.reward_cache = RewardCache() if reward_cache is None else reward_cache
+        self.evaluation_service = evaluation_service
+        self.reward_cache = resolve_cache(reward_cache, evaluation_service)
+
+    def _rng_for(self, kernel: Optional[LoopKernel], loop_index: int):
+        """The random stream for one query — content-derived when possible."""
+        if kernel is None:
+            return self.rng
+        digest = kernel_fingerprint(kernel)
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, int(digest[:16], 16), int(loop_index)])
+        )
+
+    def _draw(self, rng) -> Tuple[int, int]:
+        return int(rng.choice(self.vf_values)), int(rng.choice(self.if_values))
 
     def select_factors(
         self,
@@ -52,21 +80,26 @@ class RandomSearchAgent(VectorizationAgent):
         kernel: Optional[LoopKernel] = None,
         loop_index: int = 0,
     ) -> AgentDecision:
-        vf = int(self.rng.choice(self.vf_values))
-        interleave = int(self.rng.choice(self.if_values))
-        if self.candidates == 1 or kernel is None or self.pipeline is None:
-            return AgentDecision(vf, interleave)
-        draws = [(vf, interleave)]
+        rng = self._rng_for(kernel, loop_index)
+        draws = [self._draw(rng)]
+        if self.candidates == 1 or kernel is None or (
+            self.pipeline is None and self.evaluation_service is None
+        ):
+            return AgentDecision(*draws[0])
         for _ in range(self.candidates - 1):
-            draws.append(
-                (int(self.rng.choice(self.vf_values)), int(self.rng.choice(self.if_values)))
-            )
-        batcher = EvaluationBatcher(self.pipeline, self.reward_cache)
-        for candidate_vf, candidate_if in draws:
-            batcher.add(kernel, loop_index, candidate_vf, candidate_if)
+            draws.append(self._draw(rng))
+        outcomes = evaluate_requests(
+            self.pipeline,
+            self.reward_cache,
+            [
+                (kernel, loop_index, candidate_vf, candidate_if)
+                for candidate_vf, candidate_if in draws
+            ],
+            service=self.evaluation_service,
+        )
         best_factors = draws[0]
         best_cycles = float("inf")
-        for factors, outcome in zip(draws, batcher.flush()):
+        for factors, outcome in zip(draws, outcomes):
             if outcome.measurement.cycles < best_cycles:
                 best_cycles = outcome.measurement.cycles
                 best_factors = factors

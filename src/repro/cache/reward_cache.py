@@ -36,6 +36,14 @@ if TYPE_CHECKING:  # imported lazily to avoid package import cycles
 # Content fingerprints
 # ---------------------------------------------------------------------------
 
+#: Sentinel ``loop_index`` values for whole-function measurements, so the
+#: end-to-end paths (``measure_baseline`` / ``measure_with_pragmas``) share
+#: the same content-keyed store as per-loop factor queries.  The source text
+#: is part of the kernel fingerprint, so a pragma-annotated variant never
+#: collides with the plain kernel.
+WHOLE_FUNCTION_BASELINE = -1
+WHOLE_FUNCTION_PRAGMAS = -2
+
 
 def kernel_fingerprint(kernel: "LoopKernel") -> str:
     """Digest of everything that determines a kernel's measured behaviour."""
@@ -207,6 +215,18 @@ class RewardCache:
 
     # -- measurement --------------------------------------------------------
 
+    def _measure_cached(self, key: RewardKey, compute) -> Tuple[CachedMeasurement, bool]:
+        """Shared lookup-or-compute step; returns (measurement, was_hit)."""
+        entry = self.get(key)
+        if entry is not None:
+            return entry, True
+        result = compute()
+        entry = CachedMeasurement(
+            cycles=result.cycles, compile_seconds=result.compile_seconds
+        )
+        self.put(key, entry)
+        return entry, False
+
     def measure(
         self,
         pipeline: "CompileAndMeasure",
@@ -224,15 +244,51 @@ class RewardCache:
             interleave,
             default_symbol_value=pipeline.default_symbol_value,
         )
-        entry = self.get(key)
-        if entry is not None:
-            return entry, True
-        result = pipeline.measure_with_factors(kernel, {loop_index: (vf, interleave)})
-        entry = CachedMeasurement(
-            cycles=result.cycles, compile_seconds=result.compile_seconds
+        return self._measure_cached(
+            key,
+            lambda: pipeline.measure_with_factors(
+                kernel, {loop_index: (vf, interleave)}
+            ),
         )
-        self.put(key, entry)
-        return entry, False
+
+    def measure_baseline(
+        self, pipeline: "CompileAndMeasure", kernel: "LoopKernel"
+    ) -> Tuple[CachedMeasurement, bool]:
+        """Cached whole-function baseline (``clang -O3``) measurement."""
+        key = self.key_for(
+            kernel,
+            pipeline.machine,
+            WHOLE_FUNCTION_BASELINE,
+            0,
+            0,
+            default_symbol_value=pipeline.default_symbol_value,
+        )
+        return self._measure_cached(key, lambda: pipeline.measure_baseline(kernel))
+
+    def measure_pragmas(
+        self,
+        pipeline: "CompileAndMeasure",
+        kernel: "LoopKernel",
+        source: Optional[str] = None,
+    ) -> Tuple[CachedMeasurement, bool]:
+        """Cached whole-function measurement honouring in-source loop pragmas.
+
+        ``source`` (the pragma-annotated rewrite of the kernel) is keyed as
+        its own kernel content, so every distinct pragma assignment gets its
+        own entry.
+        """
+        tagged = kernel if source is None else kernel.with_source(source)
+        key = self.key_for(
+            tagged,
+            pipeline.machine,
+            WHOLE_FUNCTION_PRAGMAS,
+            0,
+            0,
+            default_symbol_value=pipeline.default_symbol_value,
+        )
+        return self._measure_cached(
+            key, lambda: pipeline.measure_with_pragmas(kernel, source=source)
+        )
 
 
 @dataclass
@@ -321,3 +377,54 @@ class EvaluationBatcher:
                     measured[request.key], first_seen.get(request.key) != ticket
                 )
         return outcomes  # type: ignore[return-value]
+
+
+def resolve_cache(
+    reward_cache: Optional[RewardCache], evaluation_service=None
+) -> RewardCache:
+    """The run-wide cache for a consumer: the explicit one, else the
+    attached service's, else a fresh private instance.  (``is None`` checks
+    throughout — an empty cache is falsy via ``__len__``.)"""
+    if reward_cache is not None:
+        return reward_cache
+    if evaluation_service is not None:
+        return evaluation_service.cache
+    return RewardCache()
+
+
+def evaluate_requests(
+    pipeline: "CompileAndMeasure",
+    cache: RewardCache,
+    requests,
+    service=None,
+) -> List[BatchOutcome]:
+    """Route ``(kernel, loop_index, vf, interleave)`` requests to the right
+    evaluator: a :class:`repro.distributed.EvaluationService` when attached
+    (sharded workers / persistent store), a plain :class:`EvaluationBatcher`
+    otherwise.  The single front door every batched consumer shares.
+
+    A service measuring under a different machine model (or writing to a
+    different cache) than the caller would silently mix inconsistent
+    measurements within one run, so that mismatch is rejected here."""
+    if service is not None:
+        if service.cache is not cache:
+            raise ValueError(
+                "evaluation service uses a different RewardCache than the "
+                "caller; share one cache (e.g. pass service.cache)"
+            )
+        # A consumer may have no in-process pipeline at all (service-only
+        # wiring) — then the service's pipeline is trivially authoritative.
+        if pipeline is not None and service.pipeline is not pipeline and (
+            service.pipeline.machine != pipeline.machine
+            or service.pipeline.default_symbol_value != pipeline.default_symbol_value
+        ):
+            raise ValueError(
+                "evaluation service pipeline disagrees with the caller's "
+                "(machine model or default_symbol_value); build both from "
+                "the same machine description"
+            )
+        return service.evaluate(requests)
+    batcher = EvaluationBatcher(pipeline, cache)
+    for kernel, loop_index, vf, interleave in requests:
+        batcher.add(kernel, loop_index, vf, interleave)
+    return batcher.flush()

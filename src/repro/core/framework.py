@@ -7,7 +7,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cache.reward_cache import RewardCache
+from repro.cache.reward_cache import RewardCache, resolve_cache
 from repro.core.loop_extractor import ExtractedLoop, extract_loops
 from repro.core.pipeline import CompilationResult, CompileAndMeasure
 from repro.core.pragma_injector import inject_pragmas
@@ -70,6 +70,11 @@ class TrainingConfig:
     hidden_sizes: Tuple[int, ...] = (64, 64)
     policy: str = "discrete"
     seed: int = 0
+    #: Evaluation-service settings: worker processes for sharded reward
+    #: evaluation (0 = serial in-process) and the directory of the
+    #: persistent cross-run reward store (None = memory only).
+    workers: int = 0
+    cache_dir: Optional[str] = None
 
 
 @dataclass
@@ -114,21 +119,72 @@ class NeuroVectorizer:
         pipeline: Optional[CompileAndMeasure] = None,
         machine: Optional[MachineDescription] = None,
         reward_cache: Optional[RewardCache] = None,
+        evaluation_service=None,
     ):
         self.machine = machine or MachineDescription()
         self.pipeline = pipeline or CompileAndMeasure(machine=self.machine)
         self.embedding_model = embedding_model
         self.agent = agent
+        # An optional repro.distributed.EvaluationService owning the run's
+        # worker pool; its cache is adopted as the run-wide cache unless one
+        # was passed explicitly.  close() shuts the service (and any
+        # disk-backed store) down.
+        self.evaluation_service = evaluation_service
         # The run-wide measurement cache: shared with the training env and
         # any cache-aware agent so every consumer sees each other's work.
-        # (`is None`, not `or`: an empty cache is falsy via __len__.)
-        self.reward_cache = RewardCache() if reward_cache is None else reward_cache
+        self.reward_cache = resolve_cache(reward_cache, evaluation_service)
+
+    # -- service lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the evaluation service and flush/close the disk store."""
+        if self.evaluation_service is not None:
+            self.evaluation_service.close()
+        closer = getattr(self.reward_cache, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "NeuroVectorizer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- statistics -------------------------------------------------------------------
 
     def cache_stats_report(self, title: str = "reward cache"):
-        """Hit/miss statistics of the shared reward cache as a text table."""
-        from repro.evaluation.report import format_cache_stats_table
+        """Hit/miss statistics of the shared reward cache as a text table.
 
-        return format_cache_stats_table(self.reward_cache.stats, title=title)
+        Before any evaluation has run the report says so explicitly instead
+        of rendering an all-zero table (or worse, dividing by zero).
+        """
+        from repro.evaluation.report import (
+            format_cache_stats_table,
+            format_no_evaluations_table,
+        )
+
+        stats = self.reward_cache.stats
+        if stats.lookups == 0 and stats.batch_deduplicated == 0:
+            return format_no_evaluations_table(title=title)
+        return format_cache_stats_table(stats, title=title)
+
+    def service_stats_report(self, title: str = "evaluation service"):
+        """Per-worker dispatch statistics of the evaluation service.
+
+        Returns ``None`` when no service is attached; includes persistent
+        store statistics when the cache is disk-backed.
+        """
+        from repro.evaluation.report import format_service_stats_table
+
+        if self.evaluation_service is None:
+            return None
+        store = getattr(self.reward_cache, "store", None)
+        return format_service_stats_table(
+            self.evaluation_service.stats,
+            store_stats=store.stats if store is not None else None,
+            preloaded=getattr(self.reward_cache, "preloaded", 0),
+            title=title,
+        )
 
     # -- observation -----------------------------------------------------------------
 
@@ -163,14 +219,21 @@ class NeuroVectorizer:
     # -- end-to-end vectorization -----------------------------------------------------------
 
     def vectorize_kernel(self, kernel: LoopKernel) -> VectorizationResult:
-        """Decide factors, inject pragmas, compile and measure one kernel."""
+        """Decide factors, inject pragmas, compile and measure one kernel.
+
+        Both whole-function measurements go through the run's reward cache
+        (keyed by the effective source text), so with a disk-backed cache a
+        repeat run over the same kernels compiles nothing at all.
+        """
         decisions = self.decide_kernel(kernel)
         factor_map = {d.loop_index: (d.vf, d.interleave) for d in decisions}
         vectorized_source = inject_pragmas(
             kernel.source, factor_map, function_name=kernel.function_name
         )
-        baseline = self.pipeline.measure_baseline(kernel)
-        measured = self.pipeline.measure_with_pragmas(kernel, source=vectorized_source)
+        baseline, _ = self.reward_cache.measure_baseline(self.pipeline, kernel)
+        measured, _ = self.reward_cache.measure_pragmas(
+            self.pipeline, kernel, source=vectorized_source
+        )
         return VectorizationResult(
             kernel_name=kernel.name,
             decisions=decisions,
@@ -238,56 +301,96 @@ class NeuroVectorizer:
         config = config or TrainingConfig()
         machine = machine or MachineDescription()
         pipeline = CompileAndMeasure(machine=machine)
-        reward_cache = RewardCache()
-        embedding_model = build_embedding_model(train_kernels, config.embedding)
 
-        # --- stage 1: self-supervised pretraining of the embedding ---------------
-        bags: List[List[PathContext]] = []
-        labels = []
-        for kernel in list(train_kernels)[: config.pretrain_samples]:
-            try:
-                loops = extract_loops(kernel.source, function_name=kernel.function_name)
-                ir_function = pipeline.lower_kernel(kernel)
-                ir_loops = ir_function.innermost_loops()
-            except Exception:
-                continue
-            for loop in loops:
-                if loop.loop_index >= len(ir_loops):
-                    continue
-                rename_map = normalize_identifiers(loop.nest_root)
-                bags.append(
-                    extract_path_contexts(loop.nest_root, rename_map=rename_map)
-                )
-                labels.append(
-                    loop_property_labels(
-                        analyze_loop(ir_function, ir_loops[loop.loop_index])
+        # Evaluation service: persistent store and/or worker pool per config.
+        evaluation_service = None
+        if config.cache_dir:
+            from repro.distributed.store import DiskBackedRewardCache
+
+            reward_cache: RewardCache = DiskBackedRewardCache.open(config.cache_dir)
+        else:
+            reward_cache = RewardCache()
+        if config.workers > 0:
+            from repro.distributed.service import EvaluationService
+
+            evaluation_service = EvaluationService(
+                pipeline, reward_cache, workers=config.workers
+            )
+        # From here on the service/store own live resources (worker
+        # processes, an open segment file); if any training stage raises
+        # before the framework that owns close() exists, release them.
+        try:
+            embedding_model = build_embedding_model(train_kernels, config.embedding)
+
+            # --- stage 1: self-supervised pretraining of the embedding -----------
+            bags: List[List[PathContext]] = []
+            labels = []
+            for kernel in list(train_kernels)[: config.pretrain_samples]:
+                try:
+                    loops = extract_loops(
+                        kernel.source, function_name=kernel.function_name
                     )
+                    ir_function = pipeline.lower_kernel(kernel)
+                    ir_loops = ir_function.innermost_loops()
+                except Exception:
+                    continue
+                for loop in loops:
+                    if loop.loop_index >= len(ir_loops):
+                        continue
+                    rename_map = normalize_identifiers(loop.nest_root)
+                    bags.append(
+                        extract_path_contexts(loop.nest_root, rename_map=rename_map)
+                    )
+                    labels.append(
+                        loop_property_labels(
+                            analyze_loop(ir_function, ir_loops[loop.loop_index])
+                        )
+                    )
+            pretrainer = Code2VecPretrainer(embedding_model, seed=config.seed)
+            pretrain_result = None
+            if bags and config.pretrain_epochs > 0:
+                pretrain_result = pretrainer.train(
+                    bags, labels, epochs=config.pretrain_epochs
                 )
-        pretrainer = Code2VecPretrainer(embedding_model, seed=config.seed)
-        pretrain_result = None
-        if bags and config.pretrain_epochs > 0:
-            pretrain_result = pretrainer.train(bags, labels, epochs=config.pretrain_epochs)
 
-        # --- stage 2: PPO over the frozen embedding -------------------------------
-        samples = build_samples(train_kernels, embedding_model, pipeline)
-        env = VectorizationEnv(
-            samples, pipeline=pipeline, seed=config.seed, reward_cache=reward_cache
-        )
-        policy = make_policy(
-            config.policy,
-            env.observation_dim,
-            hidden_sizes=config.hidden_sizes,
-            seed=config.seed,
-        )
-        ppo_config = PPOConfig(
-            learning_rate=config.learning_rate,
-            train_batch_size=config.rl_batch_size,
-        )
-        trainer = PPOTrainer(env, policy, ppo_config)
-        history = trainer.train(config.rl_total_steps, batch_size=config.rl_batch_size)
+            # --- stage 2: PPO over the frozen embedding ---------------------------
+            samples = build_samples(train_kernels, embedding_model, pipeline)
+            env = VectorizationEnv(
+                samples,
+                pipeline=pipeline,
+                seed=config.seed,
+                reward_cache=reward_cache,
+                evaluation_service=evaluation_service,
+            )
+            policy = make_policy(
+                config.policy,
+                env.observation_dim,
+                hidden_sizes=config.hidden_sizes,
+                seed=config.seed,
+            )
+            ppo_config = PPOConfig(
+                learning_rate=config.learning_rate,
+                train_batch_size=config.rl_batch_size,
+            )
+            trainer = PPOTrainer(env, policy, ppo_config)
+            history = trainer.train(
+                config.rl_total_steps, batch_size=config.rl_batch_size
+            )
+        except BaseException:
+            if evaluation_service is not None:
+                evaluation_service.close()
+            closer = getattr(reward_cache, "close", None)
+            if closer is not None:
+                closer()
+            raise
 
         framework = cls(
-            embedding_model, PolicyAgent(policy), pipeline, machine, reward_cache
+            embedding_model,
+            PolicyAgent(policy),
+            pipeline,
+            machine,
+            reward_cache,
+            evaluation_service=evaluation_service,
         )
         artifacts = TrainingArtifacts(
             history=history, pretrain_result=pretrain_result, samples=samples

@@ -1,0 +1,43 @@
+"""Distributed evaluation: persistent reward store, sharded workers, futures.
+
+The scaling layer over :mod:`repro.cache`:
+
+* :class:`PersistentRewardStore` / :class:`DiskBackedRewardCache` — reuse
+  measurements **across runs** via an append-only on-disk store,
+* :class:`EvaluationService` — shard batched reward queries across worker
+  processes (serial in-process fallback at ``workers=0``),
+* :class:`AsyncEvaluator` — future-based submission so training overlaps
+  simulation with policy inference.
+"""
+
+from repro.distributed.config import EvaluationServiceConfig
+from repro.distributed.service import (
+    EvaluationFuture,
+    EvaluationService,
+    ServiceStats,
+)
+from repro.distributed.store import (
+    DiskBackedRewardCache,
+    PersistentRewardStore,
+    StoreStats,
+)
+
+__all__ = [
+    "EvaluationServiceConfig",
+    "EvaluationFuture",
+    "EvaluationService",
+    "ServiceStats",
+    "DiskBackedRewardCache",
+    "PersistentRewardStore",
+    "StoreStats",
+]
+
+
+def __getattr__(name: str):
+    # AsyncEvaluator/RewardFuture pull in repro.rl lazily so importing the
+    # storage layer never drags the whole RL stack along.
+    if name in ("AsyncEvaluator", "RewardFuture"):
+        from repro.distributed import async_api
+
+        return getattr(async_api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,102 @@
+"""Future-based reward evaluation for rollout/inference overlap.
+
+PPO rollout collection alternates two unrelated costs: the policy network
+computing actions (pure NumPy in the training process) and the simulator
+computing rewards (CPU-heavy, shardable).  :class:`AsyncEvaluator` lets the
+trainer submit one chunk's reward queries and immediately start acting on
+the next chunk while worker processes simulate the first — with a parallel
+:class:`EvaluationService` the two genuinely overlap; without one the API
+degrades to the plain synchronous path with identical results.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.rl.env import EnvSample, StepResult, VectorizationEnv
+
+
+class RewardFuture:
+    """Pending rewards for one submitted chunk of ``(sample, action)`` pairs.
+
+    ``result()`` returns :class:`StepResult` objects in submission order,
+    applying the owning environment's reward rule (compile-time penalty
+    included) to the raw measurements as they arrive.
+    """
+
+    def __init__(
+        self,
+        env: VectorizationEnv,
+        requests: Sequence[Tuple[EnvSample, int, int]],
+        service_future=None,
+        eager_results: Optional[List[Tuple[float, dict]]] = None,
+    ):
+        self._env = env
+        self._requests = list(requests)
+        self._service_future = service_future
+        self._eager_results = eager_results
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def done(self) -> bool:
+        if self._service_future is not None:
+            return self._service_future.done()
+        return self._eager_results is not None
+
+    def result(self) -> List[StepResult]:
+        if self._service_future is not None:
+            outcomes = self._service_future.result()
+            return [
+                StepResult(
+                    *self._env._reward_from_measurement(
+                        sample, vf, interleave, outcome.measurement, outcome.was_cached
+                    )
+                )
+                for (sample, vf, interleave), outcome in zip(self._requests, outcomes)
+            ]
+        if self._eager_results is None:
+            # No service at all: evaluate on first demand through the
+            # environment's serial batched path.
+            self._eager_results = self._env.evaluate_factors_batch(self._requests)
+        return [
+            StepResult(reward=reward, info=info)
+            for reward, info in self._eager_results
+        ]
+
+
+class AsyncEvaluator:
+    """Submit reward queries for an environment without blocking on them.
+
+    Wraps a :class:`VectorizationEnv`; uses the environment's attached
+    :class:`EvaluationService` when it has parallel workers, and falls back
+    to deferred serial evaluation otherwise.  Bookkeeping (``total_steps``,
+    episode state) mirrors ``VectorizationEnv.evaluate_batch`` so the two
+    paths are interchangeable.
+    """
+
+    def __init__(self, env: VectorizationEnv):
+        self.env = env
+        self.service = getattr(env, "evaluation_service", None)
+
+    @property
+    def overlapping(self) -> bool:
+        """Whether submissions are actually evaluated in the background."""
+        return self.service is not None and self.service.workers > 0
+
+    def submit(self, pairs: Sequence[Tuple[EnvSample, object]]) -> RewardFuture:
+        """Queue decoded ``(sample, raw_action)`` pairs for evaluation."""
+        requests = [
+            (sample, *self.env.action_space.decode(action)) for sample, action in pairs
+        ]
+        self.env.total_steps += len(pairs)
+        self.env._current = None
+        if self.overlapping:
+            service_future = self.service.submit(
+                [
+                    (sample.kernel, sample.loop_index, vf, interleave)
+                    for sample, vf, interleave in requests
+                ]
+            )
+            return RewardFuture(self.env, requests, service_future=service_future)
+        return RewardFuture(self.env, requests)

@@ -1,0 +1,348 @@
+"""Sharded, future-based reward evaluation over a worker-process pool.
+
+:class:`EvaluationService` is the single entry point every reward consumer
+(environment, agents, the PPO trainer) routes batched queries through:
+
+* ``workers == 0`` — the serial in-process fallback: requests go through a
+  plain :class:`EvaluationBatcher`, byte-identical to the PR-1 path.
+* ``workers >= 1`` — unique cache misses are dispatched to a pool of
+  worker processes, **sharded by kernel content hash** so each kernel's
+  simulator/IR memos live on exactly one worker and stay hot.
+
+``submit`` returns an :class:`EvaluationFuture` immediately; results are
+collected lazily, which is what lets a training loop overlap simulation
+with policy inference (see :mod:`repro.distributed.async_api`).  Requests
+are deduplicated against the cache, against each other, *and against
+queries still in flight from earlier futures* — a key is never evaluated
+twice no matter how batches interleave.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.reward_cache import (
+    BatchOutcome,
+    CachedMeasurement,
+    EvaluationBatcher,
+    RewardCache,
+    RewardKey,
+)
+from repro.distributed.config import EvaluationServiceConfig
+from repro.distributed.worker import WorkRequest, kernel_payload, worker_main
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import CompileAndMeasure
+    from repro.datasets.kernels import LoopKernel
+
+#: One reward query: (kernel, innermost-loop index, VF, IF).
+EvaluationRequest = Tuple["LoopKernel", int, int, int]
+
+
+@dataclass
+class ServiceStats:
+    """Dispatch accounting for one :class:`EvaluationService`."""
+
+    dispatched: int = 0
+    completed: int = 0
+    errors: int = 0
+    serial_batches: int = 0
+    serial_requests: int = 0
+    per_worker_dispatched: Dict[int, int] = field(default_factory=dict)
+    per_worker_completed: Dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "dispatched": float(self.dispatched),
+            "completed": float(self.completed),
+            "errors": float(self.errors),
+            "serial_batches": float(self.serial_batches),
+            "serial_requests": float(self.serial_requests),
+        }
+
+
+class EvaluationFuture:
+    """Outcomes of one submitted batch, filled as workers answer.
+
+    ``result()`` blocks (draining the service's result queue) until every
+    slot is filled, then returns :class:`BatchOutcome` objects in request
+    order — the same contract as ``EvaluationBatcher.flush``.
+    """
+
+    def __init__(self, service: "EvaluationService", size: int):
+        self._service = service
+        self._outcomes: List[Optional[BatchOutcome]] = [None] * size
+        self._remaining = size
+        self._errors: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def done(self) -> bool:
+        return self._remaining == 0
+
+    def result(self) -> List[BatchOutcome]:
+        self._service._drain_until(self)
+        if self._errors:
+            raise RuntimeError(
+                f"{len(self._errors)} evaluation request(s) failed in workers; "
+                f"first failure:\n{self._errors[0]}"
+            )
+        return list(self._outcomes)  # type: ignore[arg-type]
+
+    # -- service-side plumbing --------------------------------------------
+
+    def _fill(self, slot: int, outcome: BatchOutcome) -> None:
+        if self._outcomes[slot] is None:
+            self._remaining -= 1
+        self._outcomes[slot] = outcome
+
+    def _fail(self, slot: int, message: str) -> None:
+        self._remaining -= 1
+        self._errors.append(message)
+
+
+class EvaluationService:
+    """Batched reward evaluation, sharded across worker processes.
+
+    The service owns neither the pipeline nor the cache — both may be (and
+    usually are) shared with the rest of the run, so workers' results are
+    visible to every in-process consumer the moment they land.
+    """
+
+    def __init__(
+        self,
+        pipeline: "CompileAndMeasure",
+        cache: Optional[RewardCache] = None,
+        workers: int = 0,
+        result_timeout: float = 120.0,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.pipeline = pipeline
+        self.cache = RewardCache() if cache is None else cache
+        self.workers = int(workers)
+        self.result_timeout = result_timeout
+        self.stats = ServiceStats()
+        self._processes: List = []
+        self._inboxes: List = []
+        self._outbox = None
+        self._shipped: List[set] = []
+        self._next_request_id = 0
+        self._pending: Dict[int, RewardKey] = {}
+        self._waiters: Dict[RewardKey, List[Tuple[EvaluationFuture, int]]] = {}
+        if self.workers > 0:
+            self._start_workers()
+
+    @classmethod
+    def from_config(
+        cls,
+        pipeline: "CompileAndMeasure",
+        config: EvaluationServiceConfig,
+        cache: Optional[RewardCache] = None,
+    ) -> "EvaluationService":
+        """Build the service (and its cache/store) from one config object."""
+        if cache is None:
+            if config.cache_dir:
+                from repro.distributed.store import DiskBackedRewardCache
+
+                cache = DiskBackedRewardCache.open(
+                    config.cache_dir,
+                    max_entries=config.max_entries,
+                    flush_every=config.flush_every,
+                )
+            else:
+                cache = RewardCache(max_entries=config.max_entries)
+        return cls(
+            pipeline,
+            cache,
+            workers=config.workers,
+            result_timeout=config.result_timeout,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _start_workers(self) -> None:
+        import multiprocessing
+
+        # fork is cheapest and always available on the Linux targets; fall
+        # back to the platform default (spawn) elsewhere — the worker entry
+        # point and payloads are written to survive either.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else None)
+        self._outbox = context.Queue()
+        for worker_id in range(self.workers):
+            inbox = context.Queue()
+            process = context.Process(
+                target=worker_main,
+                args=(
+                    worker_id,
+                    self.pipeline.machine,
+                    self.pipeline.default_symbol_value,
+                    inbox,
+                    self._outbox,
+                ),
+                daemon=True,
+                name=f"reward-eval-worker-{worker_id}",
+            )
+            process.start()
+            self._processes.append(process)
+            self._inboxes.append(inbox)
+            self._shipped.append(set())
+
+    def close(self) -> None:
+        """Stop all workers.  Safe to call more than once.
+
+        Call only after every outstanding future has been resolved; pending
+        requests are abandoned, not re-run.
+        """
+        if not self._processes:
+            return
+        for inbox in self._inboxes:
+            try:
+                inbox.put(None)
+            except (OSError, ValueError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        for inbox in self._inboxes:
+            inbox.cancel_join_thread()
+            inbox.close()
+        if self._outbox is not None:
+            self._outbox.cancel_join_thread()
+            self._outbox.close()
+        self._processes = []
+        self._inboxes = []
+        self._outbox = None
+
+    def __enter__(self) -> "EvaluationService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; explicit close() is the API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- submission --------------------------------------------------------
+
+    def evaluate(self, requests: Sequence[EvaluationRequest]) -> List[BatchOutcome]:
+        """Synchronous evaluation: ``submit(...)`` then wait."""
+        return self.submit(requests).result()
+
+    def submit(self, requests: Sequence[EvaluationRequest]) -> EvaluationFuture:
+        """Enqueue a batch of reward queries and return a future.
+
+        With workers the call returns immediately after dispatching the
+        unique misses; serially (``workers == 0``) the batch is evaluated
+        before returning and the future is already done.
+        """
+        if self.workers > 0 and not self._processes:
+            raise RuntimeError(
+                "evaluation service is closed; create a new one to submit"
+            )
+        future = EvaluationFuture(self, len(requests))
+        if self.workers == 0:
+            batcher = EvaluationBatcher(self.pipeline, self.cache)
+            for kernel, loop_index, vf, interleave in requests:
+                batcher.add(kernel, loop_index, vf, interleave)
+            self.stats.serial_batches += 1
+            self.stats.serial_requests += len(requests)
+            for slot, outcome in enumerate(batcher.flush()):
+                future._fill(slot, outcome)
+            return future
+        for slot, (kernel, loop_index, vf, interleave) in enumerate(requests):
+            key = self.cache.key_for(
+                kernel,
+                self.pipeline.machine,
+                loop_index,
+                vf,
+                interleave,
+                default_symbol_value=self.pipeline.default_symbol_value,
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                future._fill(slot, BatchOutcome(cached, True))
+                continue
+            waiters = self._waiters.get(key)
+            if waiters is not None:
+                # Already in flight (earlier in this batch or a previous
+                # still-unresolved future): the get() above counted a miss,
+                # correct it to a dedup — exactly the batcher's accounting.
+                self.cache.stats.misses -= 1
+                self.cache.stats.batch_deduplicated += 1
+                waiters.append((future, slot))
+                continue
+            self._waiters[key] = [(future, slot)]
+            self._dispatch(key, kernel, int(loop_index), int(vf), int(interleave))
+        return future
+
+    def _dispatch(
+        self, key: RewardKey, kernel: "LoopKernel", loop_index: int, vf: int, interleave: int
+    ) -> None:
+        shard = int(key.kernel_hash[:8], 16) % self.workers
+        payload = None
+        if key.kernel_hash not in self._shipped[shard]:
+            payload = kernel_payload(kernel)
+            self._shipped[shard].add(key.kernel_hash)
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        self._pending[request_id] = key
+        self.stats.dispatched += 1
+        self.stats.per_worker_dispatched[shard] = (
+            self.stats.per_worker_dispatched.get(shard, 0) + 1
+        )
+        self._inboxes[shard].put(
+            WorkRequest(request_id, key.kernel_hash, payload, loop_index, vf, interleave)
+        )
+
+    # -- result collection -------------------------------------------------
+
+    def _drain_until(self, future: EvaluationFuture) -> None:
+        while not future.done():
+            self._drain_one()
+
+    def _drain_one(self) -> None:
+        # ``result_timeout`` is a liveness-check interval, not a deadline: a
+        # slow simulation on a healthy worker just waits another round; only
+        # an actually-dead worker (whose results would never come) is fatal.
+        while True:
+            try:
+                result = self._outbox.get(timeout=self.result_timeout)
+                break
+            except queue_module.Empty:
+                dead = [
+                    process.name
+                    for process in self._processes
+                    if not process.is_alive()
+                ]
+                if dead:
+                    raise RuntimeError(
+                        f"evaluation worker(s) died: {dead} "
+                        f"({len(self._pending)} request(s) outstanding)"
+                    )
+        key = self._pending.pop(result.request_id)
+        waiters = self._waiters.pop(key, [])
+        self.stats.completed += 1
+        self.stats.per_worker_completed[result.worker_id] = (
+            self.stats.per_worker_completed.get(result.worker_id, 0) + 1
+        )
+        if result.error is not None:
+            self.stats.errors += 1
+            for waiting_future, slot in waiters:
+                waiting_future._fail(slot, result.error)
+            return
+        measurement = CachedMeasurement(
+            cycles=result.cycles, compile_seconds=result.compile_seconds
+        )
+        self.cache.put(key, measurement)
+        for position, (waiting_future, slot) in enumerate(waiters):
+            waiting_future._fill(slot, BatchOutcome(measurement, position > 0))

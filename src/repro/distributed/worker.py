@@ -1,0 +1,120 @@
+"""Worker-process side of the sharded evaluation service.
+
+Each worker hosts its **own** :class:`CompileAndMeasure` pipeline, so the
+IR cache, simulator memos and per-statement cost tables it builds for a
+kernel stay hot inside that worker.  The service shards requests by kernel
+content hash, which keeps all queries for one kernel on one worker and
+makes those memos as effective as in the serial path.
+
+Kernels travel as plain ``dict`` payloads (source text + bindings), not as
+:class:`LoopKernel` objects: payloads pickle identically under ``fork`` and
+``spawn`` start methods and carry none of the kernel's lazily-built AST/IR
+caches across the process boundary.  A payload is shipped at most once per
+(worker, kernel) — later requests reference the content hash alone.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.datasets.kernels import LoopKernel
+
+
+def kernel_payload(kernel: LoopKernel) -> dict:
+    """The process-portable representation of a kernel."""
+    return {
+        "name": kernel.name,
+        "source": kernel.source,
+        "function_name": kernel.function_name,
+        "suite": kernel.suite,
+        "bindings": dict(kernel.bindings),
+        "description": kernel.description,
+    }
+
+
+def kernel_from_payload(payload: dict) -> LoopKernel:
+    return LoopKernel(
+        name=payload["name"],
+        source=payload["source"],
+        function_name=payload["function_name"],
+        suite=payload.get("suite", "synthetic"),
+        bindings=dict(payload.get("bindings", {})),
+        description=payload.get("description", ""),
+    )
+
+
+@dataclass
+class WorkRequest:
+    """One reward query dispatched to a worker.
+
+    ``payload`` is ``None`` when this worker has already been sent the
+    kernel with ``kernel_hash`` (the worker keeps them by hash).
+    """
+
+    request_id: int
+    kernel_hash: str
+    payload: Optional[dict]
+    loop_index: int
+    vf: int
+    interleave: int
+
+
+@dataclass
+class WorkResult:
+    """A worker's answer; ``error`` carries a formatted traceback on failure."""
+
+    request_id: int
+    worker_id: int
+    cycles: float = 0.0
+    compile_seconds: float = 0.0
+    error: Optional[str] = None
+
+
+def worker_main(
+    worker_id: int,
+    machine,
+    default_symbol_value: int,
+    inbox,
+    outbox,
+) -> None:
+    """Process entry point: evaluate requests until a ``None`` sentinel.
+
+    Importing the pipeline here (not at module import) keeps the service
+    importable even where the spawn start method re-imports this module
+    before the package's heavier dependencies are needed.
+    """
+    from repro.core.pipeline import CompileAndMeasure
+
+    pipeline = CompileAndMeasure(
+        machine=machine, default_symbol_value=default_symbol_value
+    )
+    kernels: Dict[str, LoopKernel] = {}
+    while True:
+        request = inbox.get()
+        if request is None:
+            break
+        try:
+            if request.payload is not None:
+                kernels[request.kernel_hash] = kernel_from_payload(request.payload)
+            kernel = kernels[request.kernel_hash]
+            result = pipeline.measure_with_factors(
+                kernel, {request.loop_index: (request.vf, request.interleave)}
+            )
+            outbox.put(
+                WorkResult(
+                    request_id=request.request_id,
+                    worker_id=worker_id,
+                    cycles=result.cycles,
+                    compile_seconds=result.compile_seconds,
+                )
+            )
+        except Exception:
+            outbox.put(
+                WorkResult(
+                    request_id=request.request_id,
+                    worker_id=worker_id,
+                    error=traceback.format_exc(),
+                )
+            )

@@ -81,6 +81,8 @@ def train_reference_agents(
     label_kernels: Optional[Sequence[LoopKernel]] = None,
     pretrain_epochs: int = 1,
     seed: int = 0,
+    reward_cache: Optional[RewardCache] = None,
+    evaluation_service=None,
 ) -> TrainedAgents:
     """Train the RL policy and fit NNS / decision tree on brute-force labels.
 
@@ -89,9 +91,28 @@ def train_reference_agents(
     the frozen agents on held-out suites.  ``label_kernels`` defaults to the
     training kernels (the paper also limits the brute-force labelling to a
     5,000-sample subset for cost reasons).
+
+    Pass an ``evaluation_service`` (see :mod:`repro.distributed`) to shard
+    reward evaluation across worker processes and/or persist it to disk; the
+    service's pipeline and cache take over as the run-wide instances.
     """
-    machine = machine or MachineDescription()
-    pipeline = CompileAndMeasure(machine=machine)
+    if evaluation_service is not None:
+        # The service's pipeline (and its machine model) take over; a
+        # conflicting explicit machine would silently measure everything
+        # under the wrong model, so reject it.
+        pipeline = evaluation_service.pipeline
+        if machine is not None and machine is not pipeline.machine:
+            raise ValueError(
+                "train_reference_agents: explicit machine conflicts with the "
+                "evaluation service's pipeline machine; build the service "
+                "from a pipeline using that machine instead"
+            )
+        machine = pipeline.machine
+        if reward_cache is None:
+            reward_cache = evaluation_service.cache
+    else:
+        machine = machine or MachineDescription()
+        pipeline = CompileAndMeasure(machine=machine)
     embedding_model = build_embedding_model(train_kernels)
 
     if pretrain_epochs > 0:
@@ -101,10 +122,15 @@ def train_reference_agents(
 
     # One measurement cache for the whole comparison: PPO rollouts and the
     # brute-force labelling sweep share each other's evaluations.
-    reward_cache = RewardCache()
+    if reward_cache is None:
+        reward_cache = RewardCache()
     samples = build_samples(train_kernels, embedding_model, pipeline)
     env = VectorizationEnv(
-        samples, pipeline=pipeline, seed=seed, reward_cache=reward_cache
+        samples,
+        pipeline=pipeline,
+        seed=seed,
+        reward_cache=reward_cache,
+        evaluation_service=evaluation_service,
     )
     policy = make_policy("discrete", env.observation_dim, seed=seed)
     trainer = PPOTrainer(
@@ -117,7 +143,9 @@ def train_reference_agents(
     rl_agent = PolicyAgent(policy)
 
     # Brute-force labels for the supervised methods.
-    brute = BruteForceAgent(pipeline, reward_cache=reward_cache)
+    brute = BruteForceAgent(
+        pipeline, reward_cache=reward_cache, evaluation_service=evaluation_service
+    )
     label_kernels = list(label_kernels) if label_kernels is not None else list(train_kernels)
     embeddings: List[np.ndarray] = []
     labels: List[Tuple[int, int]] = []

@@ -77,6 +77,44 @@ def format_cache_stats_table(stats, title: str = "reward cache") -> Table:
     return table
 
 
+def format_no_evaluations_table(title: str = "reward cache") -> Table:
+    """The explicit empty-state report: no reward queries have run yet."""
+    table = Table(headers=["metric", "value"], title=f"{title} (no evaluations yet)")
+    table.add_row(["evaluations", 0])
+    return table
+
+
+def format_service_stats_table(
+    stats,
+    store_stats=None,
+    preloaded: int = 0,
+    title: str = "evaluation service",
+) -> Table:
+    """Render :class:`repro.distributed.ServiceStats` with one row per worker
+    plus, when a persistent store backs the cache, its load/append counters.
+
+    ``preloaded`` is the number of measurements the cache warm-started from
+    disk (i.e. compiles this whole run never had to do)."""
+    table = Table(headers=["metric", "value"], title=title)
+    table.add_row(["dispatched to workers", stats.dispatched])
+    table.add_row(["completed by workers", stats.completed])
+    table.add_row(["worker errors", stats.errors])
+    table.add_row(["serial batches", stats.serial_batches])
+    table.add_row(["serial requests", stats.serial_requests])
+    for worker_id in sorted(stats.per_worker_completed):
+        table.add_row(
+            [f"worker {worker_id} completed", stats.per_worker_completed[worker_id]]
+        )
+    if store_stats is not None:
+        table.add_row(["store: preloaded entries", preloaded])
+        table.add_row(["store: records loaded", store_stats.records_loaded])
+        table.add_row(["store: records appended", store_stats.appended])
+        table.add_row(["store: segments loaded", store_stats.segments_loaded])
+        table.add_row(["store: segments skipped", store_stats.segments_skipped])
+        table.add_row(["store: corrupt records", store_stats.corrupt_records])
+    return table
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     values = [v for v in values if v > 0]
     if not values:

@@ -9,8 +9,9 @@ import numpy as np
 
 from repro.cache.reward_cache import (
     CachedMeasurement,
-    EvaluationBatcher,
     RewardCache,
+    evaluate_requests,
+    resolve_cache,
 )
 from repro.core.loop_extractor import ExtractedLoop, extract_loops
 from repro.core.pipeline import CompilationResult, CompileAndMeasure
@@ -104,6 +105,7 @@ class VectorizationEnv:
         shuffle: bool = True,
         seed: int = 0,
         reward_cache: Optional[RewardCache] = None,
+        evaluation_service=None,
     ):
         if not samples:
             raise ValueError("the environment needs at least one sample")
@@ -119,10 +121,13 @@ class VectorizationEnv:
         self._current: Optional[EnvSample] = None
         self.observation_dim = int(self.samples[0].observation.shape[0])
         self.total_steps = 0
+        # An optional repro.distributed.EvaluationService: batched queries
+        # route through it (sharded workers / persistent store) instead of a
+        # per-call batcher.  Its cache is adopted unless one was given.
+        self.evaluation_service = evaluation_service
         # Shared with other envs/agents when passed in; rewards are derived
         # from cached raw measurements so each env applies its own penalty.
-        # (`is None`, not `or`: an empty cache is falsy via __len__.)
-        self.reward_cache = RewardCache() if reward_cache is None else reward_cache
+        self.reward_cache = resolve_cache(reward_cache, evaluation_service)
 
     # -- episode control -------------------------------------------------------------
 
@@ -198,12 +203,18 @@ class VectorizationEnv:
 
         Requests are deduplicated against each other and the reward cache, so
         repeated pairs cost one pipeline evaluation total.  Results come back
-        in request order.
+        in request order.  With an attached evaluation service the unique
+        misses are evaluated by its worker shards instead of in-process.
         """
-        batcher = EvaluationBatcher(self.pipeline, self.reward_cache)
-        for sample, vf, interleave in requests:
-            batcher.add(sample.kernel, sample.loop_index, vf, interleave)
-        outcomes = batcher.flush()
+        outcomes = evaluate_requests(
+            self.pipeline,
+            self.reward_cache,
+            [
+                (sample.kernel, sample.loop_index, vf, interleave)
+                for sample, vf, interleave in requests
+            ],
+            service=self.evaluation_service,
+        )
         return [
             self._reward_from_measurement(
                 sample, vf, interleave, outcome.measurement, outcome.was_cached

@@ -29,6 +29,10 @@ class PPOConfig:
     entropy_coefficient: float = 0.01
     max_gradient_norm: float = 5.0
     reward_clip: Optional[float] = None
+    #: Rollout chunk size when the env has a parallel evaluation service:
+    #: chunk k's rewards simulate in worker processes while the policy acts
+    #: on chunk k+1.  Ignored (single chunk) without background workers.
+    async_chunk_size: int = 64
 
     def scaled(self, **overrides) -> "PPOConfig":
         """A copy of this config with some fields replaced."""
@@ -112,30 +116,48 @@ class PPOTrainer:
     # -- rollout collection --------------------------------------------------------
 
     def collect_batch(self, batch_size: int):
+        from repro.distributed.async_api import AsyncEvaluator
+
         observations: List[np.ndarray] = []
         actions: List[np.ndarray] = []
         log_probs: List[float] = []
         rewards: List[float] = []
         values: List[float] = []
-        pairs = []
-        for _ in range(batch_size):
-            observation = self.env.reset()
-            output = self.policy.act(observation)
-            pairs.append((self.env.current_sample(), output.action))
-            observations.append(observation)
-            actions.append(np.asarray(output.action, dtype=np.float64))
-            log_probs.append(output.log_prob)
-            values.append(output.value)
-        # One deduplicated evaluation pass for the whole rollout: repeated
-        # (loop, action) pairs — the common case once the policy sharpens —
-        # hit the shared reward cache instead of recompiling.
-        for step in self.env.evaluate_batch(pairs):
-            reward = step.reward
-            if self.config.reward_clip is not None:
-                reward = float(
-                    np.clip(reward, -self.config.reward_clip, self.config.reward_clip)
-                )
-            rewards.append(reward)
+        # Deduplicated evaluation for the whole rollout: repeated (loop,
+        # action) pairs — the common case once the policy sharpens — hit the
+        # shared reward cache instead of recompiling.  With a parallel
+        # evaluation service the rollout is chunked so chunk k's unique
+        # misses simulate in worker processes while the policy network acts
+        # on chunk k+1 (latency hiding); otherwise one chunk preserves the
+        # single-pass serial behaviour exactly.
+        evaluator = AsyncEvaluator(self.env)
+        chunk_size = (
+            max(1, self.config.async_chunk_size)
+            if evaluator.overlapping
+            else batch_size
+        )
+        futures = []
+        collected = 0
+        while collected < batch_size:
+            pairs = []
+            for _ in range(min(chunk_size, batch_size - collected)):
+                observation = self.env.reset()
+                output = self.policy.act(observation)
+                pairs.append((self.env.current_sample(), output.action))
+                observations.append(observation)
+                actions.append(np.asarray(output.action, dtype=np.float64))
+                log_probs.append(output.log_prob)
+                values.append(output.value)
+            futures.append(evaluator.submit(pairs))
+            collected += len(pairs)
+        for future in futures:
+            for step in future.result():
+                reward = step.reward
+                if self.config.reward_clip is not None:
+                    reward = float(
+                        np.clip(reward, -self.config.reward_clip, self.config.reward_clip)
+                    )
+                rewards.append(reward)
         return (
             np.stack(observations),
             np.stack(actions),

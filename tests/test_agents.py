@@ -48,6 +48,55 @@ class TestRandomSearchAgent:
         seen = {agent.select_factors(np.zeros(2)).as_tuple() for _ in range(100)}
         assert len(seen) > 10
 
+    def test_kernel_queries_are_order_independent(self):
+        # Regression: decisions for a given (kernel, loop) must depend only
+        # on the agent's seed, never on how many other queries ran first —
+        # cache hits reordering or skipping evaluations cannot change them.
+        other = LoopKernel(
+            name="other",
+            source=(
+                "int buf[256];\n"
+                "int acc() { int s = 0; for (int i = 0; i < 256; i++)"
+                " s += buf[i]; return s; }"
+            ),
+            function_name="acc",
+        )
+        direct = RandomSearchAgent(seed=3).select_factors(
+            np.zeros(2), kernel=DOT, loop_index=0
+        )
+        reordered_agent = RandomSearchAgent(seed=3)
+        for _ in range(17):  # burn unrelated queries first
+            reordered_agent.select_factors(np.zeros(2))
+            reordered_agent.select_factors(np.zeros(2), kernel=other, loop_index=0)
+        reordered = reordered_agent.select_factors(np.zeros(2), kernel=DOT, loop_index=0)
+        assert direct.as_tuple() == reordered.as_tuple()
+
+    def test_best_of_n_unaffected_by_warm_cache(self):
+        # A pre-warmed shared cache changes which draws are evaluated vs
+        # looked up, but must not change the seeded decision.
+        from repro.cache.reward_cache import RewardCache
+
+        pipeline = CompileAndMeasure()
+        cold = RandomSearchAgent(
+            seed=11, candidates=5, pipeline=pipeline, reward_cache=RewardCache()
+        ).select_factors(np.zeros(2), kernel=DOT, loop_index=0)
+
+        warm_cache = RewardCache()
+        for vf in DEFAULT_VF_VALUES:  # pre-populate the whole VF row
+            warm_cache.measure(pipeline, DOT, 0, vf, 1)
+        warm = RandomSearchAgent(
+            seed=11, candidates=5, pipeline=pipeline, reward_cache=warm_cache
+        ).select_factors(np.zeros(2), kernel=DOT, loop_index=0)
+        assert cold.as_tuple() == warm.as_tuple()
+
+    def test_distinct_loops_get_distinct_streams(self):
+        agent = RandomSearchAgent(seed=5)
+        decisions = {
+            agent.select_factors(np.zeros(2), kernel=DOT, loop_index=i).as_tuple()
+            for i in range(24)
+        }
+        assert len(decisions) > 1
+
 
 class TestNearestNeighborAgent:
     def test_exact_match_returns_label(self):
