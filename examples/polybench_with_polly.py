@@ -1,63 +1,85 @@
-"""Combine the polyhedral optimizer (Polly) with learned vectorization factors.
+"""Train an RL agent to drive Polly: per-nest tile-size/fusion decisions.
 
-Reproduces the Figure 8 experiment on the PolyBench-like suite: the baseline
-cost model, Polly's tiling/fusion alone, the learned RL factors alone, and
-Polly + RL combined.  On these locality-bound linear-algebra kernels Polly is
-strong, and the combination is the best configuration — the observation that
-leads the paper to propose combining the two (§4.1, §5).
+The Figure 8 observation — Polly's tiling and the learned factors compose —
+motivated making the polyhedral pass a first-class *optimization task*.
+This demo trains the same PPO contextual bandit the paper uses for (VF, IF)
+on the ``polly-tiling`` task instead: for every top-level nest of every
+PolyBench-like kernel the agent picks a tile size (1 = leave alone) and
+whether to run fusion, rewarded by simulated execution-time improvement.
 
-Run with:  python examples/polybench_with_polly.py
+    python examples/polybench_with_polly.py                       # RL on tiling
+    python examples/polybench_with_polly.py --task vectorization  # same pipeline, (VF, IF)
+    python examples/polybench_with_polly.py --steps 2000          # longer training
+
+After training it reports per-kernel speed-ups of the learned per-nest
+decisions against the untransformed baseline, next to the fixed-config
+:class:`repro.polly.PollyOptimizer` (Polly's own 32x32 defaults) for
+reference.
 """
 
-from repro.core.loop_extractor import extract_loops
+import argparse
+
+from repro.core.framework import NeuroVectorizer, TrainingConfig
+from repro.core.pipeline import CompileAndMeasure
 from repro.datasets.polybench import polybench_suite
-from repro.datasets.synthetic import SyntheticDatasetConfig, generate_synthetic_dataset
-from repro.evaluation.comparison import compare_methods, train_reference_agents
-from repro.evaluation.report import format_speedup_table
 from repro.polly.optimizer import PollyOptimizer
+from repro.tasks import available_tasks
+
+
+def fixed_polly_speedup(pipeline: CompileAndMeasure, kernel) -> float:
+    """Speed-up of the fixed-configuration Polly pass over the baseline."""
+    baseline = pipeline.measure_baseline(kernel)
+    transformed = PollyOptimizer().optimize(pipeline.lower_kernel(kernel))
+    return baseline.cycles / pipeline.measure_function(kernel, transformed).cycles
 
 
 def main() -> None:
-    print("training the RL vectorizer on the synthetic corpus ...")
-    kernels = list(generate_synthetic_dataset(SyntheticDatasetConfig(count=100, seed=0)))
-    trained = train_reference_agents(kernels, rl_steps=3000, rl_batch_size=250,
-                                     learning_rate=5e-4, seed=0)
-
-    print("running baseline / Polly / RL / Polly+RL on PolyBench ...")
-    comparison = compare_methods(
-        list(polybench_suite()),
-        trained,
-        include_polly=True,
-        include_supervised=False,
-        include_combined=True,
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--task",
+        default="polly-tiling",
+        choices=available_tasks(),
+        help="which optimization task to train",
     )
-    print()
-    print(
-        format_speedup_table(
-            comparison.speedups,
-            comparison.methods,
-            title="PolyBench, normalised to the baseline (Figure 8 analogue)",
-        ).render()
-    )
-    print()
-    for method in comparison.methods:
-        print(f"  average {method:12s}: {comparison.average(method):5.2f}x")
+    parser.add_argument("--steps", type=int, default=600,
+                        help="PPO environment steps")
+    parser.add_argument("--batch-size", type=int, default=60)
+    parser.add_argument("--learning-rate", type=float, default=1e-3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="evaluation worker processes (0 = serial)")
+    arguments = parser.parse_args()
 
-    # Show what Polly actually did to one kernel.
-    print("\nWhat Polly did to gemm:")
-    optimizer = PollyOptimizer()
-    gemm = polybench_suite().by_name("gemm")
-    transformed = optimizer.optimize(trained.pipeline.lower_kernel(gemm))
-    report = optimizer.last_report
-    print(f"  SCoPs detected : {report.scop_count}")
-    print(f"  nests tiled    : {report.tiled_nests}")
-    print(f"  loops fused    : {report.fused_loops}")
-    print(f"  loop count     : {len(trained.pipeline.lower_kernel(gemm).all_loops())} "
-          f"-> {len(transformed.all_loops())} (after tiling)")
-    print(f"  innermost loops seen by the vectorizer: "
-          f"{len(transformed.innermost_loops())}")
-    loops = extract_loops(gemm.source, function_name=gemm.function_name)
-    print(f"  loops the agent decides factors for   : {len(loops)}")
+    kernels = list(polybench_suite())
+    print(f"training the RL agent on task {arguments.task!r} "
+          f"over {len(kernels)} PolyBench kernels ...")
+    config = TrainingConfig(
+        task=arguments.task,
+        rl_total_steps=arguments.steps,
+        rl_batch_size=arguments.batch_size,
+        learning_rate=arguments.learning_rate,
+        seed=arguments.seed,
+        workers=arguments.workers,
+    )
+    framework, artifacts = NeuroVectorizer.train(kernels, config)
+    print(f"  iterations: {len(artifacts.history.iterations)}, "
+          f"final mean reward: {artifacts.history.final_reward_mean:+.4f}")
+
+    print()
+    print(f"{'kernel':<12s} {'learned':>9s} {'fixed polly':>12s}   decisions")
+    for kernel in kernels:
+        result = framework.optimize_kernel(kernel)
+        fixed = fixed_polly_speedup(framework.pipeline, kernel)
+        decisions = ", ".join(
+            f"#{site}:" + "/".join(str(v) for v in action)
+            for site, action in sorted(result.decisions.items())
+        )
+        print(f"{kernel.name:<12s} {result.speedup_over_baseline:8.2f}x "
+              f"{fixed:11.2f}x   {decisions}")
+
+    print()
+    print(framework.cache_stats_report().render())
+    framework.close()
 
 
 if __name__ == "__main__":

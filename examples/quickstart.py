@@ -1,26 +1,39 @@
-"""Quickstart: vectorize a C loop kernel end-to-end.
+"""Quickstart: optimize a C loop kernel end-to-end with a pluggable task.
 
-Runs the full NeuroVectorizer pipeline on a small kernel: extract the loop,
-embed it, pick (VF, IF), inject the ``#pragma clang loop`` hint, compile on
-the simulated machine and report the speed-up over the compiler's own cost
-model.  The agent used here is the brute-force oracle so the example needs no
-training; see ``examples/train_neurovectorizer.py`` for the RL path.
+Runs the full pipeline on a small kernel for any registered optimization
+task: extract the decision sites, embed them, pick an action per site with
+the brute-force oracle (so the example needs no training), apply the task's
+transform and report the speed-up over the compiler's own cost model.
 
-Run with:  python examples/quickstart.py
+    python examples/quickstart.py                        # (VF, IF) pragmas
+    python examples/quickstart.py --task polly-tiling    # tile/fusion per nest
+
+See ``examples/train_neurovectorizer.py`` for the RL path and
+``examples/polybench_with_polly.py`` for training the Polly task.
 """
+
+import argparse
 
 from repro.agents.brute_force import BruteForceAgent
 from repro.core.framework import NeuroVectorizer, build_embedding_model
 from repro.core.pipeline import CompileAndMeasure
+from repro.datasets.kernels import LoopKernel
 from repro.datasets.motivating import dot_product_kernel
+from repro.tasks import available_tasks, resolve_task
 
 USER_SOURCE = """
 float prices[4096], weights[4096];
+float totals[512][512], updates[512][512];
 
 float weighted_sum() {
     float total = 0;
     for (int i = 0; i < 4096; i++) {
         total += prices[i] * weights[i];
+    }
+    for (int r = 0; r < 512; r++) {
+        for (int c = 0; c < 512; c++) {
+            totals[r][c] = totals[r][c] + updates[c][r];
+        }
     }
     return total;
 }
@@ -28,25 +41,46 @@ float weighted_sum() {
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--task",
+        default="vectorization",
+        choices=available_tasks(),
+        help="which optimization task decides per site",
+    )
+    arguments = parser.parse_args()
+
+    task = resolve_task(arguments.task)
     pipeline = CompileAndMeasure()
     # The embedding vocabulary only needs some representative loops; the
     # motivating kernel is enough for this tiny example.
     embedding = build_embedding_model([dot_product_kernel()])
-    framework = NeuroVectorizer(embedding, BruteForceAgent(pipeline), pipeline)
+    agent = BruteForceAgent(pipeline, task=task)
+    framework = NeuroVectorizer(embedding, agent, pipeline, task=task)
 
-    result = framework.vectorize_source(USER_SOURCE, function_name="weighted_sum")
+    kernel = LoopKernel(
+        name="user_kernel",
+        source=USER_SOURCE,
+        function_name="weighted_sum",
+        suite="user",
+    )
+    result = framework.optimize_kernel(kernel)
 
-    print("=== NeuroVectorizer quickstart ===")
+    print(f"=== NeuroVectorizer quickstart ({task.name}) ===")
     print()
-    print("Chosen factors per innermost loop:")
-    for decision in result.decisions:
-        print(
-            f"  loop #{decision.loop_index} in {decision.function_name}: "
-            f"VF={decision.vf}, IF={decision.interleave}  ->  {decision.as_pragma()}"
+    print("Chosen action per decision site:")
+    for site in task.decision_sites(kernel):
+        action = result.decisions.get(site.index)
+        rendered = ", ".join(
+            f"{label}={value}" for label, value in zip(task.action_labels, action)
         )
-    print()
-    print("Source with injected pragmas:")
-    print(result.vectorized_source)
+        print(f"  site #{site.index} ({site.description}): {rendered}")
+    if result.transformed_source:
+        print()
+        print("Source with injected pragmas:")
+        print(result.transformed_source)
+    if result.description:
+        print(f"transform       : {result.description}")
     print(f"baseline cycles : {result.baseline_cycles:12.0f}")
     print(f"tuned cycles    : {result.cycles:12.0f}")
     print(f"speedup         : {result.speedup_over_baseline:12.2f}x")

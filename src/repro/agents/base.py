@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
@@ -10,23 +9,66 @@ import numpy as np
 from repro.datasets.kernels import LoopKernel
 
 
-@dataclass
 class AgentDecision:
-    """An agent's chosen factors for one loop."""
+    """An agent's chosen action for one decision site.
 
-    vf: int
-    interleave: int
+    ``action`` is the task-defined tuple; the legacy two-argument
+    constructor ``AgentDecision(vf, interleave)`` and the ``.vf`` /
+    ``.interleave`` accessors keep working for two-dimensional tasks (they
+    alias the first and second components).
+    """
 
-    def as_tuple(self) -> Tuple[int, int]:
-        return (self.vf, self.interleave)
+    __slots__ = ("action",)
+
+    def __init__(
+        self,
+        vf: Optional[int] = None,
+        interleave: Optional[int] = None,
+        action: Optional[Tuple[int, ...]] = None,
+    ):
+        if action is None:
+            if vf is None or interleave is None:
+                raise TypeError(
+                    "AgentDecision needs either action=(...) or vf/interleave"
+                )
+            action = (int(vf), int(interleave))
+        elif vf is not None or interleave is not None:
+            raise TypeError("pass either action or vf/interleave, not both")
+        self.action: Tuple[int, ...] = tuple(int(value) for value in action)
+
+    @property
+    def vf(self) -> int:
+        """Legacy alias for the first action component."""
+        return self.action[0]
+
+    @property
+    def interleave(self) -> int:
+        """Legacy alias for the second action component."""
+        return self.action[1]
+
+    def as_tuple(self) -> Tuple[int, ...]:
+        return self.action
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, AgentDecision):
+            return self.action == other.action
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.action)
+
+    def __repr__(self) -> str:
+        return f"AgentDecision(action={self.action!r})"
 
 
 class VectorizationAgent:
-    """Base class: map a loop observation to a (VF, IF) decision.
+    """Base class: map a site observation to a task-action decision.
 
-    ``observation`` is the code2vec embedding of the loop nest.  Agents that
-    do not use the embedding (baseline, brute force) may instead use the
-    ``kernel``/``loop_index`` context passed alongside it.
+    ``observation`` is the code2vec embedding of the decision site (for the
+    default task, the loop nest).  Agents that do not use the embedding
+    (baseline, brute force) may instead use the ``kernel``/``loop_index``
+    context passed alongside it.  The name predates the task redesign — any
+    registered :class:`repro.tasks.OptimizationTask` plugs in.
     """
 
     name: str = "agent"

@@ -9,18 +9,27 @@ import numpy as np
 from repro.agents.base import AgentDecision, VectorizationAgent
 from repro.core.pipeline import CompileAndMeasure
 from repro.datasets.kernels import LoopKernel
+from repro.tasks import OptimizationTask, resolve_task
 
 
 class BaselineAgent(VectorizationAgent):
-    """Chooses whatever the LLVM-like baseline cost model would choose.
+    """Chooses whatever the compiler would do on its own.
 
-    Useful as the x=1.0 reference in every comparison figure.
+    For the vectorization task that is the LLVM-like baseline cost model's
+    per-loop (VF, IF) choice; for other tasks it is the task's default
+    ("leave the code alone") action.  Useful as the x=1.0 reference in
+    every comparison figure.
     """
 
     name = "baseline"
 
-    def __init__(self, pipeline: Optional[CompileAndMeasure] = None):
+    def __init__(
+        self,
+        pipeline: Optional[CompileAndMeasure] = None,
+        task: Optional[OptimizationTask] = None,
+    ):
         self.pipeline = pipeline or CompileAndMeasure()
+        self.task = resolve_task(task)
 
     def select_factors(
         self,
@@ -28,6 +37,8 @@ class BaselineAgent(VectorizationAgent):
         kernel: Optional[LoopKernel] = None,
         loop_index: int = 0,
     ) -> AgentDecision:
+        if self.task.name != "vectorization":
+            return AgentDecision(action=self.task.default_action())
         if kernel is None:
             return AgentDecision(1, 1)
         ir_function = self.pipeline.lower_kernel(kernel)

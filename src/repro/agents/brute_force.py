@@ -10,22 +10,23 @@ from repro.agents.base import AgentDecision, VectorizationAgent
 from repro.cache.reward_cache import RewardCache, evaluate_requests, resolve_cache
 from repro.core.pipeline import CompileAndMeasure
 from repro.datasets.kernels import LoopKernel
-from repro.rl.spaces import DEFAULT_IF_VALUES, DEFAULT_VF_VALUES
+from repro.tasks import OptimizationTask, resolve_task
 
 
 class BruteForceAgent(VectorizationAgent):
-    """Exhaustively tries every (VF, IF) pair for the requested loop.
+    """Exhaustively tries every task action for the requested site.
 
     This is the upper bound the paper reports RL to be "only 3% worse than";
-    it needs the kernel itself (not just the embedding) and ~35 compilations
-    per loop, which is exactly why the paper trains a policy instead of
-    shipping this.
+    it needs the kernel itself (not just the embedding) and one compilation
+    per menu combination (35 for the (VF, IF) default), which is exactly why
+    the paper trains a policy instead of shipping this.
 
     All measurements go through a shared :class:`RewardCache` (pass the
     run's instance to share work with the environment and other agents), so
-    repeat queries — and pairs the RL env already evaluated — cost a lookup
-    instead of a compile.  With an ``evaluation_service`` the grid's unique
-    misses are evaluated by its sharded worker pool instead of in-process.
+    repeat queries — and actions the RL env already evaluated — cost a
+    lookup instead of a compile.  With an ``evaluation_service`` the grid's
+    unique misses are evaluated by its sharded worker pool instead of
+    in-process.
     """
 
     name = "brute_force"
@@ -35,10 +36,12 @@ class BruteForceAgent(VectorizationAgent):
         pipeline: Optional[CompileAndMeasure] = None,
         reward_cache: Optional[RewardCache] = None,
         evaluation_service=None,
+        task: Optional[OptimizationTask] = None,
     ):
         self.pipeline = pipeline or CompileAndMeasure()
         self.evaluation_service = evaluation_service
         self.reward_cache = resolve_cache(reward_cache, evaluation_service)
+        self.task = resolve_task(task)
 
     def select_factors(
         self,
@@ -48,21 +51,18 @@ class BruteForceAgent(VectorizationAgent):
     ) -> AgentDecision:
         if kernel is None:
             raise ValueError("BruteForceAgent needs the kernel to search")
-        grid = [
-            (vf, interleave)
-            for vf in DEFAULT_VF_VALUES
-            for interleave in DEFAULT_IF_VALUES
-        ]
+        grid = self.task.action_space("discrete").all_actions()
         outcomes = evaluate_requests(
             self.pipeline,
             self.reward_cache,
-            [(kernel, loop_index, vf, interleave) for vf, interleave in grid],
+            [(kernel, loop_index, action) for action in grid],
             service=self.evaluation_service,
+            task=self.task,
         )
-        best_factors: Tuple[int, int] = (1, 1)
+        best_action: Tuple[int, ...] = self.task.default_action()
         best_cycles = float("inf")
-        for (vf, interleave), outcome in zip(grid, outcomes):
+        for action, outcome in zip(grid, outcomes):
             if outcome.measurement.cycles < best_cycles:
                 best_cycles = outcome.measurement.cycles
-                best_factors = (vf, interleave)
-        return AgentDecision(*best_factors)
+                best_action = action
+        return AgentDecision(action=best_action)

@@ -171,44 +171,62 @@ class DecisionTree:
 
 
 class DecisionTreeAgent(VectorizationAgent):
-    """Predicts factors with a decision tree over the learned embedding."""
+    """Predicts task actions with a decision tree over the learned embedding.
+
+    The tree classifies the flattened action index over the task's menus
+    (the (VF, IF) grid by default); labels come from the brute-force search
+    on the training set, exactly as in the paper.
+    """
 
     name = "decision_tree"
 
     def __init__(
         self,
-        vf_values: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
-        if_values: Sequence[int] = (1, 2, 4, 8, 16),
+        vf_values: Optional[Sequence[int]] = None,
+        if_values: Optional[Sequence[int]] = None,
         max_depth: int = 8,
         seed: int = 0,
+        task=None,
     ):
-        self.vf_values = tuple(vf_values)
-        self.if_values = tuple(if_values)
+        from repro.rl.spaces import DiscreteFactorSpace
+        from repro.tasks import resolve_task
+
+        self.task = resolve_task(task)
+        menus = list(self.task.menus)
+        if vf_values is not None:
+            menus[0] = tuple(vf_values)
+        if if_values is not None:
+            menus[1] = tuple(if_values)
+        self.menus: Tuple[Tuple[int, ...], ...] = tuple(tuple(m) for m in menus)
+        # The space owns the (tested, tie-break-pinned) flatten/unflatten
+        # between action tuples and the tree's class labels.
+        self._space = DiscreteFactorSpace(menus=self.menus)
         self.tree = DecisionTree(max_depth=max_depth, seed=seed)
         self._fitted = False
 
-    def _label_of(self, vf: int, interleave: int) -> int:
-        vf_index = min(
-            range(len(self.vf_values)), key=lambda i: abs(self.vf_values[i] - vf)
-        )
-        if_index = min(
-            range(len(self.if_values)), key=lambda i: abs(self.if_values[i] - interleave)
-        )
-        return vf_index * len(self.if_values) + if_index
+    @property
+    def vf_values(self) -> Tuple[int, ...]:
+        """Legacy alias for the first menu."""
+        return self.menus[0]
 
-    def _factors_of(self, label: int) -> Tuple[int, int]:
-        vf_index, if_index = divmod(int(label), len(self.if_values))
-        vf_index = min(vf_index, len(self.vf_values) - 1)
-        return self.vf_values[vf_index], self.if_values[if_index]
+    @property
+    def if_values(self) -> Tuple[int, ...]:
+        """Legacy alias for the second menu."""
+        return self.menus[1]
+
+    def _label_of(self, *action) -> int:
+        return self._space.flatten_action(*action)
+
+    def _factors_of(self, label: int) -> Tuple[int, ...]:
+        return self._space.unflatten_action(label)
 
     def fit(
-        self, embeddings: np.ndarray, labels: Sequence[Tuple[int, int]]
+        self, embeddings: np.ndarray, labels: Sequence[Tuple[int, ...]]
     ) -> "DecisionTreeAgent":
         encoded = np.array(
-            [self._label_of(vf, interleave) for vf, interleave in labels],
-            dtype=np.int64,
+            [self._label_of(tuple(label)) for label in labels], dtype=np.int64
         )
-        self.tree.n_classes = len(self.vf_values) * len(self.if_values)
+        self.tree.n_classes = self._space.num_actions
         features = np.asarray(embeddings, dtype=np.float64)
         self.tree.root = self.tree._build(features, encoded, depth=0)
         self._fitted = True
@@ -223,5 +241,4 @@ class DecisionTreeAgent(VectorizationAgent):
         if not self._fitted:
             raise RuntimeError("DecisionTreeAgent.fit() has not been called")
         label = self.tree.predict_one(np.asarray(observation, dtype=np.float64))
-        vf, interleave = self._factors_of(label)
-        return AgentDecision(vf, interleave)
+        return AgentDecision(action=self._factors_of(label))

@@ -15,9 +15,12 @@ class NearestNeighborAgent(VectorizationAgent):
     """k-NN over the code2vec embedding space with brute-force labels.
 
     After end-to-end RL training produces a useful embedding, the RL agent
-    can be replaced with NNS: store (embedding, best factors) pairs obtained
+    can be replaced with NNS: store (embedding, best action) pairs obtained
     from the brute-force search on the training set and answer queries with
-    the (majority-vote) factors of the closest stored loops.
+    the (majority-vote) action of the closest stored sites.  Labels are
+    task-action tuples of any arity — (VF, IF) pairs for the default task,
+    (tile, fuse) pairs for Polly tiling — so the agent is task-generic
+    without configuration.
     """
 
     name = "nns"
@@ -28,12 +31,12 @@ class NearestNeighborAgent(VectorizationAgent):
         self.k = k
         self.normalize = normalize
         self._embeddings: Optional[np.ndarray] = None
-        self._labels: List[Tuple[int, int]] = []
+        self._labels: List[Tuple[int, ...]] = []
 
     # -- training -----------------------------------------------------------------
 
     def fit(
-        self, embeddings: np.ndarray, labels: Sequence[Tuple[int, int]]
+        self, embeddings: np.ndarray, labels: Sequence[Tuple[int, ...]]
     ) -> "NearestNeighborAgent":
         embeddings = np.asarray(embeddings, dtype=np.float64)
         if embeddings.ndim != 2:
@@ -79,4 +82,4 @@ class NearestNeighborAgent(VectorizationAgent):
             label = self._labels[index]
             votes[label] = votes.get(label, 0) + 1
         best = max(votes.items(), key=lambda item: (item[1], -item[0][0]))[0]
-        return AgentDecision(best[0], best[1])
+        return AgentDecision(action=best)

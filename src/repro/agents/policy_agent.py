@@ -34,5 +34,4 @@ class PolicyAgent(VectorizationAgent):
             np.asarray(observation, dtype=np.float64),
             deterministic=self.deterministic,
         )
-        vf, interleave = self.policy.space.decode(output.action)
-        return AgentDecision(vf, interleave)
+        return AgentDecision(action=self.policy.space.decode(output.action))

@@ -1,4 +1,4 @@
-"""Uniform random factor selection (the paper's random-search comparator)."""
+"""Uniform random action selection (the paper's random-search comparator)."""
 
 from __future__ import annotations
 
@@ -15,26 +15,26 @@ from repro.cache.reward_cache import (
 )
 from repro.core.pipeline import CompileAndMeasure
 from repro.datasets.kernels import LoopKernel
-from repro.rl.spaces import DEFAULT_IF_VALUES, DEFAULT_VF_VALUES
+from repro.tasks import OptimizationTask, resolve_task
 
 
 class RandomSearchAgent(VectorizationAgent):
-    """Picks VF and IF uniformly at random from the legal menus.
+    """Picks each action component uniformly at random from its legal menu.
 
     The paper uses this to show that the RL agent's gains come from learned
     structure and not from the action space itself: "Random search performed
     much worse than the baseline" (§4).
 
     With ``candidates > 1`` (and a pipeline) the agent becomes best-of-N
-    random search: it draws N candidate pairs and keeps the fastest, with
+    random search: it draws N candidate actions and keeps the fastest, with
     every measurement routed through the shared :class:`RewardCache` (or
     the sharded ``evaluation_service`` when one is attached) so repeated
     draws cost a lookup instead of a compile.
 
     **Determinism.** Queries that carry a kernel derive their random stream
-    from ``(seed, kernel content hash, loop_index)``, so the decision for a
-    given loop depends only on the agent's seed — never on how many other
-    loops were queried first.  Cache hits, shared caches, or a service
+    from ``(seed, kernel content hash, site_index)``, so the decision for a
+    given site depends only on the agent's seed — never on how many other
+    sites were queried first.  Cache hits, shared caches, or a service
     reordering evaluation therefore cannot change the outcome of a seeded
     run.  Embedding-only queries (no kernel) keep a per-agent stream.
     """
@@ -43,24 +43,41 @@ class RandomSearchAgent(VectorizationAgent):
 
     def __init__(
         self,
-        vf_values: Sequence[int] = DEFAULT_VF_VALUES,
-        if_values: Sequence[int] = DEFAULT_IF_VALUES,
+        vf_values: Optional[Sequence[int]] = None,
+        if_values: Optional[Sequence[int]] = None,
         seed: int = 0,
         candidates: int = 1,
         pipeline: Optional[CompileAndMeasure] = None,
         reward_cache: Optional[RewardCache] = None,
         evaluation_service=None,
+        task: Optional[OptimizationTask] = None,
     ):
         if candidates < 1:
             raise ValueError("candidates must be at least 1")
-        self.vf_values = tuple(vf_values)
-        self.if_values = tuple(if_values)
+        self.task = resolve_task(task)
+        menus = list(self.task.menus)
+        # Legacy menu overrides for the two-dimensional vectorization task.
+        if vf_values is not None:
+            menus[0] = tuple(vf_values)
+        if if_values is not None:
+            menus[1] = tuple(if_values)
+        self.menus: Tuple[Tuple[int, ...], ...] = tuple(tuple(m) for m in menus)
         self.seed = int(seed)
         self.rng = np.random.default_rng(seed)
         self.candidates = candidates
         self.pipeline = pipeline
         self.evaluation_service = evaluation_service
         self.reward_cache = resolve_cache(reward_cache, evaluation_service)
+
+    @property
+    def vf_values(self) -> Tuple[int, ...]:
+        """Legacy alias for the first menu."""
+        return self.menus[0]
+
+    @property
+    def if_values(self) -> Tuple[int, ...]:
+        """Legacy alias for the second menu."""
+        return self.menus[1]
 
     def _rng_for(self, kernel: Optional[LoopKernel], loop_index: int):
         """The random stream for one query — content-derived when possible."""
@@ -71,8 +88,8 @@ class RandomSearchAgent(VectorizationAgent):
             np.random.SeedSequence([self.seed, int(digest[:16], 16), int(loop_index)])
         )
 
-    def _draw(self, rng) -> Tuple[int, int]:
-        return int(rng.choice(self.vf_values)), int(rng.choice(self.if_values))
+    def _draw(self, rng) -> Tuple[int, ...]:
+        return tuple(int(rng.choice(menu)) for menu in self.menus)
 
     def select_factors(
         self,
@@ -85,22 +102,20 @@ class RandomSearchAgent(VectorizationAgent):
         if self.candidates == 1 or kernel is None or (
             self.pipeline is None and self.evaluation_service is None
         ):
-            return AgentDecision(*draws[0])
+            return AgentDecision(action=draws[0])
         for _ in range(self.candidates - 1):
             draws.append(self._draw(rng))
         outcomes = evaluate_requests(
             self.pipeline,
             self.reward_cache,
-            [
-                (kernel, loop_index, candidate_vf, candidate_if)
-                for candidate_vf, candidate_if in draws
-            ],
+            [(kernel, loop_index, candidate) for candidate in draws],
             service=self.evaluation_service,
+            task=self.task,
         )
-        best_factors = draws[0]
+        best_action = draws[0]
         best_cycles = float("inf")
-        for factors, outcome in zip(draws, outcomes):
+        for action, outcome in zip(draws, outcomes):
             if outcome.measurement.cycles < best_cycles:
                 best_cycles = outcome.measurement.cycles
-                best_factors = factors
-        return AgentDecision(*best_factors)
+                best_action = action
+        return AgentDecision(action=best_action)

@@ -11,11 +11,13 @@ from repro.cache.reward_cache import (
     evaluate_requests,
     kernel_fingerprint,
     machine_fingerprint,
+    normalize_requests,
     resolve_cache,
 )
 
 __all__ = [
     "evaluate_requests",
+    "normalize_requests",
     "resolve_cache",
     "CachedMeasurement",
     "CacheStats",

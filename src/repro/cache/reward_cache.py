@@ -9,10 +9,18 @@ instead of recompiled.  This module is that subsystem for the reproduction:
   the machine description, so two kernels with identical code share entries
   and editing a kernel or changing the machine model invalidates nothing it
   shouldn't.  Every agent and environment in a run can share one instance.
-* :class:`EvaluationBatcher` — collects pending ``(kernel, loop, VF, IF)``
+* :class:`EvaluationBatcher` — collects pending ``(kernel, site, action)``
   requests, deduplicates them against each other and against the cache, and
   evaluates only the unique misses in one pass.  Rollout collection and
   brute-force sweeps submit whole batches instead of compiling per step.
+
+Since the task redesign a key's action part is a *generic tuple* tagged
+with the owning :class:`repro.tasks.OptimizationTask` name — ``(vf, if)``
+for vectorization, ``(tile, fuse)`` for Polly tiling — so one cache (and
+one persistent store) serves every registered task without collisions.
+The legacy two-int API (``measure(pipeline, kernel, loop, vf, interleave)``,
+``key_for(..., vf, interleave)``) is kept as a shim over the vectorization
+task.
 
 Rewards themselves are *derived* from cached measurements by each consumer
 (the environment applies its own compile-time penalty rule), so one cache
@@ -24,12 +32,13 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # imported lazily to avoid package import cycles
     from repro.core.pipeline import CompileAndMeasure
     from repro.datasets.kernels import LoopKernel
     from repro.machine.description import MachineDescription
+    from repro.tasks.base import OptimizationTask
 
 
 # ---------------------------------------------------------------------------
@@ -43,6 +52,15 @@ if TYPE_CHECKING:  # imported lazily to avoid package import cycles
 #: collides with the plain kernel.
 WHOLE_FUNCTION_BASELINE = -1
 WHOLE_FUNCTION_PRAGMAS = -2
+#: Sentinel for a task's full-application measurement (every site decided at
+#: once); the key's action part flattens the whole decision map.
+WHOLE_FUNCTION_APPLICATION = -3
+
+#: Task tag for legacy (VF, IF) keys — the vectorization task's name.
+VECTORIZATION_TASK = "vectorization"
+#: Task tag for whole-function measurements, which are task-independent
+#: (the same ``clang -O3`` baseline serves every task on a kernel).
+WHOLE_FUNCTION_TASK = "function"
 
 
 def kernel_fingerprint(kernel: "LoopKernel") -> str:
@@ -61,21 +79,71 @@ def machine_fingerprint(machine: "MachineDescription") -> str:
     return hashlib.sha1(repr(machine).encode("utf-8")).hexdigest()
 
 
-@dataclass(frozen=True)
-class RewardKey:
-    """Identity of one measurement: kernel content x machine x action.
+def _resolve_default_task() -> "OptimizationTask":
+    """The vectorization task the legacy two-int API resolves to."""
+    from repro.tasks import resolve_task
 
-    ``default_symbol_value`` is part of the identity because the simulator
-    falls back to it for symbolic loop bounds missing from the bindings —
-    pipelines configured differently must not share entries.
+    return resolve_task(None)
+
+
+@dataclass(frozen=True, init=False)
+class RewardKey:
+    """Identity of one measurement: kernel content x machine x task action.
+
+    ``action`` is the task-defined decision tuple and ``task`` names the
+    owning optimization task, so different tasks' decisions for the same
+    site never collide.  ``default_symbol_value`` is part of the identity
+    because the simulator falls back to it for symbolic loop bounds missing
+    from the bindings — pipelines configured differently must not share
+    entries.
+
+    The legacy constructor shape ``RewardKey(kh, mh, loop, vf, interleave)``
+    (positional or by ``vf=``/``interleave=`` keyword) still works and tags
+    the key with the vectorization task.
     """
 
     kernel_hash: str
     machine_hash: str
     loop_index: int
-    vf: int
-    interleave: int
-    default_symbol_value: int = 256
+    action: Tuple[int, ...]
+    task: str
+    default_symbol_value: int
+
+    def __init__(
+        self,
+        kernel_hash: str,
+        machine_hash: str,
+        loop_index: int,
+        vf: Optional[int] = None,
+        interleave: Optional[int] = None,
+        default_symbol_value: int = 256,
+        action: Optional[Tuple[int, ...]] = None,
+        task: str = VECTORIZATION_TASK,
+    ):
+        if action is None:
+            if vf is None or interleave is None:
+                raise TypeError(
+                    "RewardKey needs either action=(...) or vf/interleave"
+                )
+            action = (int(vf), int(interleave))
+        elif vf is not None or interleave is not None:
+            raise TypeError("pass either action or vf/interleave, not both")
+        object.__setattr__(self, "kernel_hash", kernel_hash)
+        object.__setattr__(self, "machine_hash", machine_hash)
+        object.__setattr__(self, "loop_index", int(loop_index))
+        object.__setattr__(self, "action", tuple(int(v) for v in action))
+        object.__setattr__(self, "task", str(task))
+        object.__setattr__(self, "default_symbol_value", int(default_symbol_value))
+
+    @property
+    def vf(self) -> int:
+        """Legacy alias for the first action component."""
+        return self.action[0]
+
+    @property
+    def interleave(self) -> int:
+        """Legacy alias for the second action component."""
+        return self.action[1]
 
 
 @dataclass
@@ -120,11 +188,11 @@ class CacheStats:
 
 
 class RewardCache:
-    """Content-keyed store of ``(kernel, machine, VF, IF)`` measurements.
+    """Content-keyed store of ``(kernel, machine, task, action)`` measurements.
 
     ``max_entries`` bounds memory with FIFO eviction; the default (unbounded)
     is right for training runs, where the number of unique pairs is
-    ``loops x actions`` and small compared to the number of steps.
+    ``sites x actions`` and small compared to the number of steps.
     """
 
     def __init__(self, max_entries: Optional[int] = None):
@@ -148,15 +216,9 @@ class RewardCache:
 
     # -- keys ---------------------------------------------------------------
 
-    def key_for(
-        self,
-        kernel: "LoopKernel",
-        machine: "MachineDescription",
-        loop_index: int,
-        vf: int,
-        interleave: int,
-        default_symbol_value: int = 256,
-    ) -> RewardKey:
+    def _fingerprints(
+        self, kernel: "LoopKernel", machine: "MachineDescription"
+    ) -> Tuple[str, str]:
         kernel_memo = self._kernel_fingerprints.get(id(kernel))
         if (
             kernel_memo is not None
@@ -177,13 +239,37 @@ class RewardCache:
             if len(self._machine_fingerprints) >= self.MAX_FINGERPRINT_MEMO:
                 self._machine_fingerprints.clear()
             self._machine_fingerprints[id(machine)] = (machine, machine_hash)
+        return kernel_hash, machine_hash
+
+    def key_for(
+        self,
+        kernel: "LoopKernel",
+        machine: "MachineDescription",
+        loop_index: int,
+        vf=None,
+        interleave: Optional[int] = None,
+        default_symbol_value: int = 256,
+        action: Optional[Tuple[int, ...]] = None,
+        task: str = VECTORIZATION_TASK,
+    ) -> RewardKey:
+        """Build the cache key for one measurement.
+
+        Either pass ``action=(...)`` (plus ``task=``) or the legacy
+        ``vf, interleave`` pair, which is shorthand for the vectorization
+        task's two-dimensional action.
+        """
+        kernel_hash, machine_hash = self._fingerprints(kernel, machine)
+        if action is None and interleave is None and isinstance(vf, (tuple, list)):
+            action, vf = tuple(vf), None
         return RewardKey(
             kernel_hash,
             machine_hash,
             int(loop_index),
-            int(vf),
-            int(interleave),
-            int(default_symbol_value),
+            vf=vf,
+            interleave=interleave,
+            default_symbol_value=int(default_symbol_value),
+            action=action,
+            task=task,
         )
 
     # -- lookups ------------------------------------------------------------
@@ -235,7 +321,10 @@ class RewardCache:
         vf: int,
         interleave: int,
     ) -> Tuple[CachedMeasurement, bool]:
-        """Cached ``measure_with_factors``; returns (measurement, was_hit)."""
+        """Cached ``measure_with_factors``; returns (measurement, was_hit).
+
+        Legacy vectorization shorthand for :meth:`measure_action`.
+        """
         key = self.key_for(
             kernel,
             pipeline.machine,
@@ -251,6 +340,57 @@ class RewardCache:
             ),
         )
 
+    def measure_action(
+        self,
+        pipeline: "CompileAndMeasure",
+        task: "OptimizationTask",
+        kernel: "LoopKernel",
+        site_index: int,
+        action: Tuple[int, ...],
+    ) -> Tuple[CachedMeasurement, bool]:
+        """Cached single-site evaluation of one task action."""
+        action = task.cache_key(action)
+        key = self.key_for(
+            kernel,
+            pipeline.machine,
+            site_index,
+            default_symbol_value=pipeline.default_symbol_value,
+            action=action,
+            task=task.name,
+        )
+        return self._measure_cached(
+            key, lambda: task.evaluate(pipeline, kernel, site_index, action)
+        )
+
+    def measure_application(
+        self,
+        pipeline: "CompileAndMeasure",
+        task: "OptimizationTask",
+        kernel: "LoopKernel",
+        decisions,
+        compute,
+    ) -> Tuple[CachedMeasurement, bool]:
+        """Cached full-application measurement of one task decision map.
+
+        ``compute`` runs the task's own transform-and-measure; the key
+        flattens the whole ``{site: action}`` map (sorted by site) into the
+        action tuple, so a repeat run applying identical decisions to an
+        unchanged kernel is a lookup, not a simulation.
+        """
+        flattened: List[int] = []
+        for site_index in sorted(decisions):
+            flattened.append(int(site_index))
+            flattened.extend(int(value) for value in decisions[site_index])
+        key = self.key_for(
+            kernel,
+            pipeline.machine,
+            WHOLE_FUNCTION_APPLICATION,
+            default_symbol_value=pipeline.default_symbol_value,
+            action=tuple(flattened),
+            task=task.name,
+        )
+        return self._measure_cached(key, compute)
+
     def measure_baseline(
         self, pipeline: "CompileAndMeasure", kernel: "LoopKernel"
     ) -> Tuple[CachedMeasurement, bool]:
@@ -259,9 +399,9 @@ class RewardCache:
             kernel,
             pipeline.machine,
             WHOLE_FUNCTION_BASELINE,
-            0,
-            0,
             default_symbol_value=pipeline.default_symbol_value,
+            action=(0, 0),
+            task=WHOLE_FUNCTION_TASK,
         )
         return self._measure_cached(key, lambda: pipeline.measure_baseline(kernel))
 
@@ -282,9 +422,9 @@ class RewardCache:
             tagged,
             pipeline.machine,
             WHOLE_FUNCTION_PRAGMAS,
-            0,
-            0,
             default_symbol_value=pipeline.default_symbol_value,
+            action=(0, 0),
+            task=WHOLE_FUNCTION_TASK,
         )
         return self._measure_cached(
             key, lambda: pipeline.measure_with_pragmas(kernel, source=source)
@@ -295,9 +435,8 @@ class RewardCache:
 class _PendingRequest:
     key: RewardKey
     kernel: "LoopKernel"
-    loop_index: int
-    vf: int
-    interleave: int
+    site_index: int
+    action: Tuple[int, ...]
 
 
 @dataclass
@@ -308,19 +447,48 @@ class BatchOutcome:
     was_cached: bool
 
 
+def normalize_requests(requests) -> List[Tuple["LoopKernel", int, Tuple[int, ...]]]:
+    """Normalise reward requests to ``(kernel, site_index, action)`` triples.
+
+    Accepts both the legacy 4-tuple ``(kernel, loop_index, vf, interleave)``
+    and the generic 3-tuple ``(kernel, site_index, action_tuple)``.
+    """
+    normalized = []
+    for request in requests:
+        if len(request) == 4:
+            kernel, site_index, vf, interleave = request
+            action: Tuple[int, ...] = (int(vf), int(interleave))
+        elif len(request) == 3:
+            kernel, site_index, action = request
+            action = tuple(int(value) for value in action)
+        else:
+            raise ValueError(
+                "reward requests are (kernel, site, action) or the legacy "
+                f"(kernel, loop, vf, interleave); got a {len(request)}-tuple"
+            )
+        normalized.append((kernel, int(site_index), action))
+    return normalized
+
+
 class EvaluationBatcher:
     """Deduplicating batch front-end over a :class:`RewardCache`.
 
-    ``add`` enqueues a request and returns a ticket; ``flush`` evaluates the
-    unique cache misses (one pipeline call each), fills the cache, and
-    returns outcomes indexed by ticket.  Duplicate requests within a batch
-    cost one evaluation total and are counted in
-    ``cache.stats.batch_deduplicated``.
+    ``add``/``add_action`` enqueue a request and return a ticket; ``flush``
+    evaluates the unique cache misses (one pipeline call each, through the
+    configured task), fills the cache, and returns outcomes indexed by
+    ticket.  Duplicate requests within a batch cost one evaluation total and
+    are counted in ``cache.stats.batch_deduplicated``.
     """
 
-    def __init__(self, pipeline: "CompileAndMeasure", cache: RewardCache):
+    def __init__(
+        self,
+        pipeline: "CompileAndMeasure",
+        cache: RewardCache,
+        task: Optional["OptimizationTask"] = None,
+    ):
         self.pipeline = pipeline
         self.cache = cache
+        self.task = task if task is not None else _resolve_default_task()
         self._pending: List[_PendingRequest] = []
 
     def __len__(self) -> int:
@@ -329,17 +497,22 @@ class EvaluationBatcher:
     def add(
         self, kernel: "LoopKernel", loop_index: int, vf: int, interleave: int
     ) -> int:
+        """Legacy vectorization shorthand for :meth:`add_action`."""
+        return self.add_action(kernel, loop_index, (int(vf), int(interleave)))
+
+    def add_action(
+        self, kernel: "LoopKernel", site_index: int, action: Tuple[int, ...]
+    ) -> int:
+        action = self.task.cache_key(action)
         key = self.cache.key_for(
             kernel,
             self.pipeline.machine,
-            loop_index,
-            vf,
-            interleave,
+            site_index,
             default_symbol_value=self.pipeline.default_symbol_value,
+            action=action,
+            task=self.task.name,
         )
-        self._pending.append(
-            _PendingRequest(key, kernel, int(loop_index), int(vf), int(interleave))
-        )
+        self._pending.append(_PendingRequest(key, kernel, int(site_index), action))
         return len(self._pending) - 1
 
     def flush(self) -> List[BatchOutcome]:
@@ -363,8 +536,8 @@ class EvaluationBatcher:
         measured: Dict[RewardKey, CachedMeasurement] = {}
         for key, leader in first_seen.items():
             request = pending[leader]
-            result = self.pipeline.measure_with_factors(
-                request.kernel, {request.loop_index: (request.vf, request.interleave)}
+            result = self.task.evaluate(
+                self.pipeline, request.kernel, request.site_index, request.action
             )
             measurement = CachedMeasurement(
                 cycles=result.cycles, compile_seconds=result.compile_seconds
@@ -397,11 +570,16 @@ def evaluate_requests(
     cache: RewardCache,
     requests,
     service=None,
+    task: Optional["OptimizationTask"] = None,
 ) -> List[BatchOutcome]:
-    """Route ``(kernel, loop_index, vf, interleave)`` requests to the right
-    evaluator: a :class:`repro.distributed.EvaluationService` when attached
-    (sharded workers / persistent store), a plain :class:`EvaluationBatcher`
+    """Route reward requests to the right evaluator: a
+    :class:`repro.distributed.EvaluationService` when attached (sharded
+    workers / persistent store), a plain :class:`EvaluationBatcher`
     otherwise.  The single front door every batched consumer shares.
+
+    Requests are ``(kernel, site_index, action)`` triples or the legacy
+    ``(kernel, loop_index, vf, interleave)`` 4-tuples; ``task`` defaults to
+    the vectorization task.
 
     A service measuring under a different machine model (or writing to a
     different cache) than the caller would silently mix inconsistent
@@ -423,8 +601,8 @@ def evaluate_requests(
                 "(machine model or default_symbol_value); build both from "
                 "the same machine description"
             )
-        return service.evaluate(requests)
-    batcher = EvaluationBatcher(pipeline, cache)
-    for kernel, loop_index, vf, interleave in requests:
-        batcher.add(kernel, loop_index, vf, interleave)
+        return service.evaluate(requests, task=task)
+    batcher = EvaluationBatcher(pipeline, cache, task=task)
+    for kernel, site_index, action in normalize_requests(requests):
+        batcher.add_action(kernel, site_index, action)
     return batcher.flush()

@@ -1,4 +1,12 @@
-"""The NeuroVectorizer facade: embedding + agent + pragma injection + measure."""
+"""The NeuroVectorizer facade: embedding + agent + task application + measure.
+
+Since the task redesign the facade is generic over an
+:class:`repro.tasks.OptimizationTask`: the task defines what is decided per
+site and how a decision map is applied and measured.  Every public name
+(:class:`NeuroVectorizer`, :class:`TrainingConfig`,
+:class:`VectorizationDecision`, ...) keeps its pre-redesign behaviour when
+the task is the default vectorization one.
+"""
 
 from __future__ import annotations
 
@@ -10,12 +18,12 @@ import numpy as np
 from repro.cache.reward_cache import RewardCache, resolve_cache
 from repro.core.loop_extractor import ExtractedLoop, extract_loops
 from repro.core.pipeline import CompilationResult, CompileAndMeasure
-from repro.core.pragma_injector import inject_pragmas
 from repro.datasets.kernels import LoopKernel
 from repro.embedding.ast_paths import PathContext, extract_path_contexts
 from repro.embedding.code2vec import Code2VecConfig, Code2VecModel
 from repro.embedding.vocab import build_vocabularies, normalize_identifiers
 from repro.machine.description import MachineDescription
+from repro.tasks import OptimizationTask, resolve_task
 
 
 @dataclass
@@ -58,6 +66,29 @@ class VectorizationResult:
 
 
 @dataclass
+class OptimizationResult:
+    """Task-generic outcome of optimizing one kernel end-to-end."""
+
+    kernel_name: str
+    task: str
+    decisions: Dict[int, Tuple[int, ...]]
+    cycles: float
+    baseline_cycles: float
+    compile_seconds: float
+    transformed_source: Optional[str] = None
+    description: str = ""
+
+    @property
+    def speedup_over_baseline(self) -> float:
+        return self.baseline_cycles / self.cycles if self.cycles > 0 else float("inf")
+
+    @property
+    def reward(self) -> float:
+        """The paper's reward for this result (Equation 2)."""
+        return (self.baseline_cycles - self.cycles) / max(self.baseline_cycles, 1e-9)
+
+
+@dataclass
 class TrainingConfig:
     """End-to-end training settings for :meth:`NeuroVectorizer.train`."""
 
@@ -70,11 +101,23 @@ class TrainingConfig:
     hidden_sizes: Tuple[int, ...] = (64, 64)
     policy: str = "discrete"
     seed: int = 0
+    #: The registered optimization task this run trains for.  The default
+    #: keeps the paper's (VF, IF) vectorization decision; ``"polly-tiling"``
+    #: trains per-nest tile-size/fusion decisions instead.
+    task: str = "vectorization"
     #: Evaluation-service settings: worker processes for sharded reward
     #: evaluation (0 = serial in-process) and the directory of the
     #: persistent cross-run reward store (None = memory only).
     workers: int = 0
     cache_dir: Optional[str] = None
+    #: Store-compaction policy applied by ``NeuroVectorizer.close()``: when
+    #: enabled and the cache directory holds at least ``compact_min_segments``
+    #: segment files (optionally also at least ``compact_min_bytes`` in
+    #: total), the segments are merged into one.  Enable only when the
+    #: directory is private to this run — compaction is offline maintenance.
+    compact_on_close: bool = False
+    compact_min_segments: int = 2
+    compact_min_bytes: Optional[int] = None
 
 
 @dataclass
@@ -105,11 +148,13 @@ def build_embedding_model(
 
 
 class NeuroVectorizer:
-    """End-to-end automatic vectorization (Figure 3 of the paper).
+    """End-to-end automatic loop optimization (Figure 3 of the paper).
 
     ``agent`` is any :class:`repro.agents.base.VectorizationAgent`; the
     default is the trained RL policy, but NNS, decision trees, random search,
     brute force or the compiler baseline slot in identically (§3.5).
+    ``task`` selects what is being decided per site (vectorization factors
+    by default, Polly tile/fusion choices with ``"polly-tiling"``).
     """
 
     def __init__(
@@ -120,11 +165,25 @@ class NeuroVectorizer:
         machine: Optional[MachineDescription] = None,
         reward_cache: Optional[RewardCache] = None,
         evaluation_service=None,
+        task: Optional[OptimizationTask] = None,
+        compaction=None,
     ):
         self.machine = machine or MachineDescription()
         self.pipeline = pipeline or CompileAndMeasure(machine=self.machine)
         self.embedding_model = embedding_model
         self.agent = agent
+        self.task = resolve_task(task)
+        # A task-aware agent deciding for a different task would feed its
+        # actions straight into this task's apply/cache path — both tasks
+        # may share an action arity, so the mix-up would be silent garbage
+        # (VF/IF applied as tile/fuse).  Fail loudly instead.
+        agent_task = getattr(agent, "task", None)
+        if agent_task is not None and agent_task.name != self.task.name:
+            raise ValueError(
+                f"agent decides for task {agent_task.name!r} but the "
+                f"framework runs task {self.task.name!r}; construct the "
+                f"agent with task={self.task.name!r}"
+            )
         # An optional repro.distributed.EvaluationService owning the run's
         # worker pool; its cache is adopted as the run-wide cache unless one
         # was passed explicitly.  close() shuts the service (and any
@@ -133,13 +192,29 @@ class NeuroVectorizer:
         # The run-wide measurement cache: shared with the training env and
         # any cache-aware agent so every consumer sees each other's work.
         self.reward_cache = resolve_cache(reward_cache, evaluation_service)
+        # Optional repro.distributed.CompactionPolicy consulted by close().
+        self.compaction = compaction
 
     # -- service lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the evaluation service and flush/close the disk store."""
+        """Shut down the evaluation service and flush/close the disk store.
+
+        With a :class:`repro.distributed.CompactionPolicy` attached (see
+        ``TrainingConfig.compact_on_close``), a fragmented persistent store
+        is compacted into a single segment first — this process is the last
+        writer at close time, which is exactly when compaction is safe for a
+        run-private cache directory.
+        """
         if self.evaluation_service is not None:
             self.evaluation_service.close()
+        store = getattr(self.reward_cache, "store", None)
+        if (
+            store is not None
+            and self.compaction is not None
+            and self.compaction.should_compact(store)
+        ):
+            store.compact()
         closer = getattr(self.reward_cache, "close", None)
         if closer is not None:
             closer()
@@ -196,8 +271,24 @@ class NeuroVectorizer:
 
     # -- decision making -----------------------------------------------------------------
 
+    def decide_sites(self, kernel: LoopKernel) -> Dict[int, Tuple[int, ...]]:
+        """Run the agent on every decision site; returns site → action."""
+        decisions: Dict[int, Tuple[int, ...]] = {}
+        for site in self.task.decision_sites(kernel):
+            observation = self.task.observation_features(site, self.embedding_model)
+            chosen = self.agent.select_factors(
+                observation, kernel=kernel, loop_index=site.index
+            )
+            decisions[site.index] = self.task.cache_key(chosen.as_tuple())
+        return decisions
+
     def decide_kernel(self, kernel: LoopKernel) -> List[VectorizationDecision]:
-        """Run the agent on every innermost loop of a kernel."""
+        """Run the agent on every innermost loop of a kernel.
+
+        Vectorization-task API: returns the legacy per-loop (VF, IF)
+        records.  Use :meth:`decide_sites` for task-generic decisions.
+        """
+        self._require_vectorization("decide_kernel")
         loops = extract_loops(kernel.source, function_name=kernel.function_name)
         decisions: List[VectorizationDecision] = []
         for loop in loops:
@@ -216,7 +307,43 @@ class NeuroVectorizer:
             )
         return decisions
 
-    # -- end-to-end vectorization -----------------------------------------------------------
+    def _require_vectorization(self, method: str) -> None:
+        if self.task.name != "vectorization":
+            raise ValueError(
+                f"{method}() is the vectorization-task API but this framework "
+                f"runs task {self.task.name!r}; use optimize_kernel()/"
+                f"optimize_suite() instead"
+            )
+
+    # -- end-to-end optimization -----------------------------------------------------------
+
+    def optimize_kernel(self, kernel: LoopKernel) -> OptimizationResult:
+        """Decide every site, apply the task's transform, and measure.
+
+        The task-generic end-to-end path: works for every registered task
+        (for vectorization it injects pragmas, for Polly tiling it rewrites
+        the IR).  Both the baseline and the applied measurement go through
+        the run's reward cache, so with a disk-backed cache a repeat run
+        over the same kernels and decisions simulates nothing.
+        """
+        decisions = self.decide_sites(kernel)
+        baseline, _ = self.reward_cache.measure_baseline(self.pipeline, kernel)
+        application = self.task.apply(
+            self.pipeline, kernel, decisions, reward_cache=self.reward_cache
+        )
+        return OptimizationResult(
+            kernel_name=kernel.name,
+            task=self.task.name,
+            decisions=application.decisions,
+            cycles=application.result.cycles,
+            baseline_cycles=baseline.cycles,
+            compile_seconds=application.result.compile_seconds,
+            transformed_source=application.transformed_source,
+            description=application.description,
+        )
+
+    def optimize_suite(self, kernels: Sequence[LoopKernel]) -> List[OptimizationResult]:
+        return [self.optimize_kernel(kernel) for kernel in kernels]
 
     def vectorize_kernel(self, kernel: LoopKernel) -> VectorizationResult:
         """Decide factors, inject pragmas, compile and measure one kernel.
@@ -225,22 +352,20 @@ class NeuroVectorizer:
         (keyed by the effective source text), so with a disk-backed cache a
         repeat run over the same kernels compiles nothing at all.
         """
+        self._require_vectorization("vectorize_kernel")
         decisions = self.decide_kernel(kernel)
         factor_map = {d.loop_index: (d.vf, d.interleave) for d in decisions}
-        vectorized_source = inject_pragmas(
-            kernel.source, factor_map, function_name=kernel.function_name
-        )
         baseline, _ = self.reward_cache.measure_baseline(self.pipeline, kernel)
-        measured, _ = self.reward_cache.measure_pragmas(
-            self.pipeline, kernel, source=vectorized_source
+        application = self.task.apply(
+            self.pipeline, kernel, factor_map, reward_cache=self.reward_cache
         )
         return VectorizationResult(
             kernel_name=kernel.name,
             decisions=decisions,
-            vectorized_source=vectorized_source,
-            cycles=measured.cycles,
+            vectorized_source=application.transformed_source,
+            cycles=application.result.cycles,
             baseline_cycles=baseline.cycles,
-            compile_seconds=measured.compile_seconds,
+            compile_seconds=application.result.compile_seconds,
         )
 
     def vectorize_source(
@@ -287,9 +412,11 @@ class NeuroVectorizer:
     ) -> Tuple["NeuroVectorizer", TrainingArtifacts]:
         """Train the full stack: embedding pretraining, then PPO.
 
-        Returns the framework (with a :class:`PolicyAgent`) and the training
-        artifacts (loss/reward curves, pretraining metrics, the environment
-        samples) so callers can plot Figure-5-style curves.
+        ``config.task`` selects the optimization task being learned; any
+        registered task trains through the identical pipeline.  Returns the
+        framework (with a :class:`PolicyAgent`) and the training artifacts
+        (loss/reward curves, pretraining metrics, the environment samples)
+        so callers can plot Figure-5-style curves.
         """
         from repro.agents.policy_agent import PolicyAgent
         from repro.analysis.loopinfo import analyze_loop
@@ -299,15 +426,22 @@ class NeuroVectorizer:
         from repro.rl.ppo import PPOConfig, PPOTrainer
 
         config = config or TrainingConfig()
+        task = resolve_task(config.task)
         machine = machine or MachineDescription()
         pipeline = CompileAndMeasure(machine=machine)
 
         # Evaluation service: persistent store and/or worker pool per config.
         evaluation_service = None
+        compaction = None
         if config.cache_dir:
-            from repro.distributed.store import DiskBackedRewardCache
+            from repro.distributed.store import CompactionPolicy, DiskBackedRewardCache
 
             reward_cache: RewardCache = DiskBackedRewardCache.open(config.cache_dir)
+            compaction = CompactionPolicy(
+                enabled=config.compact_on_close,
+                min_segments=config.compact_min_segments,
+                min_total_bytes=config.compact_min_bytes,
+            )
         else:
             reward_cache = RewardCache()
         if config.workers > 0:
@@ -323,6 +457,8 @@ class NeuroVectorizer:
             embedding_model = build_embedding_model(train_kernels, config.embedding)
 
             # --- stage 1: self-supervised pretraining of the embedding -----------
+            # Task-agnostic: the embedding predicts loop properties, which
+            # is useful context whatever is decided per site.
             bags: List[List[PathContext]] = []
             labels = []
             for kernel in list(train_kernels)[: config.pretrain_samples]:
@@ -354,19 +490,21 @@ class NeuroVectorizer:
                 )
 
             # --- stage 2: PPO over the frozen embedding ---------------------------
-            samples = build_samples(train_kernels, embedding_model, pipeline)
+            samples = build_samples(train_kernels, embedding_model, pipeline, task=task)
             env = VectorizationEnv(
                 samples,
                 pipeline=pipeline,
                 seed=config.seed,
                 reward_cache=reward_cache,
                 evaluation_service=evaluation_service,
+                task=task,
             )
             policy = make_policy(
                 config.policy,
                 env.observation_dim,
                 hidden_sizes=config.hidden_sizes,
                 seed=config.seed,
+                space=task.action_space(config.policy),
             )
             ppo_config = PPOConfig(
                 learning_rate=config.learning_rate,
@@ -391,6 +529,8 @@ class NeuroVectorizer:
             machine,
             reward_cache,
             evaluation_service=evaluation_service,
+            task=task,
+            compaction=compaction,
         )
         artifacts = TrainingArtifacts(
             history=history, pretrain_result=pretrain_result, samples=samples

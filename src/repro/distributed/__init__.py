@@ -17,6 +17,7 @@ from repro.distributed.service import (
     ServiceStats,
 )
 from repro.distributed.store import (
+    CompactionPolicy,
     DiskBackedRewardCache,
     PersistentRewardStore,
     StoreStats,
@@ -27,6 +28,7 @@ __all__ = [
     "EvaluationFuture",
     "EvaluationService",
     "ServiceStats",
+    "CompactionPolicy",
     "DiskBackedRewardCache",
     "PersistentRewardStore",
     "StoreStats",

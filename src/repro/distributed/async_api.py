@@ -7,6 +7,10 @@ trainer submit one chunk's reward queries and immediately start acting on
 the next chunk while worker processes simulate the first — with a parallel
 :class:`EvaluationService` the two genuinely overlap; without one the API
 degrades to the plain synchronous path with identical results.
+
+Generic over the environment's optimization task: raw policy actions are
+decoded once, and the decoded task-action tuples travel through the service
+exactly as the serial path would send them.
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ class RewardFuture:
     def __init__(
         self,
         env: VectorizationEnv,
-        requests: Sequence[Tuple[EnvSample, int, int]],
+        requests: Sequence[Tuple[EnvSample, Tuple[int, ...]]],
         service_future=None,
         eager_results: Optional[List[Tuple[float, dict]]] = None,
     ):
@@ -50,15 +54,15 @@ class RewardFuture:
             return [
                 StepResult(
                     *self._env._reward_from_measurement(
-                        sample, vf, interleave, outcome.measurement, outcome.was_cached
+                        sample, action, outcome.measurement, outcome.was_cached
                     )
                 )
-                for (sample, vf, interleave), outcome in zip(self._requests, outcomes)
+                for (sample, action), outcome in zip(self._requests, outcomes)
             ]
         if self._eager_results is None:
             # No service at all: evaluate on first demand through the
             # environment's serial batched path.
-            self._eager_results = self._env.evaluate_factors_batch(self._requests)
+            self._eager_results = self._env.evaluate_actions_batch(self._requests)
         return [
             StepResult(reward=reward, info=info)
             for reward, info in self._eager_results
@@ -87,16 +91,17 @@ class AsyncEvaluator:
     def submit(self, pairs: Sequence[Tuple[EnvSample, object]]) -> RewardFuture:
         """Queue decoded ``(sample, raw_action)`` pairs for evaluation."""
         requests = [
-            (sample, *self.env.action_space.decode(action)) for sample, action in pairs
+            (sample, self.env.action_space.decode(action)) for sample, action in pairs
         ]
         self.env.total_steps += len(pairs)
         self.env._current = None
         if self.overlapping:
             service_future = self.service.submit(
                 [
-                    (sample.kernel, sample.loop_index, vf, interleave)
-                    for sample, vf, interleave in requests
-                ]
+                    (sample.kernel, sample.loop_index, action)
+                    for sample, action in requests
+                ],
+                task=self.env.task,
             )
             return RewardFuture(self.env, requests, service_future=service_future)
         return RewardFuture(self.env, requests)

@@ -29,6 +29,7 @@ from repro.cache.reward_cache import (
     EvaluationBatcher,
     RewardCache,
     RewardKey,
+    normalize_requests,
 )
 from repro.distributed.config import EvaluationServiceConfig
 from repro.distributed.worker import WorkRequest, kernel_payload, worker_main
@@ -36,9 +37,11 @@ from repro.distributed.worker import WorkRequest, kernel_payload, worker_main
 if TYPE_CHECKING:
     from repro.core.pipeline import CompileAndMeasure
     from repro.datasets.kernels import LoopKernel
+    from repro.tasks.base import OptimizationTask
 
-#: One reward query: (kernel, innermost-loop index, VF, IF).
-EvaluationRequest = Tuple["LoopKernel", int, int, int]
+#: One reward query: the generic (kernel, site index, action tuple) triple
+#: or the legacy (kernel, innermost-loop index, VF, IF) 4-tuple.
+EvaluationRequest = Tuple
 
 
 @dataclass
@@ -130,6 +133,8 @@ class EvaluationService:
         self._inboxes: List = []
         self._outbox = None
         self._shipped: List[set] = []
+        # Per worker: task name -> id() of the instance last shipped there.
+        self._shipped_tasks: List[Dict[str, int]] = []
         self._next_request_id = 0
         self._pending: Dict[int, RewardKey] = {}
         self._waiters: Dict[RewardKey, List[Tuple[EvaluationFuture, int]]] = {}
@@ -191,6 +196,7 @@ class EvaluationService:
             self._processes.append(process)
             self._inboxes.append(inbox)
             self._shipped.append(set())
+            self._shipped_tasks.append({})
 
     def close(self) -> None:
         """Stop all workers.  Safe to call more than once.
@@ -234,39 +240,56 @@ class EvaluationService:
 
     # -- submission --------------------------------------------------------
 
-    def evaluate(self, requests: Sequence[EvaluationRequest]) -> List[BatchOutcome]:
+    def evaluate(
+        self,
+        requests: Sequence[EvaluationRequest],
+        task: Optional["OptimizationTask"] = None,
+    ) -> List[BatchOutcome]:
         """Synchronous evaluation: ``submit(...)`` then wait."""
-        return self.submit(requests).result()
+        return self.submit(requests, task=task).result()
 
-    def submit(self, requests: Sequence[EvaluationRequest]) -> EvaluationFuture:
+    def submit(
+        self,
+        requests: Sequence[EvaluationRequest],
+        task: Optional["OptimizationTask"] = None,
+    ) -> EvaluationFuture:
         """Enqueue a batch of reward queries and return a future.
 
-        With workers the call returns immediately after dispatching the
-        unique misses; serially (``workers == 0``) the batch is evaluated
-        before returning and the future is already done.
+        ``task`` is the optimization task the actions belong to (the
+        vectorization default covers the legacy 4-tuple requests).  With
+        workers the call returns immediately after dispatching the unique
+        misses; serially (``workers == 0``) the batch is evaluated before
+        returning and the future is already done.
         """
         if self.workers > 0 and not self._processes:
             raise RuntimeError(
                 "evaluation service is closed; create a new one to submit"
             )
+        if task is None:
+            from repro.tasks import resolve_task
+
+            task = resolve_task(None)
         future = EvaluationFuture(self, len(requests))
         if self.workers == 0:
-            batcher = EvaluationBatcher(self.pipeline, self.cache)
-            for kernel, loop_index, vf, interleave in requests:
-                batcher.add(kernel, loop_index, vf, interleave)
+            batcher = EvaluationBatcher(self.pipeline, self.cache, task=task)
+            for kernel, site_index, action in normalize_requests(requests):
+                batcher.add_action(kernel, site_index, action)
             self.stats.serial_batches += 1
             self.stats.serial_requests += len(requests)
             for slot, outcome in enumerate(batcher.flush()):
                 future._fill(slot, outcome)
             return future
-        for slot, (kernel, loop_index, vf, interleave) in enumerate(requests):
+        for slot, (kernel, site_index, action) in enumerate(
+            normalize_requests(requests)
+        ):
+            action = task.cache_key(action)
             key = self.cache.key_for(
                 kernel,
                 self.pipeline.machine,
-                loop_index,
-                vf,
-                interleave,
+                site_index,
                 default_symbol_value=self.pipeline.default_symbol_value,
+                action=action,
+                task=task.name,
             )
             cached = self.cache.get(key)
             if cached is not None:
@@ -282,17 +305,33 @@ class EvaluationService:
                 waiters.append((future, slot))
                 continue
             self._waiters[key] = [(future, slot)]
-            self._dispatch(key, kernel, int(loop_index), int(vf), int(interleave))
+            self._dispatch(key, kernel, int(site_index), action, task)
         return future
 
     def _dispatch(
-        self, key: RewardKey, kernel: "LoopKernel", loop_index: int, vf: int, interleave: int
+        self,
+        key: RewardKey,
+        kernel: "LoopKernel",
+        site_index: int,
+        action: Tuple[int, ...],
+        task: "OptimizationTask",
     ) -> None:
         shard = int(key.kernel_hash[:8], 16) % self.workers
         payload = None
         if key.kernel_hash not in self._shipped[shard]:
             payload = kernel_payload(kernel)
             self._shipped[shard].add(key.kernel_hash)
+        # Ship the task object once per (worker, task name, instance):
+        # workers then hold the exact instance this process uses, so tasks
+        # registered only here (or configured differently from the registry
+        # default) still evaluate correctly in the shards.  Re-shipped when
+        # a *different* instance reuses the name, so a reconfigured task
+        # never evaluates under a stale predecessor.  (In-place mutation of
+        # a shipped task between submits is not detectable — don't.)
+        task_payload = None
+        if self._shipped_tasks[shard].get(task.name) != id(task):
+            task_payload = task
+            self._shipped_tasks[shard][task.name] = id(task)
         request_id = self._next_request_id
         self._next_request_id += 1
         self._pending[request_id] = key
@@ -301,7 +340,15 @@ class EvaluationService:
             self.stats.per_worker_dispatched.get(shard, 0) + 1
         )
         self._inboxes[shard].put(
-            WorkRequest(request_id, key.kernel_hash, payload, loop_index, vf, interleave)
+            WorkRequest(
+                request_id,
+                key.kernel_hash,
+                payload,
+                site_index,
+                action,
+                task.name,
+                task_payload,
+            )
         )
 
     # -- result collection -------------------------------------------------

@@ -32,11 +32,15 @@ from typing import Dict, List, Optional, Set
 from repro.cache.reward_cache import CachedMeasurement, RewardCache, RewardKey
 
 #: Bump when the record layout changes incompatibly.  Loaders skip segments
-#: whose header declares a *newer* major version; older versions are listed
-#: in ``_COMPATIBLE_VERSIONS`` with their upgrade rules (none needed yet).
+#: whose header declares any version not in ``_COMPATIBLE_VERSIONS`` —
+#: newer *or* older — so a stale store is detected and rebuilt rather than
+#: silently mis-hit.  Version 2 (the task redesign) replaced the fixed
+#: ``vf``/``interleave`` key columns with a task name plus a generic action
+#: tuple; version-1 segments written by pre-redesign builds carry keys that
+#: can no longer be attributed to a task and are skipped wholesale.
 SCHEMA_NAME = "repro-reward-store"
-SCHEMA_VERSION = 1
-_COMPATIBLE_VERSIONS = (1,)
+SCHEMA_VERSION = 2
+_COMPATIBLE_VERSIONS = (2,)
 
 
 @dataclass
@@ -66,8 +70,8 @@ def _encode_record(key: RewardKey, measurement: CachedMeasurement) -> str:
                 key.kernel_hash,
                 key.machine_hash,
                 key.loop_index,
-                key.vf,
-                key.interleave,
+                key.task,
+                list(key.action),
                 key.default_symbol_value,
             ],
             "cycles": measurement.cycles,
@@ -83,12 +87,14 @@ def _decode_record(line: str) -> Optional[tuple]:
     raw_key = record["key"]
     if not isinstance(raw_key, list) or len(raw_key) != 6:
         return None
+    if not isinstance(raw_key[4], list):
+        return None
     key = RewardKey(
         kernel_hash=str(raw_key[0]),
         machine_hash=str(raw_key[1]),
         loop_index=int(raw_key[2]),
-        vf=int(raw_key[3]),
-        interleave=int(raw_key[4]),
+        task=str(raw_key[3]),
+        action=tuple(int(value) for value in raw_key[4]),
         default_symbol_value=int(raw_key[5]),
     )
     measurement = CachedMeasurement(
@@ -96,6 +102,48 @@ def _decode_record(line: str) -> Optional[tuple]:
         compile_seconds=float(record["compile_seconds"]),
     )
     return key, measurement
+
+
+@dataclass
+class CompactionPolicy:
+    """When a run should compact its persistent store on close.
+
+    Long-lived cache directories accumulate one segment per writer process;
+    loading merges them all, so a heavily reused directory pays an
+    ever-growing startup cost and disk footprint for records that one
+    compacted segment could hold.  The policy triggers
+    :meth:`PersistentRewardStore.compact` from ``NeuroVectorizer.close()``
+    when the directory looks fragmented:
+
+    * ``min_segments`` — compact when at least this many segment files
+      exist (the count includes this run's own segment),
+    * ``min_total_bytes`` — additionally require the segments to total at
+      least this size (``None`` = size does not gate compaction).
+
+    Compaction is offline maintenance: enable it only when the cache
+    directory is private to the closing run (no concurrent writers).
+    """
+
+    enabled: bool = False
+    min_segments: int = 2
+    min_total_bytes: Optional[int] = None
+
+    def should_compact(self, store: "PersistentRewardStore") -> bool:
+        if not self.enabled:
+            return False
+        paths = store.segment_paths()
+        if len(paths) < max(self.min_segments, 1):
+            return False
+        if self.min_total_bytes is not None:
+            total = 0
+            for path in paths:
+                try:
+                    total += os.path.getsize(path)
+                except OSError:
+                    continue
+            if total < self.min_total_bytes:
+                return False
+        return True
 
 
 class PersistentRewardStore:

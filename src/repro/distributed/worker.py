@@ -11,13 +11,18 @@ Kernels travel as plain ``dict`` payloads (source text + bindings), not as
 ``spawn`` start methods and carry none of the kernel's lazily-built AST/IR
 caches across the process boundary.  A payload is shipped at most once per
 (worker, kernel) — later requests reference the content hash alone.
+
+Requests carry the owning :class:`repro.tasks.OptimizationTask` *name* and
+a generic action tuple; workers resolve the task from the registry and run
+``task.evaluate`` — the exact code path the serial batcher runs — so a
+sharded evaluation is byte-identical to a serial one for every task.
 """
 
 from __future__ import annotations
 
 import traceback
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.datasets.kernels import LoopKernel
 
@@ -50,15 +55,22 @@ class WorkRequest:
     """One reward query dispatched to a worker.
 
     ``payload`` is ``None`` when this worker has already been sent the
-    kernel with ``kernel_hash`` (the worker keeps them by hash).
+    kernel with ``kernel_hash`` (the worker keeps them by hash).  ``task``
+    names the optimization task whose ``evaluate`` interprets ``action``;
+    ``task_payload`` carries the pickled task *object* the first time a
+    worker sees that name, so tasks registered only in the parent process
+    (user-defined, never imported by ``repro.tasks``) still evaluate in
+    workers.  Later requests reference the name alone; the in-tree registry
+    is the fallback.
     """
 
     request_id: int
     kernel_hash: str
     payload: Optional[dict]
-    loop_index: int
-    vf: int
-    interleave: int
+    site_index: int
+    action: Tuple[int, ...]
+    task: str
+    task_payload: Optional[object] = None
 
 
 @dataclass
@@ -81,16 +93,19 @@ def worker_main(
 ) -> None:
     """Process entry point: evaluate requests until a ``None`` sentinel.
 
-    Importing the pipeline here (not at module import) keeps the service
-    importable even where the spawn start method re-imports this module
-    before the package's heavier dependencies are needed.
+    Importing the pipeline and task registry here (not at module import)
+    keeps the service importable even where the spawn start method
+    re-imports this module before the package's heavier dependencies are
+    needed.
     """
     from repro.core.pipeline import CompileAndMeasure
+    from repro.tasks import get_task
 
     pipeline = CompileAndMeasure(
         machine=machine, default_symbol_value=default_symbol_value
     )
     kernels: Dict[str, LoopKernel] = {}
+    tasks: Dict[str, object] = {}
     while True:
         request = inbox.get()
         if request is None:
@@ -99,8 +114,13 @@ def worker_main(
             if request.payload is not None:
                 kernels[request.kernel_hash] = kernel_from_payload(request.payload)
             kernel = kernels[request.kernel_hash]
-            result = pipeline.measure_with_factors(
-                kernel, {request.loop_index: (request.vf, request.interleave)}
+            if request.task_payload is not None:
+                tasks[request.task] = request.task_payload
+            task = tasks.get(request.task)
+            if task is None:
+                task = tasks[request.task] = get_task(request.task)
+            result = task.evaluate(
+                pipeline, kernel, request.site_index, tuple(request.action)
             )
             outbox.put(
                 WorkResult(

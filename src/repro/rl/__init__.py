@@ -22,6 +22,7 @@ from repro.rl.spaces import (
     ContinuousPairSpace,
     DiscreteFactorSpace,
     default_action_space,
+    make_action_space,
 )
 from repro.rl.env import EnvSample, VectorizationEnv, build_samples
 from repro.rl.policy import ContinuousPolicy, DiscretePolicy, Policy
@@ -34,6 +35,7 @@ __all__ = [
     "ContinuousJointSpace",
     "ContinuousPairSpace",
     "default_action_space",
+    "make_action_space",
     "EnvSample",
     "VectorizationEnv",
     "build_samples",

@@ -1,4 +1,11 @@
-"""The vectorization environment: a contextual bandit over loop embeddings."""
+"""The optimization environment: a contextual bandit over site embeddings.
+
+Generic over an :class:`repro.tasks.OptimizationTask`: the task defines the
+decision sites of each kernel, the action menus, and how a chosen action is
+measured.  The default task reproduces the paper's per-loop (VF, IF)
+vectorization decision; ``VectorizationEnv`` keeps its name (and its legacy
+``evaluate_factors`` API) as the compatibility surface.
+"""
 
 from __future__ import annotations
 
@@ -13,18 +20,17 @@ from repro.cache.reward_cache import (
     evaluate_requests,
     resolve_cache,
 )
-from repro.core.loop_extractor import ExtractedLoop, extract_loops
-from repro.core.pipeline import CompilationResult, CompileAndMeasure
+from repro.core.loop_extractor import ExtractedLoop
+from repro.core.pipeline import CompileAndMeasure
 from repro.datasets.kernels import LoopKernel
-from repro.embedding.ast_paths import extract_path_contexts
 from repro.embedding.code2vec import Code2VecModel
-from repro.embedding.vocab import normalize_identifiers
-from repro.rl.spaces import ActionSpace, default_action_space
+from repro.rl.spaces import ActionSpace
+from repro.tasks import DecisionSite, OptimizationTask, resolve_task
 
 
 @dataclass
 class EnvSample:
-    """One training sample: a specific innermost loop of a specific kernel."""
+    """One training sample: a specific decision site of a specific kernel."""
 
     kernel: LoopKernel
     loop_index: int
@@ -32,6 +38,7 @@ class EnvSample:
     baseline_cycles: float
     baseline_compile_seconds: float
     extracted: Optional[ExtractedLoop] = None
+    site: Optional[DecisionSite] = None
 
 
 def build_samples(
@@ -39,34 +46,36 @@ def build_samples(
     embedding_model: Code2VecModel,
     pipeline: Optional[CompileAndMeasure] = None,
     max_contexts: int = 200,
+    task: Optional[OptimizationTask] = None,
 ) -> List[EnvSample]:
-    """Embed every innermost loop of every kernel and record its baseline.
+    """Embed every decision site of every kernel and record its baseline.
 
-    Kernels whose loops cannot be extracted or measured are skipped (the
+    Kernels whose sites cannot be extracted or measured are skipped (the
     paper likewise drops programs that fail to compile).
     """
     pipeline = pipeline or CompileAndMeasure()
+    task = resolve_task(task)
     samples: List[EnvSample] = []
     for kernel in kernels:
         try:
-            loops = extract_loops(kernel.source, function_name=kernel.function_name)
+            sites = task.decision_sites(kernel)
             baseline = pipeline.measure_baseline(kernel)
         except Exception:
             continue
-        for loop in loops:
-            rename_map = normalize_identifiers(loop.nest_root)
-            contexts = extract_path_contexts(
-                loop.nest_root, max_contexts=max_contexts, rename_map=rename_map
+        for site in sites:
+            observation = task.observation_features(
+                site, embedding_model, max_contexts=max_contexts
             )
-            observation = embedding_model.embed(contexts)
+            extracted = site.payload if isinstance(site.payload, ExtractedLoop) else None
             samples.append(
                 EnvSample(
                     kernel=kernel,
-                    loop_index=loop.loop_index,
+                    loop_index=site.index,
                     observation=observation,
                     baseline_cycles=baseline.cycles,
                     baseline_compile_seconds=baseline.compile_seconds,
-                    extracted=loop,
+                    extracted=extracted,
+                    site=site,
                 )
             )
     return samples
@@ -81,12 +90,13 @@ class StepResult:
 
 
 class VectorizationEnv:
-    """Contextual-bandit environment over a set of loop samples.
+    """Contextual-bandit environment over a set of decision-site samples.
 
-    ``reset`` returns the embedding of the next loop; ``step`` takes the
-    agent's raw action, decodes it to (VF, IF) through the configured action
-    space, compiles the kernel with those factors for the chosen loop (other
-    loops stay at the baseline's decision), and returns the reward
+    ``reset`` returns the embedding of the next site; ``step`` takes the
+    agent's raw action, decodes it through the configured action space to
+    the task's concrete action tuple, measures the kernel with that action
+    applied to the chosen site (other sites stay at the compiler default),
+    and returns the reward
 
         reward = (t_baseline - t_agent) / t_baseline                  (Eq. 2)
 
@@ -106,12 +116,14 @@ class VectorizationEnv:
         seed: int = 0,
         reward_cache: Optional[RewardCache] = None,
         evaluation_service=None,
+        task: Optional[OptimizationTask] = None,
     ):
         if not samples:
             raise ValueError("the environment needs at least one sample")
         self.samples = list(samples)
         self.pipeline = pipeline or CompileAndMeasure()
-        self.action_space = action_space or default_action_space()
+        self.task = resolve_task(task)
+        self.action_space = action_space or self.task.action_space("discrete")
         self.compile_time_limit = compile_time_limit
         self.compile_time_penalty = compile_time_penalty
         self.shuffle = shuffle
@@ -147,38 +159,45 @@ class VectorizationEnv:
 
     def step(self, action) -> StepResult:
         sample = self.current_sample()
-        vf, interleave = self.action_space.decode(action)
-        reward, info = self.evaluate_factors(sample, vf, interleave)
+        decoded = self.action_space.decode(action)
+        reward, info = self.evaluate_action(sample, decoded)
         self.total_steps += 1
         self._current = None
         return StepResult(reward=reward, info=info)
 
     # -- reward computation --------------------------------------------------------------
 
+    def evaluate_action(
+        self, sample: EnvSample, action: Tuple[int, ...]
+    ) -> Tuple[float, Dict[str, float]]:
+        """Reward for applying ``action`` to one sample's site (cached)."""
+        action = self.task.cache_key(action)
+        measurement, was_cached = self.reward_cache.measure_action(
+            self.pipeline, self.task, sample.kernel, sample.loop_index, action
+        )
+        return self._reward_from_measurement(sample, action, measurement, was_cached)
+
     def evaluate_factors(
         self, sample: EnvSample, vf: int, interleave: int
     ) -> Tuple[float, Dict[str, float]]:
-        """Reward for choosing (vf, interleave) on one sample (cached)."""
-        measurement, was_cached = self.reward_cache.measure(
-            self.pipeline, sample.kernel, sample.loop_index, vf, interleave
-        )
-        return self._reward_from_measurement(sample, vf, interleave, measurement, was_cached)
+        """Legacy (VF, IF) shorthand for :meth:`evaluate_action`."""
+        return self.evaluate_action(sample, (int(vf), int(interleave)))
 
     def _reward_from_measurement(
         self,
         sample: EnvSample,
-        vf: int,
-        interleave: int,
+        action: Tuple[int, ...],
         measurement: CachedMeasurement,
         was_cached: bool,
     ) -> Tuple[float, Dict[str, float]]:
-        info: Dict[str, float] = {
-            "vf": float(vf),
-            "interleave": float(interleave),
-            "cycles": measurement.cycles,
-            "baseline_cycles": sample.baseline_cycles,
-            "compile_seconds": measurement.compile_seconds,
-        }
+        info: Dict[str, float] = dict(self.task.info_dict(action))
+        info.update(
+            {
+                "cycles": measurement.cycles,
+                "baseline_cycles": sample.baseline_cycles,
+                "compile_seconds": measurement.compile_seconds,
+            }
+        )
         if was_cached:
             info["cached"] = 1.0
         if (
@@ -196,40 +215,54 @@ class VectorizationEnv:
 
     # -- batched evaluation ----------------------------------------------------------
 
-    def evaluate_factors_batch(
-        self, requests: Sequence[Tuple[EnvSample, int, int]]
+    def evaluate_actions_batch(
+        self, requests: Sequence[Tuple[EnvSample, Tuple[int, ...]]]
     ) -> List[Tuple[float, Dict[str, float]]]:
-        """Evaluate many explicit ``(sample, vf, interleave)`` requests at once.
+        """Evaluate many explicit ``(sample, action)`` requests at once.
 
         Requests are deduplicated against each other and the reward cache, so
-        repeated pairs cost one pipeline evaluation total.  Results come back
-        in request order.  With an attached evaluation service the unique
-        misses are evaluated by its worker shards instead of in-process.
+        repeated actions cost one pipeline evaluation total.  Results come
+        back in request order.  With an attached evaluation service the
+        unique misses are evaluated by its worker shards instead of
+        in-process.
         """
+        normalized = [
+            (sample, self.task.cache_key(action)) for sample, action in requests
+        ]
         outcomes = evaluate_requests(
             self.pipeline,
             self.reward_cache,
             [
-                (sample.kernel, sample.loop_index, vf, interleave)
-                for sample, vf, interleave in requests
+                (sample.kernel, sample.loop_index, action)
+                for sample, action in normalized
             ],
             service=self.evaluation_service,
+            task=self.task,
         )
         return [
             self._reward_from_measurement(
-                sample, vf, interleave, outcome.measurement, outcome.was_cached
+                sample, action, outcome.measurement, outcome.was_cached
             )
-            for (sample, vf, interleave), outcome in zip(requests, outcomes)
+            for (sample, action), outcome in zip(normalized, outcomes)
         ]
+
+    def evaluate_factors_batch(
+        self, requests: Sequence[Tuple[EnvSample, int, int]]
+    ) -> List[Tuple[float, Dict[str, float]]]:
+        """Legacy ``(sample, vf, interleave)`` shorthand for
+        :meth:`evaluate_actions_batch`."""
+        return self.evaluate_actions_batch(
+            [(sample, (int(vf), int(interleave))) for sample, vf, interleave in requests]
+        )
 
     def evaluate_batch(
         self, pairs: Sequence[Tuple[EnvSample, object]]
     ) -> List[StepResult]:
         """Batched :meth:`step`: decode raw actions, dedup, evaluate in one pass."""
         requests = [
-            (sample, *self.action_space.decode(action)) for sample, action in pairs
+            (sample, self.action_space.decode(action)) for sample, action in pairs
         ]
-        results = self.evaluate_factors_batch(requests)
+        results = self.evaluate_actions_batch(requests)
         self.total_steps += len(pairs)
         self._current = None
         return [StepResult(reward=reward, info=info) for reward, info in results]
@@ -241,6 +274,5 @@ class VectorizationEnv:
         requests = []
         for sample in self.samples:
             action = policy.act(sample.observation, deterministic=True).action
-            vf, interleave = self.action_space.decode(action)
-            requests.append((sample, vf, interleave))
-        return [reward for reward, _ in self.evaluate_factors_batch(requests)]
+            requests.append((sample, self.action_space.decode(action)))
+        return [reward for reward, _ in self.evaluate_actions_batch(requests)]

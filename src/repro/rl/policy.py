@@ -1,14 +1,19 @@
-"""Policy networks (tanh MLPs with categorical or Gaussian heads)."""
+"""Policy networks (tanh MLPs with categorical or Gaussian heads).
+
+Generic over the action space's menus: the discrete policy grows one
+categorical head per decision dimension, the continuous policies one
+Gaussian dimension per real value.  With the default (VF, IF) space this
+reproduces the paper's architectures exactly.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn import ops
-from repro.nn.initializers import zeros_init
 from repro.nn.layers import Dense, MLP, Module, Parameter
 from repro.nn.losses import (
     categorical_entropy,
@@ -17,7 +22,12 @@ from repro.nn.losses import (
     gaussian_log_prob,
 )
 from repro.nn.tensor import Tensor, no_grad
-from repro.rl.spaces import ContinuousJointSpace, ContinuousPairSpace, DiscreteFactorSpace
+from repro.rl.spaces import (
+    ActionSpace,
+    ContinuousJointSpace,
+    ContinuousPairSpace,
+    DiscreteFactorSpace,
+)
 
 
 @dataclass
@@ -43,10 +53,11 @@ class Policy(Module):
 
 
 class DiscretePolicy(Policy):
-    """Two categorical heads (VF index, IF index) plus a value head.
+    """One categorical head per decision dimension plus a value head.
 
     This is action-space definition 1 of Figure 6, the one the paper finds
-    performs best.  Default hidden sizes are the paper's 64x64 FCNN.
+    performs best: for the (VF, IF) default it is two heads over 7 and 5
+    classes.  Default hidden sizes are the paper's 64x64 FCNN.
     """
 
     def __init__(
@@ -58,60 +69,76 @@ class DiscretePolicy(Policy):
     ):
         self.space = space or DiscreteFactorSpace()
         self.observation_dim = observation_dim
-        vf_classes, if_classes = self.space.sizes
         rng = np.random.default_rng(seed)
         self.trunk = MLP(observation_dim, hidden_sizes, hidden_sizes[-1],
                          activation="tanh", output_activation="tanh", rng=rng)
-        self.vf_head = Dense(hidden_sizes[-1], vf_classes, rng=rng, weight_scale=0.01)
-        self.if_head = Dense(hidden_sizes[-1], if_classes, rng=rng, weight_scale=0.01)
+        self.heads = [
+            Dense(hidden_sizes[-1], classes, rng=rng, weight_scale=0.01)
+            for classes in self.space.sizes
+        ]
         self.value_head = Dense(hidden_sizes[-1], 1, rng=rng, weight_scale=0.01)
         self.rng = np.random.default_rng(seed + 1)
 
+    @property
+    def vf_head(self) -> Dense:
+        """Legacy alias for the first categorical head."""
+        return self.heads[0]
+
+    @property
+    def if_head(self) -> Dense:
+        """Legacy alias for the second categorical head."""
+        return self.heads[1]
+
     # -- forward -----------------------------------------------------------------
 
-    def _heads(self, observations: Tensor) -> Tuple[Tensor, Tensor, Tensor]:
+    def _heads(self, observations: Tensor) -> Tuple[List[Tensor], Tensor]:
         hidden = self.trunk(observations)
-        return self.vf_head(hidden), self.if_head(hidden), self.value_head(hidden)
+        return [head(hidden) for head in self.heads], self.value_head(hidden)
 
     def act(self, observation: np.ndarray, deterministic: bool = False) -> PolicyOutput:
         with no_grad():
             batch = Tensor(observation.reshape(1, -1))
-            vf_logits, if_logits, value = self._heads(batch)
-            vf_probs = _softmax(vf_logits.numpy()[0])
-            if_probs = _softmax(if_logits.numpy()[0])
-            if deterministic:
-                vf_index = int(np.argmax(vf_probs))
-                if_index = int(np.argmax(if_probs))
-            else:
-                vf_index = int(self.rng.choice(len(vf_probs), p=vf_probs))
-                if_index = int(self.rng.choice(len(if_probs), p=if_probs))
-            log_prob = float(
-                np.log(vf_probs[vf_index] + 1e-12) + np.log(if_probs[if_index] + 1e-12)
-            )
+            logits, value = self._heads(batch)
+            indices: List[int] = []
+            log_prob = 0.0
+            for head_logits in logits:
+                probs = _softmax(head_logits.numpy()[0])
+                if deterministic:
+                    index = int(np.argmax(probs))
+                else:
+                    index = int(self.rng.choice(len(probs), p=probs))
+                indices.append(index)
+                log_prob += float(np.log(probs[index] + 1e-12))
             return PolicyOutput(
-                action=np.array([vf_index, if_index]),
+                action=np.array(indices),
                 log_prob=log_prob,
                 value=float(value.numpy()[0, 0]),
             )
 
     def evaluate(self, observations: np.ndarray, actions: np.ndarray):
         batch = Tensor(observations)
-        vf_logits, if_logits, values = self._heads(batch)
-        vf_actions = actions[:, 0].astype(np.int64)
-        if_actions = actions[:, 1].astype(np.int64)
-        log_probs = ops.add(
-            categorical_log_prob(vf_logits, vf_actions),
-            categorical_log_prob(if_logits, if_actions),
-        )
-        entropy = ops.add(categorical_entropy(vf_logits), categorical_entropy(if_logits))
+        logits, values = self._heads(batch)
+        log_probs = None
+        entropy = None
+        for dimension, head_logits in enumerate(logits):
+            dim_actions = actions[:, dimension].astype(np.int64)
+            dim_log_probs = categorical_log_prob(head_logits, dim_actions)
+            dim_entropy = categorical_entropy(head_logits)
+            log_probs = (
+                dim_log_probs if log_probs is None else ops.add(log_probs, dim_log_probs)
+            )
+            entropy = (
+                dim_entropy if entropy is None else ops.add(entropy, dim_entropy)
+            )
         return log_probs, entropy, ops.reshape(values, (-1,))
 
 
 class ContinuousPolicy(Policy):
-    """Gaussian policy over 1 or 2 continuous action values in [0, 1].
+    """Gaussian policy over N continuous action values in [0, 1].
 
-    These are action-space definitions 2 and 3 of Figure 6; the environment
-    rounds the sampled values to the nearest valid factors.
+    These are action-space definitions 2 and 3 of Figure 6 (one value for
+    the whole action grid, or one per dimension); the environment rounds the
+    sampled values to the nearest valid factors.
     """
 
     def __init__(
@@ -121,14 +148,18 @@ class ContinuousPolicy(Policy):
         hidden_sizes: Sequence[int] = (64, 64),
         seed: int = 0,
         initial_log_std: float = -0.5,
+        space: Optional[ActionSpace] = None,
     ):
-        if action_dims not in (1, 2):
-            raise ValueError("continuous policies use 1 or 2 action dimensions")
+        if action_dims < 1:
+            raise ValueError("continuous policies need at least 1 action dimension")
         self.observation_dim = observation_dim
         self.action_dims = action_dims
-        self.space = (
-            ContinuousJointSpace() if action_dims == 1 else ContinuousPairSpace()
-        )
+        if space is not None:
+            self.space = space
+        else:
+            self.space = (
+                ContinuousJointSpace() if action_dims == 1 else ContinuousPairSpace()
+            )
         rng = np.random.default_rng(seed)
         self.trunk = MLP(observation_dim, hidden_sizes, hidden_sizes[-1],
                          activation="tanh", output_activation="tanh", rng=rng)
@@ -190,14 +221,28 @@ def make_policy(
     observation_dim: int,
     hidden_sizes: Sequence[int] = (64, 64),
     seed: int = 0,
+    space: Optional[ActionSpace] = None,
 ) -> Policy:
-    """Factory for the three action-space variants of Figure 6."""
+    """Factory for the three action-space variants of Figure 6.
+
+    ``space`` carries a task's own menus into the policy; without it the
+    paper's (VF, IF) defaults are used.
+    """
     if kind == "discrete":
-        return DiscretePolicy(observation_dim, hidden_sizes=hidden_sizes, seed=seed)
+        if space is not None and not isinstance(space, DiscreteFactorSpace):
+            raise ValueError("discrete policies need a DiscreteFactorSpace")
+        return DiscretePolicy(
+            observation_dim, space=space, hidden_sizes=hidden_sizes, seed=seed
+        )
     if kind == "continuous1":
+        if space is not None and not isinstance(space, ContinuousJointSpace):
+            raise ValueError("continuous1 policies need a ContinuousJointSpace")
         return ContinuousPolicy(observation_dim, action_dims=1,
-                                hidden_sizes=hidden_sizes, seed=seed)
+                                hidden_sizes=hidden_sizes, seed=seed, space=space)
     if kind == "continuous2":
-        return ContinuousPolicy(observation_dim, action_dims=2,
-                                hidden_sizes=hidden_sizes, seed=seed)
+        if space is not None and not isinstance(space, ContinuousPairSpace):
+            raise ValueError("continuous2 policies need a ContinuousPairSpace")
+        dims = space.dims if space is not None else 2
+        return ContinuousPolicy(observation_dim, action_dims=dims,
+                                hidden_sizes=hidden_sizes, seed=seed, space=space)
     raise ValueError(f"unknown policy kind {kind!r}")

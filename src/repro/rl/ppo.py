@@ -1,4 +1,10 @@
-"""Proximal Policy Optimization for the vectorization contextual bandit."""
+"""Proximal Policy Optimization for the per-site contextual bandit.
+
+Task-generic: actions flow through the policy's action space (built from
+the task's menus) and rewards through the environment's task-aware cache
+path, so the identical trainer optimizes vectorization factors, Polly
+tile/fusion choices, or any other registered task.
+"""
 
 from __future__ import annotations
 

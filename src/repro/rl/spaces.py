@@ -1,18 +1,34 @@
-"""Action-space encodings for the (VF, IF) decision.
+"""Action-space encodings over task-defined factor menus.
 
-Figure 6 of the paper compares three encodings:
+Figure 6 of the paper compares three encodings for the (VF, IF) decision:
 
-1. **discrete** — the agent picks two integers indexing arrays of possible
-   VFs and IFs (this performed best),
-2. **continuous, one value** — a single real number encodes both factors,
-3. **continuous, two values** — one real number per factor, rounded to the
+1. **discrete** — the agent picks one integer per factor, indexing arrays of
+   possible values (this performed best),
+2. **continuous, one value** — a single real number encodes the whole factor
+   tuple,
+3. **continuous, N values** — one real number per factor, rounded to the
    nearest valid index.
+
+Since the task redesign the spaces are generic over *menus*: an ordered
+tuple of factor menus, one per decision dimension.  The defaults reproduce
+the paper's (VF, IF) pair; an :class:`repro.tasks.OptimizationTask` supplies
+its own menus (e.g. tile sizes x fusion flags for Polly tiling) and gets the
+same three encodings for free.
+
+**Rounding ties.**  Both continuous encodings round a real number to a menu
+index, and :meth:`ActionSpace.encode` rounds a factor value to the nearest
+menu entry.  At exact midpoints (the 1/2, 2/4, ... boundaries) the tie-break
+is pinned: round toward the *smaller* factor.  ``_round_half_down`` makes
+decode ties explicit (``round`` would banker's-round half the boundaries
+up), and ``_nearest_index`` keeps the first — for the ascending menus used
+everywhere, smaller — value on equidistant targets.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+import math
+from itertools import product
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,27 +37,122 @@ DEFAULT_VF_VALUES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
 DEFAULT_IF_VALUES: Tuple[int, ...] = (1, 2, 4, 8, 16)
 
 
-@dataclass
-class ActionSpace:
-    """Base class: maps raw policy outputs to concrete (VF, IF) factors."""
+def _round_half_down(value: float) -> int:
+    """Round to the nearest integer; exact .5 midpoints round *down*.
 
-    vf_values: Tuple[int, ...] = DEFAULT_VF_VALUES
-    if_values: Tuple[int, ...] = DEFAULT_IF_VALUES
+    This is the pinned tie-break for continuous action decoding: a policy
+    output landing exactly between two menu indices resolves to the smaller
+    factor, deterministically, on every platform.
+    """
+    return int(math.ceil(value - 0.5))
+
+
+class ActionSpace:
+    """Base class: maps raw policy outputs to a tuple of concrete factors.
+
+    ``menus`` is one tuple of legal values per decision dimension, in
+    decision order.  The default two menus are the paper's VF and IF lists;
+    the legacy ``vf_values=`` / ``if_values=`` keyword arguments keep
+    constructing exactly that two-dimensional space.
+    """
+
+    def __init__(
+        self,
+        menus: Optional[Sequence[Sequence[int]]] = None,
+        vf_values: Optional[Sequence[int]] = None,
+        if_values: Optional[Sequence[int]] = None,
+    ):
+        if menus is None:
+            menus = (
+                tuple(vf_values) if vf_values is not None else DEFAULT_VF_VALUES,
+                tuple(if_values) if if_values is not None else DEFAULT_IF_VALUES,
+            )
+        elif vf_values is not None or if_values is not None:
+            raise ValueError("pass either menus or vf_values/if_values, not both")
+        self.menus: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(int(value) for value in menu) for menu in menus
+        )
+        if not self.menus or any(not menu for menu in self.menus):
+            raise ValueError("every action dimension needs a non-empty menu")
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        return len(self.menus)
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        return tuple(len(menu) for menu in self.menus)
+
+    @property
+    def vf_values(self) -> Tuple[int, ...]:
+        """Legacy alias for the first menu (the VF list of the paper)."""
+        return self.menus[0]
+
+    @property
+    def if_values(self) -> Tuple[int, ...]:
+        """Legacy alias for the second menu (the IF list of the paper)."""
+        return self.menus[1]
+
+    @property
+    def num_actions(self) -> int:
+        total = 1
+        for menu in self.menus:
+            total *= len(menu)
+        return total
 
     @property
     def num_factor_pairs(self) -> int:
-        return len(self.vf_values) * len(self.if_values)
+        """Legacy alias for :attr:`num_actions`."""
+        return self.num_actions
 
-    def decode(self, action) -> Tuple[int, int]:  # pragma: no cover - abstract
+    def all_actions(self) -> List[Tuple[int, ...]]:
+        """Every concrete action tuple, first menu varying slowest."""
+        return list(product(*self.menus))
+
+    def all_factors(self) -> List[Tuple[int, ...]]:
+        """Legacy alias for :meth:`all_actions`."""
+        return self.all_actions()
+
+    # -- codec --------------------------------------------------------------
+
+    def decode(self, action) -> Tuple[int, ...]:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def encode(self, vf: int, interleave: int):  # pragma: no cover - abstract
+    def encode(self, *values):  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def all_factors(self) -> List[Tuple[int, int]]:
-        return [(vf, il) for vf in self.vf_values for il in self.if_values]
+    def flatten_action(self, *values) -> int:
+        """Mixed-radix index of the action nearest to ``values``.
+
+        The index enumerates :meth:`all_actions` order (first menu varying
+        slowest); each component rounds to its menu with the pinned
+        :meth:`_nearest_index` tie-break.
+        """
+        values = _flatten_values(values, self.dims)
+        flat_index = 0
+        for menu, value in zip(self.menus, values):
+            flat_index = flat_index * len(menu) + self._nearest_index(menu, value)
+        return flat_index
+
+    def unflatten_action(self, flat_index: int) -> Tuple[int, ...]:
+        """The concrete action tuple at one :meth:`all_actions` index."""
+        flat_index = int(np.clip(int(flat_index), 0, self.num_actions - 1))
+        indices = []
+        for menu in reversed(self.menus):
+            flat_index, index = divmod(flat_index, len(menu))
+            indices.append(index)
+        indices.reverse()
+        return tuple(menu[index] for menu, index in zip(self.menus, indices))
 
     def _nearest_index(self, values: Sequence[int], target: int) -> int:
+        """Index of the menu entry closest to ``target``.
+
+        Tie-break (pinned): on an exactly equidistant target the *first*
+        match wins, which for the ascending menus used throughout means the
+        smaller factor (encode(3, ...) maps to VF 2, not VF 4).
+        """
         best_index, best_distance = 0, float("inf")
         for index, value in enumerate(values):
             distance = abs(value - target)
@@ -50,66 +161,95 @@ class ActionSpace:
         return best_index
 
 
-@dataclass
 class DiscreteFactorSpace(ActionSpace):
-    """Two categorical choices: an index into the VF menu and the IF menu."""
+    """One categorical choice per decision dimension (an index per menu)."""
 
-    @property
-    def sizes(self) -> Tuple[int, int]:
-        return (len(self.vf_values), len(self.if_values))
+    def decode(self, action) -> Tuple[int, ...]:
+        raw = np.asarray(action).reshape(-1)
+        factors = []
+        for dimension, menu in enumerate(self.menus):
+            index = int(raw[min(dimension, raw.size - 1)])
+            index = int(np.clip(index, 0, len(menu) - 1))
+            factors.append(menu[index])
+        return tuple(factors)
 
-    def decode(self, action) -> Tuple[int, int]:
-        vf_index, if_index = int(action[0]), int(action[1])
-        vf_index = int(np.clip(vf_index, 0, len(self.vf_values) - 1))
-        if_index = int(np.clip(if_index, 0, len(self.if_values) - 1))
-        return self.vf_values[vf_index], self.if_values[if_index]
-
-    def encode(self, vf: int, interleave: int) -> Tuple[int, int]:
-        return (
-            self._nearest_index(self.vf_values, vf),
-            self._nearest_index(self.if_values, interleave),
+    def encode(self, *values) -> Tuple[int, ...]:
+        values = _flatten_values(values, self.dims)
+        return tuple(
+            self._nearest_index(menu, value) for menu, value in zip(self.menus, values)
         )
 
 
-@dataclass
 class ContinuousJointSpace(ActionSpace):
-    """A single real number in [0, 1] encoding the flattened (VF, IF) grid."""
+    """A single real number in [0, 1] encoding the flattened action grid."""
 
-    def decode(self, action) -> Tuple[int, int]:
+    def decode(self, action) -> Tuple[int, ...]:
         value = float(np.asarray(action).reshape(-1)[0])
         value = float(np.clip(value, 0.0, 1.0))
-        flat_index = int(round(value * (self.num_factor_pairs - 1)))
-        vf_index, if_index = divmod(flat_index, len(self.if_values))
-        return self.vf_values[vf_index], self.if_values[if_index]
+        return self.unflatten_action(
+            _round_half_down(value * max(self.num_actions - 1, 1))
+        )
 
-    def encode(self, vf: int, interleave: int) -> np.ndarray:
-        vf_index = self._nearest_index(self.vf_values, vf)
-        if_index = self._nearest_index(self.if_values, interleave)
-        flat_index = vf_index * len(self.if_values) + if_index
-        return np.array([flat_index / (self.num_factor_pairs - 1)])
+    def encode(self, *values) -> np.ndarray:
+        return np.array(
+            [self.flatten_action(*values) / max(self.num_actions - 1, 1)]
+        )
 
 
-@dataclass
 class ContinuousPairSpace(ActionSpace):
-    """Two real numbers in [0, 1], one per factor, rounded to the menus."""
+    """One real number in [0, 1] per dimension, rounded to the menus."""
 
-    def decode(self, action) -> Tuple[int, int]:
+    def decode(self, action) -> Tuple[int, ...]:
         values = np.clip(np.asarray(action, dtype=np.float64).reshape(-1), 0.0, 1.0)
-        vf_index = int(round(float(values[0]) * (len(self.vf_values) - 1)))
-        if_index = int(round(float(values[-1]) * (len(self.if_values) - 1)))
-        return self.vf_values[vf_index], self.if_values[if_index]
+        factors = []
+        for dimension, menu in enumerate(self.menus):
+            raw = float(values[min(dimension, values.size - 1)])
+            index = _round_half_down(raw * (len(menu) - 1))
+            factors.append(menu[index])
+        return tuple(factors)
 
-    def encode(self, vf: int, interleave: int) -> np.ndarray:
-        vf_index = self._nearest_index(self.vf_values, vf)
-        if_index = self._nearest_index(self.if_values, interleave)
+    def encode(self, *values) -> np.ndarray:
+        values = _flatten_values(values, self.dims)
         return np.array(
             [
-                vf_index / (len(self.vf_values) - 1),
-                if_index / (len(self.if_values) - 1),
+                self._nearest_index(menu, value) / max(len(menu) - 1, 1)
+                for menu, value in zip(self.menus, values)
             ]
         )
 
 
+def _flatten_values(values: Tuple, dims: int) -> Tuple[int, ...]:
+    """Accept ``encode(vf, interleave)`` or ``encode((vf, interleave))``."""
+    if len(values) == 1 and isinstance(values[0], (tuple, list)):
+        values = tuple(values[0])
+    if len(values) != dims:
+        raise ValueError(
+            f"expected {dims} factor value(s) to encode, got {len(values)}"
+        )
+    return tuple(int(value) for value in values)
+
+
+_SPACE_KINDS = {
+    "discrete": DiscreteFactorSpace,
+    "continuous1": ContinuousJointSpace,
+    "continuous2": ContinuousPairSpace,
+}
+
+
+def make_action_space(
+    kind: str, menus: Optional[Sequence[Sequence[int]]] = None
+) -> ActionSpace:
+    """Build one of the three Figure-6 encodings over the given menus."""
+    try:
+        space_class = _SPACE_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown action-space kind {kind!r}; expected one of "
+            f"{sorted(_SPACE_KINDS)}"
+        ) from None
+    return space_class(menus=menus)
+
+
 def default_action_space() -> DiscreteFactorSpace:
-    """The discrete encoding the paper settles on."""
+    """The discrete (VF, IF) encoding the paper settles on."""
     return DiscreteFactorSpace()

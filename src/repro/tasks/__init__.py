@@ -1,0 +1,54 @@
+"""Pluggable optimization tasks: what decision the RL pipeline is making.
+
+The decision layer (environment, agents, reward cache, distributed workers)
+is generic over an :class:`OptimizationTask`; two tasks ship in-tree:
+
+* ``"vectorization"`` — the paper's per-loop (VF, IF) pragma decision
+  (:class:`VectorizationTask`, the default everywhere),
+* ``"polly-tiling"`` — per-nest polyhedral tile-size/fusion decisions
+  driving :mod:`repro.polly` (:class:`PollyTilingTask`).
+
+Add a task by subclassing :class:`OptimizationTask` and registering a
+factory::
+
+    from repro.tasks import OptimizationTask, register_task
+
+    class UnrollTask(OptimizationTask):
+        name = "unroll"
+        ...
+
+    register_task("unroll", UnrollTask)
+
+after which ``TrainingConfig(task="unroll")``, ``--task unroll`` and the
+distributed workers all resolve it by name.
+"""
+
+from repro.tasks.base import (
+    Action,
+    DecisionSite,
+    OptimizationTask,
+    TaskApplication,
+    available_tasks,
+    get_task,
+    register_task,
+    resolve_task,
+)
+from repro.tasks.polly_tiling import DEFAULT_TILE_SIZES, PollyTilingTask
+from repro.tasks.vectorization import VectorizationTask
+
+register_task("vectorization", VectorizationTask, overwrite=True)
+register_task("polly-tiling", PollyTilingTask, overwrite=True)
+
+__all__ = [
+    "Action",
+    "DecisionSite",
+    "OptimizationTask",
+    "TaskApplication",
+    "VectorizationTask",
+    "PollyTilingTask",
+    "DEFAULT_TILE_SIZES",
+    "available_tasks",
+    "get_task",
+    "register_task",
+    "resolve_task",
+]

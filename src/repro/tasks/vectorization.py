@@ -1,0 +1,107 @@
+"""The paper's task: per-loop (VF, IF) vectorization-pragma decisions."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.tasks.base import Action, DecisionSite, OptimizationTask, TaskApplication
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import CompilationResult, CompileAndMeasure
+    from repro.datasets.kernels import LoopKernel
+
+
+class VectorizationTask(OptimizationTask):
+    """Decide a (vectorization width, interleave count) pair per innermost loop.
+
+    This is the hard-wired behaviour of the original reproduction, extracted
+    behind the task API: decision sites are the innermost loops the
+    extractor finds, the observation is the code2vec embedding of the
+    enclosing nest, single-site evaluation goes through
+    ``pipeline.measure_with_factors`` and full application injects
+    ``#pragma clang loop`` hints into the source text.
+    """
+
+    name = "vectorization"
+    action_labels = ("vf", "interleave")
+
+    def __init__(
+        self,
+        vf_values: Optional[Sequence[int]] = None,
+        if_values: Optional[Sequence[int]] = None,
+    ):
+        # Imported lazily: the canonical menus live in repro.rl.spaces, and
+        # importing them at module level would cycle through repro.rl.env
+        # (which imports this package) during ``import repro.tasks``.
+        from repro.rl.spaces import DEFAULT_IF_VALUES, DEFAULT_VF_VALUES
+
+        self.menus: Tuple[Tuple[int, ...], ...] = (
+            tuple(vf_values) if vf_values is not None else DEFAULT_VF_VALUES,
+            tuple(if_values) if if_values is not None else DEFAULT_IF_VALUES,
+        )
+
+    def default_action(self) -> Action:
+        return (1, 1)
+
+    # -- decision sites -----------------------------------------------------
+
+    def decision_sites(self, kernel: "LoopKernel") -> List[DecisionSite]:
+        from repro.core.loop_extractor import extract_loops
+
+        loops = extract_loops(kernel.source, function_name=kernel.function_name)
+        return [
+            DecisionSite(
+                index=loop.loop_index,
+                ast_node=loop.nest_root,
+                source_line=loop.source_line,
+                description=f"innermost loop #{loop.loop_index} "
+                f"of {loop.function_name}",
+                payload=loop,
+            )
+            for loop in loops
+        ]
+
+    # -- measurement --------------------------------------------------------
+
+    def evaluate(
+        self,
+        pipeline: "CompileAndMeasure",
+        kernel: "LoopKernel",
+        site_index: int,
+        action: Action,
+    ) -> "CompilationResult":
+        vf, interleave = self.cache_key(action)
+        return pipeline.measure_with_factors(
+            kernel, {int(site_index): (vf, interleave)}
+        )
+
+    def apply(
+        self,
+        pipeline: "CompileAndMeasure",
+        kernel: "LoopKernel",
+        decisions: Dict[int, Action],
+        reward_cache=None,
+    ) -> TaskApplication:
+        from repro.core.pragma_injector import inject_pragmas
+
+        factor_map = {
+            int(index): self.cache_key(action) for index, action in decisions.items()
+        }
+        vectorized_source = inject_pragmas(
+            kernel.source, factor_map, function_name=kernel.function_name
+        )
+        if reward_cache is not None:
+            # Keyed by the effective (pragma-annotated) source — the same
+            # entries vectorize_kernel uses, so either path warms the other.
+            result, _ = reward_cache.measure_pragmas(
+                pipeline, kernel, source=vectorized_source
+            )
+        else:
+            result = pipeline.measure_with_pragmas(kernel, source=vectorized_source)
+        return TaskApplication(
+            kernel_name=kernel.name,
+            decisions=factor_map,
+            result=result,
+            transformed_source=vectorized_source,
+            description=f"injected pragmas into {len(factor_map)} loop(s)",
+        )

@@ -94,6 +94,43 @@ class TestActionSpaces:
         assert space.decode([5.0, -2.0]) == (64, 1)
 
 
+class TestRoundingTieBreaks:
+    """Menu-midpoint rounding is pinned: ties resolve to the smaller factor."""
+
+    def test_pair_space_if_midpoints_round_down(self):
+        # The IF menu (1, 2, 4, 8, 16) has 4 intervals, so the raw values
+        # (k + 0.5) / 4 land exactly between indices k and k + 1.
+        space = ContinuousPairSpace()
+        for k, smaller in enumerate((1, 2, 4, 8)):
+            value = (k + 0.5) / 4
+            assert space.decode([0.0, value])[1] == smaller
+
+    def test_pair_space_vf_midpoints_round_down(self):
+        space = ContinuousPairSpace()
+        for k, smaller in enumerate((1, 2, 4, 8, 16, 32)):
+            value = (k + 0.5) / 6
+            scaled = value * 6
+            assert scaled == k + 0.5  # the boundary is exact in float
+            assert space.decode([value, 0.0])[0] == smaller
+
+    def test_joint_space_midpoints_round_down(self):
+        space = ContinuousJointSpace()
+        actions = space.all_actions()
+        for k in (0, 1, 4, 17, 33):  # includes the 1/2 and 2/4 boundaries
+            value = (k + 0.5) / (space.num_actions - 1)
+            assert space.decode([value]) == actions[k]
+
+    def test_encode_equidistant_targets_pick_smaller_factor(self):
+        space = DiscreteFactorSpace()
+        # 3 is exactly between menu entries 2 and 4; 12 between 8 and 16.
+        assert space.decode(space.encode(3, 3)) == (2, 2)
+        assert space.decode(space.encode(12, 12)) == (8, 8)
+        joint = ContinuousJointSpace()
+        assert joint.decode(joint.encode(3, 12)) == (2, 8)
+        pair = ContinuousPairSpace()
+        assert pair.decode(pair.encode(48, 3)) == (32, 2)
+
+
 class TestEnvironment:
     def test_reset_returns_embedding(self, tiny_env):
         observation = tiny_env.reset()
