@@ -7,6 +7,7 @@ transform and report the speed-up over the compiler's own cost model.
 
     python examples/quickstart.py                        # (VF, IF) pragmas
     python examples/quickstart.py --task polly-tiling    # tile/fusion per nest
+    python examples/quickstart.py --task unrolling       # unroll_count pragmas
 
 See ``examples/train_neurovectorizer.py`` for the RL path and
 ``examples/polybench_with_polly.py`` for training the Polly task.

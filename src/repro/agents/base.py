@@ -67,11 +67,16 @@ class VectorizationAgent:
     ``observation`` is the code2vec embedding of the decision site (for the
     default task, the loop nest).  Agents that do not use the embedding
     (baseline, brute force) may instead use the ``kernel``/``loop_index``
-    context passed alongside it.  The name predates the task redesign — any
-    registered :class:`repro.tasks.OptimizationTask` plugs in.
+    context passed alongside it and set :attr:`uses_observation` to False,
+    letting embedding-free harnesses (e.g. a ``ComparisonRunner`` without
+    an embedding model) know a placeholder observation is acceptable.  The
+    name predates the task redesign — any registered
+    :class:`repro.tasks.OptimizationTask` plugs in.
     """
 
     name: str = "agent"
+    #: Whether select_factors reads the observation vector (embedding).
+    uses_observation: bool = True
 
     def select_factors(
         self,

@@ -15,13 +15,15 @@ from repro.tasks import OptimizationTask, resolve_task
 class BaselineAgent(VectorizationAgent):
     """Chooses whatever the compiler would do on its own.
 
-    For the vectorization task that is the LLVM-like baseline cost model's
-    per-loop (VF, IF) choice; for other tasks it is the task's default
-    ("leave the code alone") action.  Useful as the x=1.0 reference in
-    every comparison figure.
+    Delegates to :meth:`repro.tasks.OptimizationTask.baseline_action`: the
+    LLVM-like cost model's per-loop (VF, IF) choice for vectorization, its
+    interleave pick for the unrolling task, and the identity transform for
+    tasks whose default action already leaves the code alone (tiling).
+    Useful as the x=1.0 reference in every comparison figure.
     """
 
     name = "baseline"
+    uses_observation = False
 
     def __init__(
         self,
@@ -37,15 +39,8 @@ class BaselineAgent(VectorizationAgent):
         kernel: Optional[LoopKernel] = None,
         loop_index: int = 0,
     ) -> AgentDecision:
-        if self.task.name != "vectorization":
-            return AgentDecision(action=self.task.default_action())
         if kernel is None:
-            return AgentDecision(1, 1)
-        ir_function = self.pipeline.lower_kernel(kernel)
-        loops = ir_function.innermost_loops()
-        if loop_index >= len(loops):
-            return AgentDecision(1, 1)
-        decision = self.pipeline.baseline_model.decide_loop(
-            ir_function, loops[loop_index]
+            return AgentDecision(action=self.task.default_action())
+        return AgentDecision(
+            action=self.task.baseline_action(self.pipeline, kernel, loop_index)
         )
-        return AgentDecision(decision.vf, decision.interleave)

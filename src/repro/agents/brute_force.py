@@ -30,6 +30,7 @@ class BruteForceAgent(VectorizationAgent):
     """
 
     name = "brute_force"
+    uses_observation = False
 
     def __init__(
         self,

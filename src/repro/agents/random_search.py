@@ -40,6 +40,7 @@ class RandomSearchAgent(VectorizationAgent):
     """
 
     name = "random"
+    uses_observation = False
 
     def __init__(
         self,

@@ -147,6 +147,41 @@ def build_embedding_model(
     return Code2VecModel(token_vocab, path_vocab, config or Code2VecConfig())
 
 
+def compare_agents(
+    kernels: Sequence[LoopKernel],
+    agents=None,
+    task=None,
+    machine: Optional[MachineDescription] = None,
+    pipeline: Optional[CompileAndMeasure] = None,
+    embedding_model: Optional[Code2VecModel] = None,
+    reward_cache: Optional[RewardCache] = None,
+    evaluation_service=None,
+    seed: int = 0,
+):
+    """Agents x kernels x task → the paper's speedup-over-baseline matrix.
+
+    The task-generic front door to :class:`repro.evaluation.comparison.
+    ComparisonRunner`: every registered task (vectorization, Polly tiling,
+    unrolling, user plug-ins) produces the same Figure 7/8/9-style
+    :class:`TaskComparison` — per-kernel speedups, per-site decision logs,
+    and cache-traffic accounting.  ``agents`` is a name → agent mapping;
+    when omitted the training-free baseline/random/brute-force trio runs.
+    All measurements share ``reward_cache`` (or the ``evaluation_service``'s
+    cache), so a warm persistent store makes a rerun simulate nothing.
+    """
+    from repro.evaluation.comparison import ComparisonRunner
+
+    runner = ComparisonRunner(
+        task=task,
+        pipeline=pipeline,
+        machine=machine,
+        embedding_model=embedding_model,
+        reward_cache=reward_cache,
+        evaluation_service=evaluation_service,
+    )
+    return runner.run(agents or runner.default_agents(seed=seed), kernels)
+
+
 class NeuroVectorizer:
     """End-to-end automatic loop optimization (Figure 3 of the paper).
 
@@ -344,6 +379,29 @@ class NeuroVectorizer:
 
     def optimize_suite(self, kernels: Sequence[LoopKernel]) -> List[OptimizationResult]:
         return [self.optimize_kernel(kernel) for kernel in kernels]
+
+    def compare_agents(self, kernels: Sequence[LoopKernel], agents=None, seed: int = 0):
+        """Compare this framework's agent against the reference agents.
+
+        Runs :func:`compare_agents` under this framework's task, pipeline,
+        reward cache, evaluation service and embedding model; the trained
+        agent joins the default baseline/random/brute-force trio under its
+        own name (``"rl"`` for a trained policy) unless an explicit
+        ``agents`` mapping replaces the line-up.
+        """
+        from repro.evaluation.comparison import ComparisonRunner
+
+        runner = ComparisonRunner(
+            task=self.task,
+            pipeline=self.pipeline,
+            embedding_model=self.embedding_model,
+            reward_cache=self.reward_cache,
+            evaluation_service=self.evaluation_service,
+        )
+        if agents is None:
+            agents = runner.default_agents(seed=seed)
+            agents[getattr(self.agent, "name", "agent")] = self.agent
+        return runner.run(agents, kernels)
 
     def vectorize_kernel(self, kernel: LoopKernel) -> VectorizationResult:
         """Decide factors, inject pragmas, compile and measure one kernel.

@@ -13,7 +13,11 @@ from repro.machine.description import MachineDescription
 from repro.simulator.compile_time import estimate_compile_time
 from repro.simulator.engine import FunctionCost, Simulator
 from repro.vectorizer.cost_model import BaselineCostModel
-from repro.vectorizer.planner import FunctionVectorPlan, build_plan, plan_from_pragmas
+from repro.vectorizer.planner import (
+    FunctionVectorPlan,
+    build_plan,
+    factors_from_pragma,
+)
 
 
 @dataclass
@@ -129,7 +133,12 @@ class CompileAndMeasure:
         """Compile honouring the clang loop pragmas present in the source.
 
         Loops without a pragma fall back to the baseline cost model's choice,
-        matching clang's behaviour when only some loops carry hints.
+        matching clang's behaviour when only some loops carry hints; pragma
+        clauses resolve through the shared
+        :func:`repro.vectorizer.planner.factors_from_pragma` rule (an
+        ``unroll_count`` pins the unroll/interleave factor — plain unrolling
+        when the loop is scalar or ``vectorize(disable)``d — while the width
+        stays with the cost model unless ``vectorize_width`` says otherwise).
         """
         ir_function = self.lower_kernel(kernel, source)
         baseline_decisions = self.baseline_model.decide_function(ir_function)
@@ -138,13 +147,9 @@ class CompileAndMeasure:
             pragma = loop.pragma
             if pragma is None or pragma.is_empty:
                 continue
-            if pragma.vectorize_enable is False:
-                decisions[loop.loop_id] = (1, 1)
-                continue
             default_vf, default_if = decisions.get(loop.loop_id, (1, 1))
-            decisions[loop.loop_id] = (
-                pragma.vectorize_width or default_vf,
-                pragma.interleave_count or default_if,
+            decisions[loop.loop_id] = factors_from_pragma(
+                pragma, default_vf, default_if
             )
         plan = build_plan(ir_function, decisions, self.machine)
         return self._result(kernel, ir_function, plan)

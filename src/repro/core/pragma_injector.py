@@ -22,20 +22,12 @@ def strip_loop_pragmas(source: str) -> str:
     return "\n".join(kept)
 
 
-def inject_pragma_line(
-    source: str,
-    line_number: int,
-    vectorize_width: int,
-    interleave_count: int,
-) -> str:
-    """Insert a pragma immediately before ``line_number`` (1-based).
+def inject_pragma_text(source: str, line_number: int, pragma: LoopPragma) -> str:
+    """Insert ``pragma`` immediately before ``line_number`` (1-based).
 
     The pragma copies the indentation of the target line so the result looks
     like the hand-written examples in the paper.
     """
-    pragma = LoopPragma(
-        vectorize_width=vectorize_width, interleave_count=interleave_count
-    )
     lines = source.split("\n")
     index = max(0, min(len(lines), line_number - 1))
     target = lines[index] if index < len(lines) else ""
@@ -44,31 +36,66 @@ def inject_pragma_line(
     return "\n".join(lines)
 
 
-def inject_pragmas(
+def inject_pragma_line(
     source: str,
-    decisions: Dict[int, Tuple[int, int]],
+    line_number: int,
+    vectorize_width: int,
+    interleave_count: int,
+) -> str:
+    """(VF, IF) shorthand for :func:`inject_pragma_text`."""
+    return inject_pragma_text(
+        source,
+        line_number,
+        LoopPragma(
+            vectorize_width=vectorize_width, interleave_count=interleave_count
+        ),
+    )
+
+
+def inject_loop_pragmas(
+    source: str,
+    pragmas: Dict[int, LoopPragma],
     function_name: Optional[str] = None,
 ) -> str:
-    """Inject one pragma per innermost loop according to ``decisions``.
+    """Inject one arbitrary :class:`LoopPragma` per innermost loop.
 
-    ``decisions`` maps the loop index (as produced by
-    :func:`repro.core.loop_extractor.extract_loops`) to the requested
-    ``(VF, IF)``.  Loops without an entry are left untouched (the compiler's
-    own cost model will handle them).  Existing clang loop pragmas are
-    stripped first.
+    ``pragmas`` maps the loop index (as produced by
+    :func:`repro.core.loop_extractor.extract_loops`) to the directive to
+    place before that loop — vectorization hints, unroll counts, or any mix.
+    Loops without an entry are left untouched (the compiler's own cost model
+    will handle them).  Existing clang loop pragmas are stripped first.
     """
     cleaned = strip_loop_pragmas(source)
     loops = extract_loops(cleaned, function_name=function_name)
     # Insert from the bottom of the file upwards so earlier line numbers stay
     # valid while we mutate the text.
-    insertions: List[Tuple[int, int, int]] = []
-    for loop in loops:
-        if loop.loop_index not in decisions:
-            continue
-        vectorize_width, interleave_count = decisions[loop.loop_index]
-        insertions.append((loop.source_line, vectorize_width, interleave_count))
+    insertions: List[Tuple[int, LoopPragma]] = [
+        (loop.source_line, pragmas[loop.loop_index])
+        for loop in loops
+        if loop.loop_index in pragmas
+    ]
     insertions.sort(key=lambda item: item[0], reverse=True)
     result = cleaned
-    for line, vectorize_width, interleave_count in insertions:
-        result = inject_pragma_line(result, line, vectorize_width, interleave_count)
+    for line, pragma in insertions:
+        result = inject_pragma_text(result, line, pragma)
     return result
+
+
+def inject_pragmas(
+    source: str,
+    decisions: Dict[int, Tuple[int, int]],
+    function_name: Optional[str] = None,
+) -> str:
+    """Inject one (VF, IF) pragma per innermost loop according to
+    ``decisions`` (the vectorization-task shorthand for
+    :func:`inject_loop_pragmas`)."""
+    return inject_loop_pragmas(
+        source,
+        {
+            loop_index: LoopPragma(
+                vectorize_width=vectorize_width, interleave_count=interleave_count
+            )
+            for loop_index, (vectorize_width, interleave_count) in decisions.items()
+        },
+        function_name=function_name,
+    )

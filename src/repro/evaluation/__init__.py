@@ -6,18 +6,28 @@ examples can print them.  The mapping from paper figure to driver is listed
 in DESIGN.md (§4) and EXPERIMENTS.md.
 """
 
-from repro.evaluation.report import Table, format_speedup_table
+from repro.evaluation.report import (
+    Table,
+    format_speedup_table,
+    format_task_summary_table,
+)
 from repro.evaluation.comparison import (
+    ComparisonRunner,
     MethodComparison,
+    SiteDecision,
+    TaskComparison,
     compare_methods,
     train_reference_agents,
     TrainedAgents,
 )
 from repro.evaluation.figures import (
+    ActionSweepResult,
     Figure1Result,
     Figure2Result,
     FigureCurvesResult,
     FigureComparisonResult,
+    TaskComparisonFigure,
+    action_sweep,
     figure1_dot_product_grid,
     figure2_bruteforce_suite,
     figure5_hyperparameter_sweep,
@@ -25,19 +35,27 @@ from repro.evaluation.figures import (
     figure7_main_comparison,
     figure8_polybench,
     figure9_mibench,
+    figure_task_comparison,
 )
 
 __all__ = [
     "Table",
     "format_speedup_table",
+    "format_task_summary_table",
+    "ComparisonRunner",
     "MethodComparison",
+    "SiteDecision",
+    "TaskComparison",
     "compare_methods",
     "TrainedAgents",
     "train_reference_agents",
+    "ActionSweepResult",
     "Figure1Result",
     "Figure2Result",
     "FigureCurvesResult",
     "FigureComparisonResult",
+    "TaskComparisonFigure",
+    "action_sweep",
     "figure1_dot_product_grid",
     "figure2_bruteforce_suite",
     "figure5_hyperparameter_sweep",
@@ -45,4 +63,5 @@ __all__ = [
     "figure7_main_comparison",
     "figure8_polybench",
     "figure9_mibench",
+    "figure_task_comparison",
 ]

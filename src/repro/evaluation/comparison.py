@@ -1,19 +1,35 @@
-"""Measuring a kernel suite under every method the paper compares."""
+"""Measuring a kernel suite under every method the paper compares.
+
+Two layers live here:
+
+* :class:`ComparisonRunner` / :class:`TaskComparison` — the task-generic
+  protocol: any mapping of named agents x any kernel suite x any registered
+  :class:`repro.tasks.OptimizationTask` produces the paper's speedup matrix
+  (Figures 7-9), with every measurement routed through the run-wide reward
+  cache (and sharded evaluation service, when attached) and a per-site
+  decision log recording what every agent chose where.
+* :func:`train_reference_agents` / :func:`compare_methods` — the original
+  vectorization-specific drivers behind the Figure 7/8/9 reproductions,
+  kept as-is (they bundle PPO training, brute-force labelling and the
+  Polly comparison into one call).
+"""
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.agents.base import VectorizationAgent
+from repro.agents.baseline import BaselineAgent
 from repro.agents.brute_force import BruteForceAgent
 from repro.agents.decision_tree import DecisionTreeAgent
 from repro.agents.nns import NearestNeighborAgent
 from repro.agents.policy_agent import PolicyAgent
 from repro.agents.random_search import RandomSearchAgent
-from repro.cache.reward_cache import RewardCache
+from repro.cache.reward_cache import RewardCache, resolve_cache
 from repro.core.framework import TrainingConfig, build_embedding_model
 from repro.core.loop_extractor import extract_loops
 from repro.core.pipeline import CompileAndMeasure
@@ -26,6 +42,7 @@ from repro.polly.optimizer import PollyOptimizer
 from repro.rl.env import VectorizationEnv, build_samples
 from repro.rl.policy import make_policy
 from repro.rl.ppo import PPOConfig, PPOTrainer, TrainingHistory
+from repro.tasks import OptimizationTask, resolve_task
 
 
 @dataclass
@@ -48,6 +65,262 @@ class MethodComparison:
             if method in per and per[method] == per[method]
         ]
         return float(np.mean(values)) if values else float("nan")
+
+
+# ---------------------------------------------------------------------------
+# Task-generic comparison protocol
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SiteDecision:
+    """One agent's chosen action for one decision site (the decision log)."""
+
+    kernel: str
+    method: str
+    site_index: int
+    action: Tuple[int, ...]
+    source_line: int = 0
+    description: str = ""
+
+
+@dataclass
+class TaskComparison:
+    """Speed-ups over the baseline per kernel and method, for one task.
+
+    The task-generic counterpart of :class:`MethodComparison`: the same
+    per-benchmark matrix the paper plots in Figures 7-9, plus the raw
+    cycles, the per-site decision log, and the cache traffic the run
+    generated (hits vs simulator misses), so a warm-store rerun can prove
+    it recompiled nothing.
+    """
+
+    task: str
+    methods: List[str] = field(default_factory=list)
+    speedups: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    cycles: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    baseline_cycles: Dict[str, float] = field(default_factory=dict)
+    decision_log: List[SiteDecision] = field(default_factory=list)
+    #: Reward-cache traffic attributable to this run (stats deltas).
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    def geomean(self, method: str) -> float:
+        from repro.evaluation.report import geometric_mean
+
+        values = [per.get(method, float("nan")) for per in self.speedups.values()]
+        return geometric_mean([v for v in values if v == v and v > 0])
+
+    def average(self, method: str) -> float:
+        values = [
+            per[method]
+            for per in self.speedups.values()
+            if method in per and per[method] == per[method]
+        ]
+        return float(np.mean(values)) if values else float("nan")
+
+    def decisions_for(self, kernel: str, method: str) -> Dict[int, Tuple[int, ...]]:
+        """The per-site decision map one agent chose for one kernel."""
+        return {
+            entry.site_index: entry.action
+            for entry in self.decision_log
+            if entry.kernel == kernel and entry.method == method
+        }
+
+    def format_table(self, title: str = ""):
+        """The per-benchmark speedup matrix (Figure 7/8/9 style)."""
+        from repro.evaluation.report import format_speedup_table
+
+        return format_speedup_table(
+            self.speedups,
+            self.methods,
+            title=title or f"speedup over baseline (task: {self.task})",
+        )
+
+    def summary_table(self, title: str = ""):
+        """Task-tagged per-method geomean/average summary."""
+        from repro.evaluation.report import format_task_summary_table
+
+        return format_task_summary_table(self, title=title)
+
+    def cache_report(self, title: str = "comparison reward cache"):
+        """How this run's measurements were served (hits vs simulations).
+
+        A fully cache-served run (every reward answered by a warm store)
+        reports its hits; the explicit "no evaluations" table only appears
+        when the comparison genuinely measured nothing — an empty kernel
+        list, not a warm cache.
+        """
+        from repro.evaluation.report import (
+            format_comparison_cache_table,
+            format_no_evaluations_table,
+        )
+
+        if self.cache_lookups == 0:
+            return format_no_evaluations_table(title=title)
+        return format_comparison_cache_table(self, title=title)
+
+
+class ComparisonRunner:
+    """Runs agents x kernels x one task into a :class:`TaskComparison`.
+
+    The runner owns the shared measurement plumbing: one pipeline, one
+    reward cache (adopted from the ``evaluation_service`` when one is
+    attached, so worker shards and in-process measurements see each other's
+    results), and the task whose ``decision_sites``/``apply`` define what
+    is decided and how it is measured.  Agents are passed to :meth:`run`
+    by name; :meth:`default_agents` builds the training-free trio
+    (baseline / random / brute force) wired to the runner's plumbing.
+    """
+
+    def __init__(
+        self,
+        task: Optional[OptimizationTask] = None,
+        pipeline: Optional[CompileAndMeasure] = None,
+        machine: Optional[MachineDescription] = None,
+        embedding_model: Optional[Code2VecModel] = None,
+        reward_cache: Optional[RewardCache] = None,
+        evaluation_service=None,
+    ):
+        self.task = resolve_task(task)
+        self.evaluation_service = evaluation_service
+        if evaluation_service is not None:
+            # The service's workers measure under its pipeline's machine; a
+            # disagreeing explicit pipeline would silently mix measurements
+            # from two machines, so mirror evaluate_requests' guard here.
+            # (A distinct but value-equal pipeline is fine.)
+            service_pipeline = evaluation_service.pipeline
+            if pipeline is None:
+                pipeline = service_pipeline
+            elif pipeline is not service_pipeline and (
+                service_pipeline.machine != pipeline.machine
+                or service_pipeline.default_symbol_value
+                != pipeline.default_symbol_value
+            ):
+                raise ValueError(
+                    "ComparisonRunner: explicit pipeline disagrees with the "
+                    "evaluation service's (machine model or "
+                    "default_symbol_value); build both from the same "
+                    "machine description"
+                )
+        self.pipeline = pipeline or CompileAndMeasure(
+            machine=machine or MachineDescription()
+        )
+        if machine is not None and machine != self.pipeline.machine:
+            raise ValueError(
+                "ComparisonRunner: explicit machine conflicts with the "
+                "pipeline's machine; build the pipeline (or evaluation "
+                "service) from that machine instead"
+            )
+        self.machine = self.pipeline.machine
+        self.embedding_model = embedding_model
+        self.reward_cache = resolve_cache(reward_cache, evaluation_service)
+
+    # -- agents -------------------------------------------------------------
+
+    def default_agents(self, seed: int = 0) -> "OrderedDict[str, VectorizationAgent]":
+        """The training-free reference agents, sharing this runner's plumbing."""
+        agents: "OrderedDict[str, VectorizationAgent]" = OrderedDict()
+        agents["baseline"] = BaselineAgent(self.pipeline, task=self.task)
+        agents["random"] = RandomSearchAgent(seed=seed, task=self.task)
+        agents["brute_force"] = BruteForceAgent(
+            self.pipeline,
+            reward_cache=self.reward_cache,
+            evaluation_service=self.evaluation_service,
+            task=self.task,
+        )
+        return agents
+
+    def _check_agent(self, name: str, agent: VectorizationAgent) -> None:
+        agent_task = getattr(agent, "task", None)
+        if agent_task is not None and agent_task.name != self.task.name:
+            raise ValueError(
+                f"agent {name!r} decides for task {agent_task.name!r} but this "
+                f"comparison runs task {self.task.name!r}; construct the agent "
+                f"with task={self.task.name!r}"
+            )
+        if self.embedding_model is None and getattr(agent, "uses_observation", True):
+            # Without an embedding model the runner can only hand agents a
+            # placeholder observation; an embedding-driven agent (NNS, tree,
+            # policy) would then make the same decision at every site and
+            # the table would present that garbage as a real comparison.
+            raise ValueError(
+                f"agent {name!r} decides from the site embedding but this "
+                "ComparisonRunner has no embedding_model; pass the model the "
+                "agent was fitted/trained with"
+            )
+
+    # -- observations -------------------------------------------------------
+
+    def _observation(self, site) -> np.ndarray:
+        if self.embedding_model is None:
+            # Only reachable for observation-ignoring agents (baseline,
+            # random, brute force) — _check_agent rejects the rest.
+            return np.zeros(1)
+        return self.task.observation_features(site, self.embedding_model)
+
+    # -- the protocol -------------------------------------------------------
+
+    def run(
+        self,
+        agents: Mapping[str, VectorizationAgent],
+        kernels: Sequence[LoopKernel],
+    ) -> TaskComparison:
+        """Measure every agent on every kernel under this runner's task.
+
+        Per kernel: the baseline cycles are measured once (cached), every
+        agent decides an action per decision site (logged), and the task
+        applies the full decision map — through the reward cache, so warm
+        reruns and repeated decisions are lookups, not simulations.
+        """
+        for name, agent in agents.items():
+            self._check_agent(name, agent)
+        hits_before = self.reward_cache.stats.hits
+        misses_before = self.reward_cache.stats.misses
+        comparison = TaskComparison(task=self.task.name, methods=list(agents))
+        for kernel in kernels:
+            baseline, _ = self.reward_cache.measure_baseline(self.pipeline, kernel)
+            sites = self.task.decision_sites(kernel)
+            observations = [self._observation(site) for site in sites]
+            comparison.baseline_cycles[kernel.name] = baseline.cycles
+            speedup_row: Dict[str, float] = {}
+            cycles_row: Dict[str, float] = {}
+            for name, agent in agents.items():
+                decisions: Dict[int, Tuple[int, ...]] = {}
+                for site, observation in zip(sites, observations):
+                    chosen = agent.select_factors(
+                        observation, kernel=kernel, loop_index=site.index
+                    )
+                    action = self.task.cache_key(chosen.as_tuple())
+                    decisions[site.index] = action
+                    comparison.decision_log.append(
+                        SiteDecision(
+                            kernel=kernel.name,
+                            method=name,
+                            site_index=site.index,
+                            action=action,
+                            source_line=site.source_line,
+                            description=site.description,
+                        )
+                    )
+                application = self.task.apply(
+                    self.pipeline, kernel, decisions, reward_cache=self.reward_cache
+                )
+                cycles_row[name] = application.result.cycles
+                speedup_row[name] = (
+                    baseline.cycles / application.result.cycles
+                    if application.result.cycles > 0
+                    else float("inf")
+                )
+            comparison.speedups[kernel.name] = speedup_row
+            comparison.cycles[kernel.name] = cycles_row
+        comparison.cache_hits = self.reward_cache.stats.hits - hits_before
+        comparison.cache_misses = self.reward_cache.stats.misses - misses_before
+        return comparison
 
 
 @dataclass

@@ -16,6 +16,7 @@ from repro.datasets.polybench import polybench_suite
 from repro.datasets.synthetic import SyntheticDatasetConfig, generate_synthetic_dataset
 from repro.evaluation.comparison import (
     MethodComparison,
+    TaskComparison,
     TrainedAgents,
     compare_methods,
     train_reference_agents,
@@ -359,4 +360,177 @@ def figure9_mibench(
     return FigureComparisonResult(
         comparison=comparison,
         title="Figure 9: MiBench, performance normalised to the baseline",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Task-generic drivers: the same figures over any registered task
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ActionSweepResult:
+    """Speed-up over the baseline for every menu action at one site.
+
+    The Figure-1 grid generalised over a task's own action menus: the (VF,
+    IF) matrix for vectorization, the (tile, fuse) matrix for Polly tiling,
+    a single unroll column for the unrolling task.  ``format_table``
+    renders a matrix for two-dimensional menus and a flat list otherwise,
+    with the axes labelled by the task's ``action_labels`` — nothing here
+    assumes VF/IF.
+    """
+
+    task: str
+    action_labels: Tuple[str, ...]
+    menus: Tuple[Tuple[int, ...], ...]
+    kernel: str
+    site_index: int
+    grid: Dict[Tuple[int, ...], float]
+    baseline_cycles: float
+
+    @property
+    def best_action(self) -> Tuple[int, ...]:
+        return max(self.grid, key=lambda action: self.grid[action])
+
+    @property
+    def best_speedup(self) -> float:
+        return max(self.grid.values())
+
+    @property
+    def fraction_better_than_baseline(self) -> float:
+        better = sum(1 for value in self.grid.values() if value >= 1.0)
+        return better / len(self.grid) if self.grid else 0.0
+
+    def format_table(self, title: str = "") -> Table:
+        title = title or (
+            f"action sweep (task: {self.task}, kernel: {self.kernel}, "
+            f"site #{self.site_index})"
+        )
+        if len(self.menus) == 2:
+            first, second = self.menus
+            table = Table(
+                headers=[f"{self.action_labels[0]} \\ {self.action_labels[1]}"]
+                + [str(value) for value in second],
+                title=title,
+            )
+            for row_value in first:
+                table.add_row(
+                    [str(row_value)]
+                    + [self.grid[(row_value, col_value)] for col_value in second]
+                )
+            return table
+        table = Table(
+            headers=list(self.action_labels) + ["speedup over baseline"],
+            title=title,
+        )
+        for action in sorted(self.grid):
+            table.add_row([str(value) for value in action] + [self.grid[action]])
+        return table
+
+
+def action_sweep(
+    kernel: LoopKernel,
+    task=None,
+    site_index: int = 0,
+    pipeline: Optional[CompileAndMeasure] = None,
+    reward_cache=None,
+    evaluation_service=None,
+) -> ActionSweepResult:
+    """Sweep a task's whole action menu on one decision site (Figure 1 style).
+
+    Every measurement routes through :func:`repro.cache.evaluate_requests`,
+    so a shared cache and/or a sharded evaluation service serve repeats and
+    parallelise the grid exactly as in training.
+    """
+    from repro.cache.reward_cache import evaluate_requests, resolve_cache
+    from repro.tasks import resolve_task
+
+    task = resolve_task(task)
+    if pipeline is None and evaluation_service is not None:
+        pipeline = evaluation_service.pipeline
+    # An explicit pipeline disagreeing with the service's is rejected by
+    # evaluate_requests below — never silently overridden.
+    pipeline = pipeline or CompileAndMeasure()
+    reward_cache = resolve_cache(reward_cache, evaluation_service)
+    baseline, _ = reward_cache.measure_baseline(pipeline, kernel)
+    actions = task.action_space("discrete").all_actions()
+    outcomes = evaluate_requests(
+        pipeline,
+        reward_cache,
+        [(kernel, site_index, action) for action in actions],
+        service=evaluation_service,
+        task=task,
+    )
+    grid = {
+        action: (
+            baseline.cycles / outcome.measurement.cycles
+            if outcome.measurement.cycles > 0
+            else float("inf")
+        )
+        for action, outcome in zip(actions, outcomes)
+    }
+    return ActionSweepResult(
+        task=task.name,
+        action_labels=task.action_labels,
+        menus=task.menus,
+        kernel=kernel.name,
+        site_index=site_index,
+        grid=grid,
+        baseline_cycles=baseline.cycles,
+    )
+
+
+@dataclass
+class TaskComparisonFigure:
+    """A Figure 7/8/9-style comparison rendered for one task."""
+
+    comparison: "TaskComparison"
+    title: str
+
+    def format_table(self) -> Table:
+        return self.comparison.format_table(title=self.title)
+
+    def summary_table(self) -> Table:
+        return self.comparison.summary_table()
+
+    def average(self, method: str) -> float:
+        return self.comparison.average(method)
+
+    def geomean(self, method: str) -> float:
+        return self.comparison.geomean(method)
+
+
+def figure_task_comparison(
+    kernels: Sequence[LoopKernel],
+    task=None,
+    agents=None,
+    machine: Optional[MachineDescription] = None,
+    embedding_model=None,
+    reward_cache=None,
+    evaluation_service=None,
+    seed: int = 0,
+    title: str = "",
+) -> TaskComparisonFigure:
+    """Render the paper's agent-vs-baseline comparison for any task.
+
+    ``agents`` is a name → agent mapping; when omitted the training-free
+    trio (baseline / random / brute force) runs, which is enough to bound
+    any learned agent from below and above.  Pass a trained
+    :class:`repro.agents.policy_agent.PolicyAgent` (plus the embedding it
+    was trained with) to reproduce the full figure.
+    """
+    from repro.evaluation.comparison import ComparisonRunner
+
+    runner = ComparisonRunner(
+        task=task,
+        machine=machine,
+        embedding_model=embedding_model,
+        reward_cache=reward_cache,
+        evaluation_service=evaluation_service,
+    )
+    comparison = runner.run(agents or runner.default_agents(seed=seed), kernels)
+    return TaskComparisonFigure(
+        comparison=comparison,
+        title=title
+        or f"performance normalised to the baseline (task: {comparison.task})",
     )

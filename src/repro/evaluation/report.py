@@ -78,9 +78,61 @@ def format_cache_stats_table(stats, title: str = "reward cache") -> Table:
 
 
 def format_no_evaluations_table(title: str = "reward cache") -> Table:
-    """The explicit empty-state report: no reward queries have run yet."""
+    """The explicit empty-state report: no reward queries have run yet.
+
+    Reserved for runs that genuinely measured nothing.  A run whose every
+    reward was answered by a warm cache *did* evaluate — report it with
+    :func:`format_cache_stats_table` / :func:`format_comparison_cache_table`
+    (which show the hits) rather than this table.
+    """
     table = Table(headers=["metric", "value"], title=f"{title} (no evaluations yet)")
     table.add_row(["evaluations", 0])
+    return table
+
+
+def format_task_summary_table(comparison, title: str = "") -> Table:
+    """Task-tagged per-method summary of a comparison run.
+
+    ``comparison`` is a :class:`repro.evaluation.comparison.TaskComparison`
+    (or anything with ``task``/``methods``/``speedups`` and
+    ``geomean``/``average``): one row per method with its geomean and
+    average speedup over the baseline and how many kernels it ran on.
+    """
+    table = Table(
+        headers=["method", "geomean speedup", "average speedup", "kernels"],
+        title=title or f"method summary (task: {comparison.task})",
+    )
+    for method in comparison.methods:
+        measured = sum(
+            1 for per in comparison.speedups.values() if method in per
+        )
+        table.add_row(
+            [method, comparison.geomean(method), comparison.average(method), measured]
+        )
+    return table
+
+
+def format_comparison_cache_table(
+    comparison, title: str = "comparison reward cache"
+) -> Table:
+    """How a comparison run's rewards were served: cache hits vs simulations.
+
+    Distinguishes the fully-warm case (every measurement a cache hit, zero
+    simulator calls) from a cold run — the table a warm-store rerun shows
+    instead of the misleading "no evaluations" empty state.
+    """
+    table = Table(headers=["metric", "value"], title=title)
+    table.add_row(["lookups", comparison.cache_lookups])
+    table.add_row(["cache hits", comparison.cache_hits])
+    table.add_row(["simulated (misses)", comparison.cache_misses])
+    hit_rate = (
+        comparison.cache_hits / comparison.cache_lookups
+        if comparison.cache_lookups
+        else 0.0
+    )
+    table.add_row(["hit rate", hit_rate])
+    if comparison.cache_misses == 0:
+        table.add_row(["fully cache-served", "yes"])
     return table
 
 

@@ -24,18 +24,24 @@ _PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+clang\s+loop\b(.*)$")
 
 @dataclass(frozen=True)
 class LoopPragma:
-    """A ``#pragma clang loop`` directive relevant to vectorization.
+    """A ``#pragma clang loop`` directive relevant to loop optimization.
 
     Attributes mirror clang's clauses:
 
     * ``vectorize_width`` — the requested VF (``None`` if absent).
     * ``interleave_count`` — the requested IF (``None`` if absent).
     * ``vectorize_enable`` — explicit enable/disable (``None`` if absent).
+    * ``unroll_count`` — the requested unroll factor (``None`` if absent).
+      Clang's interleave *is* unroll-and-jam of the (vector) loop, so an
+      ``unroll_count`` without an explicit ``interleave_count`` requests
+      that unroll factor for the loop; ``unroll_count(1)`` disables
+      unrolling, as in clang.
     """
 
     vectorize_width: Optional[int] = None
     interleave_count: Optional[int] = None
     vectorize_enable: Optional[bool] = None
+    unroll_count: Optional[int] = None
 
     @property
     def is_empty(self) -> bool:
@@ -43,6 +49,7 @@ class LoopPragma:
             self.vectorize_width is None
             and self.interleave_count is None
             and self.vectorize_enable is None
+            and self.unroll_count is None
         )
 
     def merged_with(self, other: "LoopPragma") -> "LoopPragma":
@@ -63,6 +70,11 @@ class LoopPragma:
                 if other.vectorize_enable is not None
                 else self.vectorize_enable
             ),
+            unroll_count=(
+                other.unroll_count
+                if other.unroll_count is not None
+                else self.unroll_count
+            ),
         )
 
     def __str__(self) -> str:
@@ -80,6 +92,8 @@ def format_pragma(pragma: LoopPragma) -> str:
         clauses.append(f"vectorize_width({pragma.vectorize_width})")
     if pragma.interleave_count is not None:
         clauses.append(f"interleave_count({pragma.interleave_count})")
+    if pragma.unroll_count is not None:
+        clauses.append(f"unroll_count({pragma.unroll_count})")
     body = " ".join(clauses)
     return f"#pragma clang loop {body}".rstrip()
 
@@ -98,6 +112,7 @@ def parse_pragma_text(text: str) -> Optional[LoopPragma]:
     vectorize_width: Optional[int] = None
     interleave_count: Optional[int] = None
     vectorize_enable: Optional[bool] = None
+    unroll_count: Optional[int] = None
     for name, argument in _CLAUSE_RE.findall(clause_text):
         if name == "vectorize_width":
             vectorize_width = _parse_positive_int(argument)
@@ -106,9 +121,10 @@ def parse_pragma_text(text: str) -> Optional[LoopPragma]:
         elif name == "vectorize":
             vectorize_enable = argument.lower() == "enable"
         elif name == "unroll_count":
-            # Accepted but ignored; the framework never injects unroll hints.
-            continue
-    return LoopPragma(vectorize_width, interleave_count, vectorize_enable)
+            unroll_count = _parse_positive_int(argument)
+    return LoopPragma(
+        vectorize_width, interleave_count, vectorize_enable, unroll_count
+    )
 
 
 def _parse_positive_int(text: str) -> Optional[int]:

@@ -1,26 +1,28 @@
 """Pluggable optimization tasks: what decision the RL pipeline is making.
 
 The decision layer (environment, agents, reward cache, distributed workers)
-is generic over an :class:`OptimizationTask`; two tasks ship in-tree:
+is generic over an :class:`OptimizationTask`; three tasks ship in-tree:
 
 * ``"vectorization"`` — the paper's per-loop (VF, IF) pragma decision
   (:class:`VectorizationTask`, the default everywhere),
 * ``"polly-tiling"`` — per-nest polyhedral tile-size/fusion decisions
-  driving :mod:`repro.polly` (:class:`PollyTilingTask`).
+  driving :mod:`repro.polly` (:class:`PollyTilingTask`),
+* ``"unrolling"`` — per-loop unroll factors applied through
+  ``#pragma clang loop unroll_count`` injection (:class:`UnrollingTask`).
 
 Add a task by subclassing :class:`OptimizationTask` and registering a
 factory::
 
     from repro.tasks import OptimizationTask, register_task
 
-    class UnrollTask(OptimizationTask):
-        name = "unroll"
+    class PhaseOrderTask(OptimizationTask):
+        name = "phase-order"
         ...
 
-    register_task("unroll", UnrollTask)
+    register_task("phase-order", PhaseOrderTask)
 
-after which ``TrainingConfig(task="unroll")``, ``--task unroll`` and the
-distributed workers all resolve it by name.
+after which ``TrainingConfig(task="phase-order")``, ``--task phase-order``
+and the distributed workers all resolve it by name.
 """
 
 from repro.tasks.base import (
@@ -32,12 +34,15 @@ from repro.tasks.base import (
     get_task,
     register_task,
     resolve_task,
+    snap_to_menus,
 )
 from repro.tasks.polly_tiling import DEFAULT_TILE_SIZES, PollyTilingTask
+from repro.tasks.unrolling import DEFAULT_UNROLL_FACTORS, UnrollingTask
 from repro.tasks.vectorization import VectorizationTask
 
 register_task("vectorization", VectorizationTask, overwrite=True)
 register_task("polly-tiling", PollyTilingTask, overwrite=True)
+register_task("unrolling", UnrollingTask, overwrite=True)
 
 __all__ = [
     "Action",
@@ -46,9 +51,12 @@ __all__ = [
     "TaskApplication",
     "VectorizationTask",
     "PollyTilingTask",
+    "UnrollingTask",
     "DEFAULT_TILE_SIZES",
+    "DEFAULT_UNROLL_FACTORS",
     "available_tasks",
     "get_task",
     "register_task",
     "resolve_task",
+    "snap_to_menus",
 ]

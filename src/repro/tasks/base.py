@@ -36,6 +36,62 @@ if TYPE_CHECKING:  # imported lazily to avoid package import cycles
 Action = Tuple[int, ...]
 
 
+def snap_to_menus(menus: Tuple[Tuple[int, ...], ...], values) -> Action:
+    """Round each component to the nearest entry of its menu.
+
+    Ties resolve toward the smaller value (the pinned tie-break of
+    :mod:`repro.rl.spaces`), so a baseline decision that falls outside a
+    custom menu still maps to a legal, deterministic action.
+    """
+    return tuple(
+        min(menu, key=lambda entry: (abs(entry - int(value)), entry))
+        for menu, value in zip(menus, values)
+    )
+
+
+def innermost_loop_sites(kernel: "LoopKernel") -> List[DecisionSite]:
+    """One :class:`DecisionSite` per innermost loop, in extractor order.
+
+    The shared site enumeration for per-loop tasks (vectorization,
+    unrolling): site index ``i`` addresses the ``i``-th entry of the
+    lowered IR's ``innermost_loops()``, including loops wrapped in
+    conditionals, so any indexing fix lands in every per-loop task at once.
+    """
+    from repro.core.loop_extractor import extract_loops
+
+    loops = extract_loops(kernel.source, function_name=kernel.function_name)
+    return [
+        DecisionSite(
+            index=loop.loop_index,
+            ast_node=loop.nest_root,
+            source_line=loop.source_line,
+            description=f"innermost loop #{loop.loop_index} "
+            f"of {loop.function_name}",
+            payload=loop,
+        )
+        for loop in loops
+    ]
+
+
+def measure_annotated_source(
+    pipeline: "CompileAndMeasure",
+    kernel: "LoopKernel",
+    source: str,
+    reward_cache=None,
+):
+    """Measure a pragma-annotated rewrite of ``kernel``, cache-aware.
+
+    The shared tail of every pragma-injecting task's ``apply``: with a
+    reward cache the measurement is keyed by the annotated source (so any
+    consumer measuring the same pragma assignment shares the entry), and
+    served from it on warm reruns.
+    """
+    if reward_cache is not None:
+        result, _ = reward_cache.measure_pragmas(pipeline, kernel, source=source)
+        return result
+    return pipeline.measure_with_pragmas(kernel, source=source)
+
+
 @dataclass
 class DecisionSite:
     """One unit of a kernel the task makes a decision for.
@@ -99,6 +155,21 @@ class OptimizationTask:
     def default_action(self) -> Action:
         """The "leave it to the compiler" action (reward ~0 by construction)."""
         return tuple(menu[0] for menu in self.menus)
+
+    def baseline_action(
+        self, pipeline: "CompileAndMeasure", kernel: "LoopKernel", site_index: int
+    ) -> Action:
+        """The action that reproduces the compiler's own choice for one site.
+
+        This is the x=1.0 reference of every comparison figure: applying the
+        baseline action to every site must measure the same cycles as
+        ``pipeline.measure_baseline``.  Tasks whose default action *is* the
+        identity transform (tiling, fusion) inherit this; tasks whose menus
+        overlap a decision the baseline cost model already makes
+        (vectorization factors, unroll counts) override it to return the
+        model's pick.
+        """
+        return self.default_action()
 
     def cache_key(self, action) -> Action:
         """Normalise an action to the canonical tuple used in cache keys.

@@ -4,7 +4,15 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from repro.tasks.base import Action, DecisionSite, OptimizationTask, TaskApplication
+from repro.tasks.base import (
+    Action,
+    DecisionSite,
+    OptimizationTask,
+    TaskApplication,
+    innermost_loop_sites,
+    measure_annotated_source,
+    snap_to_menus,
+)
 
 if TYPE_CHECKING:
     from repro.core.pipeline import CompilationResult, CompileAndMeasure
@@ -43,23 +51,21 @@ class VectorizationTask(OptimizationTask):
     def default_action(self) -> Action:
         return (1, 1)
 
+    def baseline_action(
+        self, pipeline: "CompileAndMeasure", kernel: "LoopKernel", site_index: int
+    ) -> Action:
+        """The baseline cost model's own (VF, IF) pick for one loop."""
+        ir_function = pipeline.lower_kernel(kernel)
+        loops = ir_function.innermost_loops()
+        if site_index >= len(loops):
+            return self.default_action()
+        decision = pipeline.baseline_model.decide_loop(ir_function, loops[site_index])
+        return snap_to_menus(self.menus, (decision.vf, decision.interleave))
+
     # -- decision sites -----------------------------------------------------
 
     def decision_sites(self, kernel: "LoopKernel") -> List[DecisionSite]:
-        from repro.core.loop_extractor import extract_loops
-
-        loops = extract_loops(kernel.source, function_name=kernel.function_name)
-        return [
-            DecisionSite(
-                index=loop.loop_index,
-                ast_node=loop.nest_root,
-                source_line=loop.source_line,
-                description=f"innermost loop #{loop.loop_index} "
-                f"of {loop.function_name}",
-                payload=loop,
-            )
-            for loop in loops
-        ]
+        return innermost_loop_sites(kernel)
 
     # -- measurement --------------------------------------------------------
 
@@ -90,14 +96,11 @@ class VectorizationTask(OptimizationTask):
         vectorized_source = inject_pragmas(
             kernel.source, factor_map, function_name=kernel.function_name
         )
-        if reward_cache is not None:
-            # Keyed by the effective (pragma-annotated) source — the same
-            # entries vectorize_kernel uses, so either path warms the other.
-            result, _ = reward_cache.measure_pragmas(
-                pipeline, kernel, source=vectorized_source
-            )
-        else:
-            result = pipeline.measure_with_pragmas(kernel, source=vectorized_source)
+        # Keyed by the effective (pragma-annotated) source — the same
+        # entries vectorize_kernel uses, so either path warms the other.
+        result = measure_annotated_source(
+            pipeline, kernel, vectorized_source, reward_cache
+        )
         return TaskApplication(
             kernel_name=kernel.name,
             decisions=factor_map,

@@ -273,6 +273,28 @@ class TestEvaluationService:
             assert service.stats.completed == len(requests)
             assert sum(service.stats.per_worker_completed.values()) == len(requests)
 
+    def test_unrolling_payloads_shard_identically_to_serial(self):
+        # One-dimensional task actions travel the same WorkRequest payload
+        # path as (VF, IF) pairs: workers resolve "unrolling" from the
+        # registry and must answer byte-identically to the serial batcher.
+        from repro.tasks import get_task
+
+        task = get_task("unrolling")
+        requests = [
+            (kernel, site, (unroll,))
+            for kernel in (add_kernel(), scale_kernel())
+            for site in (0,)
+            for unroll in task.menus[0]
+        ]
+        serial = outcome_tuples(
+            EvaluationService(CompileAndMeasure(), workers=0).evaluate(
+                requests, task=task
+            )
+        )
+        with EvaluationService(CompileAndMeasure(), workers=2) as service:
+            parallel = outcome_tuples(service.evaluate(requests, task=task))
+        assert parallel == serial
+
     def test_second_evaluation_is_all_cache_hits(self):
         requests = grid_requests(add_kernel())
         with EvaluationService(CompileAndMeasure(), workers=1) as service:

@@ -1,0 +1,512 @@
+"""Cross-task regression tests for the task-generic evaluation layer.
+
+The paper's headline results are agent-vs-baseline comparisons; these tests
+pin the protocol that produces them for *every* registered task:
+
+* ``compare_agents(task=t)`` produces a populated speedup table for all of
+  ``vectorization``, ``polly-tiling`` and ``unrolling``,
+* same-seed comparison runs are byte-identical serial vs ``workers=2``,
+* a warm persistent store makes a rerun simulate nothing — and the report
+  says "cache hits", not "no evaluations",
+* the third task (loop unrolling) trains end-to-end through
+  ``NeuroVectorizer.train`` and behaves at the known edge cases
+  (conditional-wrapped nests, out-of-menu factors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.brute_force import BruteForceAgent
+from repro.agents.decision_tree import DecisionTreeAgent
+from repro.agents.nns import NearestNeighborAgent
+from repro.core.framework import NeuroVectorizer, TrainingConfig, compare_agents
+from repro.core.pipeline import CompileAndMeasure
+from repro.datasets.kernels import LoopKernel
+from repro.distributed import DiskBackedRewardCache, EvaluationService
+from repro.evaluation import (
+    ComparisonRunner,
+    TaskComparison,
+    action_sweep,
+    figure_task_comparison,
+)
+from repro.simulator.engine import Simulator
+from repro.tasks import UnrollingTask, available_tasks, get_task
+
+ALL_TASKS = ("vectorization", "polly-tiling", "unrolling")
+
+TWO_LOOP_SOURCE = """
+float a[2048], b[2048];
+float c[256][256], d[256][256];
+float work() {
+    float s = 0;
+    for (int i = 0; i < 2048; i++) {
+        s += a[i] * b[i];
+    }
+    for (int r = 0; r < 256; r++) {
+        for (int q = 0; q < 256; q++) {
+            c[r][q] = c[r][q] + d[q][r];
+        }
+    }
+    return s;
+}
+"""
+
+STREAM_SOURCE = """
+float x[2048], y[2048];
+void scale(float alpha) {
+    for (int i = 0; i < 2048; i++) {
+        y[i] = alpha * x[i];
+    }
+}
+"""
+
+GUARDED_SOURCE = """
+float ga[4096], gb[4096], gc[4096];
+void guarded(int flag) {
+    for (int i = 0; i < 4096; i++) {
+        ga[i] = ga[i] + 1.0f;
+    }
+    if (flag) {
+        for (int j = 0; j < 4096; j++) {
+            gb[j] = gb[j] * 2.0f;
+        }
+    }
+    for (int k = 0; k < 4096; k++) {
+        gc[k] = gc[k] + ga[k];
+    }
+}
+"""
+
+
+def two_loop_kernel() -> LoopKernel:
+    return LoopKernel(name="work", source=TWO_LOOP_SOURCE, function_name="work")
+
+
+def stream_kernel() -> LoopKernel:
+    return LoopKernel(name="stream", source=STREAM_SOURCE, function_name="scale")
+
+
+def guarded_kernel() -> LoopKernel:
+    return LoopKernel(name="guarded", source=GUARDED_SOURCE, function_name="guarded")
+
+
+def comparison_fingerprint(comparison: TaskComparison):
+    """Everything a comparison run produced, in a directly comparable shape."""
+    return (
+        comparison.task,
+        comparison.methods,
+        comparison.speedups,
+        comparison.cycles,
+        comparison.baseline_cycles,
+        comparison.decision_log,
+    )
+
+
+def count_simulations(body):
+    """Run ``body()`` counting Simulator.simulate calls."""
+    calls = {"n": 0}
+    original = Simulator.simulate
+
+    def counting(self, *args, **kwargs):
+        calls["n"] += 1
+        return original(self, *args, **kwargs)
+
+    Simulator.simulate = counting
+    try:
+        result = body()
+    finally:
+        Simulator.simulate = original
+    return result, calls["n"]
+
+
+# ---------------------------------------------------------------------------
+# compare_agents across every registered task
+# ---------------------------------------------------------------------------
+
+
+class TestCompareAgents:
+    def test_all_three_tasks_registered(self):
+        assert set(ALL_TASKS) <= set(available_tasks())
+
+    @pytest.mark.parametrize("task_name", ALL_TASKS)
+    def test_populated_speedup_table_per_task(self, task_name):
+        comparison = compare_agents(
+            [two_loop_kernel(), stream_kernel()], task=task_name
+        )
+        assert comparison.task == task_name
+        assert comparison.methods == ["baseline", "random", "brute_force"]
+        assert set(comparison.speedups) == {"work", "stream"}
+        for kernel_name, row in comparison.speedups.items():
+            assert set(row) == set(comparison.methods)
+            for value in row.values():
+                assert value == value and value > 0  # finite, positive
+            assert comparison.baseline_cycles[kernel_name] > 0
+        rendered = comparison.format_table().render()
+        assert task_name in rendered
+        assert "work" in rendered and "stream" in rendered
+
+    @pytest.mark.parametrize("task_name", ALL_TASKS)
+    def test_baseline_method_is_exactly_one(self, task_name):
+        # task.baseline_action must reproduce measure_baseline exactly —
+        # the x=1.0 reference the paper normalises every figure to.
+        comparison = compare_agents([two_loop_kernel()], task=task_name)
+        assert comparison.speedups["work"]["baseline"] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("task_name", ALL_TASKS)
+    def test_brute_force_never_loses_to_baseline(self, task_name):
+        comparison = compare_agents([two_loop_kernel()], task=task_name)
+        row = comparison.speedups["work"]
+        assert row["brute_force"] >= row["baseline"] - 1e-9
+
+    def test_decision_log_matches_sites_and_menus(self):
+        kernel = two_loop_kernel()
+        task = get_task("unrolling")
+        comparison = compare_agents([kernel], task=task)
+        sites = task.decision_sites(kernel)
+        for method in comparison.methods:
+            decisions = comparison.decisions_for("work", method)
+            assert sorted(decisions) == [site.index for site in sites]
+            for action in decisions.values():
+                assert action[0] in task.menus[0]
+
+    def test_mismatched_agent_task_rejected(self):
+        agents = {"brute_force": BruteForceAgent(CompileAndMeasure())}  # vectorization
+        with pytest.raises(ValueError, match="vectorization"):
+            compare_agents([stream_kernel()], agents=agents, task="unrolling")
+
+    def test_five_reference_agents_run_through_one_comparison(self):
+        # The full supervised line-up of the paper's Figure 7 through the
+        # task-generic path: baseline, random, brute force, NNS, tree —
+        # the embedding-driven pair fitted on the real site embeddings.
+        from repro.core.framework import build_embedding_model
+        from repro.tasks import get_task
+
+        kernels = [stream_kernel(), two_loop_kernel()]
+        task = get_task("vectorization")
+        embedding_model = build_embedding_model(kernels)
+        runner = ComparisonRunner(task=task, embedding_model=embedding_model)
+        observations = [
+            task.observation_features(site, embedding_model)
+            for kernel in kernels
+            for site in task.decision_sites(kernel)
+        ]
+        labels = [(4, 2), (8, 2), (8, 4)][: len(observations)]
+        agents = runner.default_agents(seed=0)
+        agents["nns"] = NearestNeighborAgent(k=1).fit(
+            np.stack(observations), labels
+        )
+        agents["decision_tree"] = DecisionTreeAgent(seed=0).fit(
+            np.stack(observations), labels
+        )
+        comparison = runner.run(agents, kernels)
+        assert comparison.methods == [
+            "baseline", "random", "brute_force", "nns", "decision_tree",
+        ]
+        assert set(comparison.speedups["stream"]) == set(comparison.methods)
+
+    def test_embedding_driven_agent_without_model_rejected(self):
+        # An NNS/tree/policy agent fed the placeholder observation would
+        # repeat one decision everywhere — reject instead of tabulating it.
+        agents = {
+            "nns": NearestNeighborAgent(k=1).fit(np.zeros((1, 2)), [(4, 2)])
+        }
+        with pytest.raises(ValueError, match="embedding"):
+            ComparisonRunner().run(agents, [stream_kernel()])
+
+    def test_figure_driver_wraps_the_comparison(self):
+        figure = figure_task_comparison([stream_kernel()], task="polly-tiling")
+        assert "polly-tiling" in figure.format_table().render()
+        assert figure.geomean("baseline") == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Serial vs sharded identity (same seed, workers=2)
+# ---------------------------------------------------------------------------
+
+
+class TestSerialParallelIdentity:
+    @pytest.mark.parametrize("task_name", ALL_TASKS)
+    def test_comparison_identical_serial_vs_workers(self, task_name):
+        kernels = [two_loop_kernel(), stream_kernel()]
+        serial_runner = ComparisonRunner(task=task_name)
+        serial = serial_runner.run(serial_runner.default_agents(seed=7), kernels)
+        with EvaluationService(CompileAndMeasure(), workers=2) as service:
+            parallel_runner = ComparisonRunner(
+                task=task_name, evaluation_service=service
+            )
+            parallel = parallel_runner.run(
+                parallel_runner.default_agents(seed=7), kernels
+            )
+        assert comparison_fingerprint(parallel) == comparison_fingerprint(serial)
+
+
+# ---------------------------------------------------------------------------
+# Warm persistent store: rerun simulates nothing, report shows cache hits
+# ---------------------------------------------------------------------------
+
+
+class TestWarmStoreRerun:
+    @pytest.mark.parametrize("task_name", ALL_TASKS)
+    def test_warm_rerun_zero_simulator_calls(self, task_name, tmp_path):
+        kernels = [two_loop_kernel(), stream_kernel()]
+        cache_dir = str(tmp_path / task_name)
+
+        cold_cache = DiskBackedRewardCache.open(cache_dir)
+        cold_runner = ComparisonRunner(task=task_name, reward_cache=cold_cache)
+        cold = cold_runner.run(cold_runner.default_agents(seed=0), kernels)
+        cold_cache.close()
+        assert cold.cache_misses > 0
+
+        warm_cache = DiskBackedRewardCache.open(cache_dir)
+        assert warm_cache.preloaded > 0
+        warm_runner = ComparisonRunner(task=task_name, reward_cache=warm_cache)
+        warm, simulations = count_simulations(
+            lambda: warm_runner.run(warm_runner.default_agents(seed=0), kernels)
+        )
+        warm_cache.close()
+        assert simulations == 0
+        assert comparison_fingerprint(warm) == comparison_fingerprint(cold)
+
+    def test_fully_cache_served_run_reports_hits_not_empty(self, tmp_path):
+        # Regression: every reward answered by the warm store is still an
+        # evaluation — the report must show the hits, and keep the explicit
+        # "no evaluations" table for runs that measured nothing at all.
+        kernels = [stream_kernel()]
+        cache_dir = str(tmp_path / "warm")
+        cold_cache = DiskBackedRewardCache.open(cache_dir)
+        cold_runner = ComparisonRunner(task="unrolling", reward_cache=cold_cache)
+        cold_runner.run(cold_runner.default_agents(seed=0), kernels)
+        cold_cache.close()
+
+        warm_cache = DiskBackedRewardCache.open(cache_dir)
+        warm_runner = ComparisonRunner(task="unrolling", reward_cache=warm_cache)
+        warm = warm_runner.run(warm_runner.default_agents(seed=0), kernels)
+        warm_cache.close()
+        assert warm.cache_misses == 0
+        assert warm.cache_hits > 0
+        rendered = warm.cache_report().render()
+        assert "no evaluations" not in rendered
+        assert "fully cache-served" in rendered
+
+        empty = warm_runner.run(warm_runner.default_agents(seed=0), [])
+        assert "no evaluations" in empty.cache_report().render()
+
+
+# ---------------------------------------------------------------------------
+# The third task, end to end
+# ---------------------------------------------------------------------------
+
+
+class TestUnrollingEndToEnd:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        kernels = [two_loop_kernel(), stream_kernel()]
+        config = TrainingConfig(
+            task="unrolling",
+            rl_total_steps=48,
+            rl_batch_size=24,
+            learning_rate=1e-3,
+            pretrain_epochs=1,
+            pretrain_samples=2,
+            seed=0,
+        )
+        framework, artifacts = NeuroVectorizer.train(kernels, config)
+        yield framework, artifacts, kernels
+        framework.close()
+
+    def test_training_runs_and_sets_task(self, trained):
+        framework, artifacts, _ = trained
+        assert framework.task.name == "unrolling"
+        assert len(artifacts.history.iterations) == 2
+
+    def test_optimize_kernel_applies_unroll_pragmas(self, trained):
+        framework, _, kernels = trained
+        result = framework.optimize_kernel(kernels[1])
+        assert result.task == "unrolling"
+        assert set(result.decisions) == {0}
+        assert result.decisions[0][0] in framework.task.menus[0]
+        assert "unroll_count" in result.transformed_source
+
+    def test_framework_compare_agents_includes_the_policy(self, trained):
+        framework, _, kernels = trained
+        comparison = framework.compare_agents(kernels)
+        assert comparison.methods == ["baseline", "random", "brute_force", "rl"]
+        for row in comparison.speedups.values():
+            assert set(row) == set(comparison.methods)
+        assert comparison.geomean("baseline") == pytest.approx(1.0)
+
+    def test_sharded_training_matches_serial(self, tmp_path):
+        # The acceptance bar: workers=2 evaluation is byte-identical to
+        # serial for the new task, end to end through train().
+        kernels = [stream_kernel()]
+
+        def run(workers):
+            config = TrainingConfig(
+                task="unrolling",
+                rl_total_steps=24,
+                rl_batch_size=12,
+                learning_rate=1e-3,
+                pretrain_epochs=0,
+                seed=3,
+                workers=workers,
+            )
+            framework, artifacts = NeuroVectorizer.train(kernels, config)
+            try:
+                rewards = [
+                    iteration.reward_mean
+                    for iteration in artifacts.history.iterations
+                ]
+                decisions = framework.decide_sites(kernels[0])
+            finally:
+                framework.close()
+            return rewards, decisions
+
+        assert run(0) == run(2)
+
+
+class TestUnrollingEdgeCases:
+    def test_out_of_menu_unroll_factor_rejected(self):
+        with pytest.raises(ValueError, match="unroll"):
+            UnrollingTask().cache_key((3,))
+        with pytest.raises(ValueError):
+            UnrollingTask().cache_key((4, 2))  # wrong arity
+
+    def test_conditional_wrapped_nest_keeps_site_indices_aligned(self):
+        # The PR-3 Polly bug class: a loop inside an ``if`` is its own
+        # decision site and must map to the same index in the lowered IR's
+        # innermost_loops() order, or unroll factors land on the wrong loop.
+        kernel = guarded_kernel()
+        task = UnrollingTask()
+        pipeline = CompileAndMeasure()
+        sites = task.decision_sites(kernel)
+        assert [site.index for site in sites] == [0, 1, 2]
+
+        ir_function = pipeline.lower_kernel(kernel)
+        ir_loops = ir_function.innermost_loops()
+        # The extractor's site order matches lowering's loop order by
+        # induction variable — including the if-wrapped j loop.
+        assert [loop.var for loop in ir_loops] == ["i", "j", "k"]
+
+        # Unrolling exactly one site annotates exactly that loop.
+        for index, var in enumerate(["i", "j", "k"]):
+            application = task.apply(pipeline, kernel, {index: (8,)})
+            lowered = pipeline.lower_kernel(
+                kernel, source=application.transformed_source
+            )
+            annotated = [
+                loop.var
+                for loop in lowered.innermost_loops()
+                if loop.pragma is not None and loop.pragma.unroll_count == 8
+            ]
+            assert annotated == [var]
+
+    def test_disable_pragma_keeps_the_unroll_factor(self):
+        # vectorize(disable) unroll_count(8) is plain 8x scalar unrolling,
+        # not a silently dropped hint (shared factors_from_pragma rule).
+        from repro.frontend.pragmas import parse_pragma_text
+        from repro.vectorizer.planner import factors_from_pragma
+
+        pragma = parse_pragma_text(
+            "#pragma clang loop vectorize(disable) unroll_count(8)"
+        )
+        assert factors_from_pragma(pragma, default_vf=16, default_interleave=4) == (1, 8)
+        assert factors_from_pragma(None, 16, 4) == (16, 4)
+
+        pipeline = CompileAndMeasure()
+        kernel = stream_kernel()
+        annotated = kernel.source.replace(
+            "for (int i",
+            "#pragma clang loop vectorize(disable) unroll_count(8)\n    for (int i",
+        )
+        via_pragmas = pipeline.measure_with_pragmas(kernel, source=annotated)
+        direct = pipeline.measure_with_factors(kernel, {0: (1, 8)})
+        assert via_pragmas.cycles == direct.cycles
+
+    def test_runner_rejects_conflicting_pipeline_or_machine(self):
+        from repro.machine.description import MachineDescription
+
+        scalar = MachineDescription(name="scalar-ish", vector_bits=64)
+        with pytest.raises(ValueError, match="machine"):
+            ComparisonRunner(pipeline=CompileAndMeasure(), machine=scalar)
+        with EvaluationService(CompileAndMeasure(), workers=0) as service:
+            with pytest.raises(ValueError, match="pipeline"):
+                ComparisonRunner(
+                    pipeline=CompileAndMeasure(machine=scalar),
+                    evaluation_service=service,
+                )
+            # A distinct but value-equal pipeline is accepted.
+            runner = ComparisonRunner(
+                pipeline=CompileAndMeasure(), evaluation_service=service
+            )
+            assert runner.machine == service.pipeline.machine
+
+    def test_apply_matches_evaluate_for_single_site(self):
+        task = UnrollingTask()
+        pipeline = CompileAndMeasure()
+        kernel = stream_kernel()
+        assert (
+            task.apply(pipeline, kernel, {0: (8,)}).result.cycles
+            == task.evaluate(pipeline, kernel, 0, (8,)).cycles
+        )
+
+    def test_unrolling_beats_scalar_on_a_reduction(self):
+        # The simulator's interleave model gives unrolling its payoff:
+        # a float reduction is latency-bound, so some unroll factor must
+        # beat the unrolled-by-1 version.
+        source = """
+        float u[2048], v[2048];
+        float dot() {
+            float s = 0;
+            for (int i = 0; i < 2048; i++) {
+                s += u[i] * v[i];
+            }
+            return s;
+        }
+        """
+        kernel = LoopKernel(name="dot", source=source, function_name="dot")
+        task = UnrollingTask()
+        pipeline = CompileAndMeasure()
+        cycles = {
+            unroll: task.evaluate(pipeline, kernel, 0, (unroll,)).cycles
+            for unroll in task.menus[0]
+        }
+        assert min(cycles.values()) < cycles[1]
+
+
+# ---------------------------------------------------------------------------
+# The generalized Figure-1 sweep
+# ---------------------------------------------------------------------------
+
+
+class TestActionSweep:
+    def test_sweep_covers_the_whole_menu(self):
+        task = get_task("unrolling")
+        result = action_sweep(stream_kernel(), task=task)
+        assert set(result.grid) == {(u,) for u in task.menus[0]}
+        assert result.best_action in result.grid
+        assert result.best_speedup == max(result.grid.values())
+        rendered = result.format_table().render()
+        assert "unroll" in rendered
+
+    def test_two_dimensional_tasks_render_a_matrix(self):
+        result = action_sweep(stream_kernel(), task="vectorization")
+        rendered = result.format_table().render()
+        assert "vf \\ interleave" in rendered
+        # One row per VF value plus header/separator/title.
+        task = get_task("vectorization")
+        assert len(result.grid) == len(task.menus[0]) * len(task.menus[1])
+
+    def test_sweep_is_cache_aware(self):
+        from repro.cache.reward_cache import RewardCache
+
+        cache = RewardCache()
+        kernel = stream_kernel()
+        action_sweep(kernel, task="unrolling", reward_cache=cache)
+        misses_after_cold = cache.stats.misses
+        _, simulations = count_simulations(
+            lambda: action_sweep(kernel, task="unrolling", reward_cache=cache)
+        )
+        assert simulations == 0
+        assert cache.stats.misses == misses_after_cold
