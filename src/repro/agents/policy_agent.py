@@ -16,13 +16,43 @@ class PolicyAgent(VectorizationAgent):
 
     "Once the model is trained it can be plugged in as is for inference
     without further retraining" (§3) — this class is that plug.
+
+    ``task`` selects which head bank of a jointly-trained
+    :class:`repro.rl.policy.MultiTaskPolicy` this agent decides with (and
+    which space decodes its actions); one joint policy yields one
+    task-pinned agent per task via :meth:`for_task`.  Single-task policies
+    need no task: the agent routes to the only head bank.
     """
 
     name = "rl"
 
-    def __init__(self, policy: Policy, deterministic: bool = True):
+    def __init__(self, policy: Policy, deterministic: bool = True, task=None):
+        from repro.tasks import resolve_task
+
         self.policy = policy
         self.deterministic = deterministic
+        self.task = resolve_task(task) if task is not None else None
+        # Fail at construction, not mid-comparison: a requested task the
+        # policy was never trained for, or a multi-bank policy with no
+        # task to route by, would otherwise only blow up on the first
+        # select_factors call.
+        if self.task is not None and hasattr(policy, "heads_for"):
+            policy.heads_for(self.task.name)
+        elif self.task is None and len(getattr(policy, "task_names", ())) > 1:
+            raise ValueError(
+                "a jointly-trained policy needs task=<name> (or "
+                f"for_task()) to decide with; trained heads: "
+                f"{policy.task_names}"
+            )
+
+    def for_task(self, task) -> "PolicyAgent":
+        """This policy pinned to one of its tasks (joint-training helper)."""
+        return PolicyAgent(self.policy, deterministic=self.deterministic, task=task)
+
+    def _space(self, task_name: Optional[str]):
+        if hasattr(self.policy, "space_for"):
+            return self.policy.space_for(task_name)
+        return self.policy.space
 
     def select_factors(
         self,
@@ -30,8 +60,10 @@ class PolicyAgent(VectorizationAgent):
         kernel: Optional[LoopKernel] = None,
         loop_index: int = 0,
     ) -> AgentDecision:
+        task_name = self.task.name if self.task is not None else None
         output = self.policy.act(
             np.asarray(observation, dtype=np.float64),
             deterministic=self.deterministic,
+            task=task_name,
         )
-        return AgentDecision(action=self.policy.space.decode(output.action))
+        return AgentDecision(action=self._space(task_name).decode(output.action))

@@ -103,8 +103,16 @@ class TrainingConfig:
     seed: int = 0
     #: The registered optimization task this run trains for.  The default
     #: keeps the paper's (VF, IF) vectorization decision; ``"polly-tiling"``
-    #: trains per-nest tile-size/fusion decisions instead.
+    #: trains per-nest tile-size/fusion decisions instead.  This is the
+    #: single-task compatibility shim: it is ignored when ``tasks`` is set.
     task: str = "vectorization"
+    #: Multi-task joint training: the tasks one shared-trunk policy with
+    #: task-conditioned head banks trains over (supersedes ``task``).
+    #: Entries are registered task names or task *objects* — the latter
+    #: keeps unregistered custom-task plug-ins trainable jointly, exactly
+    #: as the single-task ``task=`` shim accepts them.  ``None`` means
+    #: single-task training on ``task``.
+    tasks: Optional[Sequence] = None
     #: Evaluation-service settings: worker processes for sharded reward
     #: evaluation (0 = serial in-process) and the directory of the
     #: persistent cross-run reward store (None = memory only).
@@ -119,6 +127,18 @@ class TrainingConfig:
     compact_min_segments: int = 2
     compact_min_bytes: Optional[int] = None
 
+    def resolved_tasks(self) -> Tuple[OptimizationTask, ...]:
+        """The task objects this config trains (``tasks``, else ``(task,)``).
+
+        Entries may be registered names or task instances (so unregistered
+        custom tasks train jointly too); duplicates by resolved name are
+        rejected.
+        """
+        from repro.tasks import resolve_tasks
+
+        entries = tuple(self.tasks) if self.tasks else (self.task,)
+        return tuple(resolve_tasks(entries))
+
 
 @dataclass
 class TrainingArtifacts:
@@ -127,6 +147,9 @@ class TrainingArtifacts:
     history: object = None
     pretrain_result: object = None
     samples: List[object] = field(default_factory=list)
+    #: Joint training: the environment samples per task name (for a
+    #: single-task run, one entry equal to ``samples``).
+    samples_by_task: Dict[str, List[object]] = field(default_factory=dict)
 
 
 def build_embedding_model(
@@ -202,22 +225,43 @@ class NeuroVectorizer:
         evaluation_service=None,
         task: Optional[OptimizationTask] = None,
         compaction=None,
+        tasks: Optional[Sequence] = None,
     ):
         self.machine = machine or MachineDescription()
         self.pipeline = pipeline or CompileAndMeasure(machine=self.machine)
         self.embedding_model = embedding_model
         self.agent = agent
-        self.task = resolve_task(task)
+        # ``tasks`` is the joint-training surface: every task the (shared)
+        # agent was trained for.  ``self.task`` stays the primary task every
+        # single-task method defaults to, so the pre-joint API is the
+        # one-task special case.
+        if tasks:
+            from repro.tasks import resolve_tasks
+
+            self.tasks = resolve_tasks(tasks)
+            names = [entry.name for entry in self.tasks]
+            if task is not None and resolve_task(task).name not in names:
+                raise ValueError(
+                    f"primary task {resolve_task(task).name!r} is not among "
+                    f"tasks={names}"
+                )
+            primary = resolve_task(task).name if task is not None else names[0]
+            self.task = next(t for t in self.tasks if t.name == primary)
+        else:
+            self.task = resolve_task(task)
+            self.tasks = [self.task]
         # A task-aware agent deciding for a different task would feed its
         # actions straight into this task's apply/cache path — both tasks
         # may share an action arity, so the mix-up would be silent garbage
         # (VF/IF applied as tile/fuse).  Fail loudly instead.
         agent_task = getattr(agent, "task", None)
-        if agent_task is not None and agent_task.name != self.task.name:
+        if agent_task is not None and agent_task.name not in {
+            t.name for t in self.tasks
+        }:
             raise ValueError(
                 f"agent decides for task {agent_task.name!r} but the "
-                f"framework runs task {self.task.name!r}; construct the "
-                f"agent with task={self.task.name!r}"
+                f"framework runs task(s) {[t.name for t in self.tasks]}; "
+                f"construct the agent with one of those tasks"
             )
         # An optional repro.distributed.EvaluationService owning the run's
         # worker pool; its cache is adopted as the run-wide cache unless one
@@ -304,17 +348,59 @@ class NeuroVectorizer:
         contexts = extract_path_contexts(loop.nest_root, rename_map=rename_map)
         return self.embedding_model.embed(contexts)
 
+    # -- task routing -----------------------------------------------------------------
+
+    def _member_task(self, task=None) -> OptimizationTask:
+        """Resolve ``task`` to one of this framework's trained tasks."""
+        if task is None:
+            return self.task
+        resolved = resolve_task(task)
+        for candidate in self.tasks:
+            if candidate.name == resolved.name:
+                return candidate
+        raise ValueError(
+            f"this framework was trained for task(s) "
+            f"{[t.name for t in self.tasks]}, not {resolved.name!r}"
+        )
+
+    def _agent_for_task(self, task: OptimizationTask):
+        """The framework agent pinned to ``task``.
+
+        A task-selecting agent (a :class:`repro.agents.policy_agent.
+        PolicyAgent` over a jointly-trained policy) is re-pinned via its
+        ``for_task``; other agents must already decide for the task.
+        """
+        agent_task = getattr(self.agent, "task", None)
+        if agent_task is not None and agent_task.name == task.name:
+            return self.agent
+        for_task = getattr(self.agent, "for_task", None)
+        if for_task is not None:
+            return for_task(task)
+        if agent_task is not None:
+            raise ValueError(
+                f"agent decides for task {agent_task.name!r}, not "
+                f"{task.name!r}, and cannot be re-pinned"
+            )
+        return self.agent
+
     # -- decision making -----------------------------------------------------------------
 
-    def decide_sites(self, kernel: LoopKernel) -> Dict[int, Tuple[int, ...]]:
-        """Run the agent on every decision site; returns site → action."""
+    def decide_sites(self, kernel: LoopKernel, task=None) -> Dict[int, Tuple[int, ...]]:
+        """Run the agent on every decision site; returns site → action.
+
+        ``task`` selects one of a jointly-trained framework's tasks (the
+        primary task by default) — the agent decides with that task's head
+        bank and the actions are validated against that task's menus.
+        """
+        task = self._member_task(task)
+        agent = self._agent_for_task(task)
         decisions: Dict[int, Tuple[int, ...]] = {}
-        for site in self.task.decision_sites(kernel):
-            observation = self.task.observation_features(site, self.embedding_model)
-            chosen = self.agent.select_factors(
+        for site in task.decision_sites(kernel):
+            observation = task.observation_features(site, self.embedding_model)
+            chosen = agent.select_factors(
                 observation, kernel=kernel, loop_index=site.index
             )
-            decisions[site.index] = self.task.cache_key(chosen.as_tuple())
+            decisions[site.index] = task.cache_key(chosen.as_tuple())
         return decisions
 
     def decide_kernel(self, kernel: LoopKernel) -> List[VectorizationDecision]:
@@ -324,11 +410,15 @@ class NeuroVectorizer:
         records.  Use :meth:`decide_sites` for task-generic decisions.
         """
         self._require_vectorization("decide_kernel")
+        # Route through the task-pinned agent: on a jointly-trained
+        # framework the raw PolicyAgent has no task and a multi-bank
+        # policy would refuse to act without one.
+        agent = self._agent_for_task(self.task)
         loops = extract_loops(kernel.source, function_name=kernel.function_name)
         decisions: List[VectorizationDecision] = []
         for loop in loops:
             observation = self.observe_loop(loop)
-            chosen = self.agent.select_factors(
+            chosen = agent.select_factors(
                 observation, kernel=kernel, loop_index=loop.loop_index
             )
             decisions.append(
@@ -352,23 +442,25 @@ class NeuroVectorizer:
 
     # -- end-to-end optimization -----------------------------------------------------------
 
-    def optimize_kernel(self, kernel: LoopKernel) -> OptimizationResult:
+    def optimize_kernel(self, kernel: LoopKernel, task=None) -> OptimizationResult:
         """Decide every site, apply the task's transform, and measure.
 
         The task-generic end-to-end path: works for every registered task
         (for vectorization it injects pragmas, for Polly tiling it rewrites
-        the IR).  Both the baseline and the applied measurement go through
+        the IR).  ``task`` selects one of a jointly-trained framework's
+        tasks.  Both the baseline and the applied measurement go through
         the run's reward cache, so with a disk-backed cache a repeat run
         over the same kernels and decisions simulates nothing.
         """
-        decisions = self.decide_sites(kernel)
+        task = self._member_task(task)
+        decisions = self.decide_sites(kernel, task=task)
         baseline, _ = self.reward_cache.measure_baseline(self.pipeline, kernel)
-        application = self.task.apply(
+        application = task.apply(
             self.pipeline, kernel, decisions, reward_cache=self.reward_cache
         )
         return OptimizationResult(
             kernel_name=kernel.name,
-            task=self.task.name,
+            task=task.name,
             decisions=application.decisions,
             cycles=application.result.cycles,
             baseline_cycles=baseline.cycles,
@@ -377,31 +469,71 @@ class NeuroVectorizer:
             description=application.description,
         )
 
-    def optimize_suite(self, kernels: Sequence[LoopKernel]) -> List[OptimizationResult]:
-        return [self.optimize_kernel(kernel) for kernel in kernels]
+    def optimize_suite(
+        self, kernels: Sequence[LoopKernel], task=None
+    ) -> List[OptimizationResult]:
+        return [self.optimize_kernel(kernel, task=task) for kernel in kernels]
 
-    def compare_agents(self, kernels: Sequence[LoopKernel], agents=None, seed: int = 0):
+    def compare_agents(
+        self, kernels: Sequence[LoopKernel], agents=None, seed: int = 0, task=None
+    ):
         """Compare this framework's agent against the reference agents.
 
-        Runs :func:`compare_agents` under this framework's task, pipeline,
-        reward cache, evaluation service and embedding model; the trained
-        agent joins the default baseline/random/brute-force trio under its
-        own name (``"rl"`` for a trained policy) unless an explicit
-        ``agents`` mapping replaces the line-up.
+        Runs :func:`compare_agents` under one of this framework's tasks
+        (``task=None`` selects the primary one), with this framework's
+        pipeline, reward cache, evaluation service and embedding model; the
+        trained agent — pinned to that task's head bank when it is a
+        jointly-trained policy — joins the default baseline/random/
+        brute-force trio under its own name (``"rl"`` for a trained
+        policy) unless an explicit ``agents`` mapping replaces the line-up.
         """
         from repro.evaluation.comparison import ComparisonRunner
 
+        task = self._member_task(task)
         runner = ComparisonRunner(
-            task=self.task,
+            task=task,
             pipeline=self.pipeline,
             embedding_model=self.embedding_model,
             reward_cache=self.reward_cache,
             evaluation_service=self.evaluation_service,
         )
         if agents is None:
+            agent = self._agent_for_task(task)
             agents = runner.default_agents(seed=seed)
-            agents[getattr(self.agent, "name", "agent")] = self.agent
+            agents[getattr(agent, "name", "agent")] = agent
         return runner.run(agents, kernels)
+
+    def compare_all_tasks(
+        self, kernels: Sequence[LoopKernel], agents=None, seed: int = 0
+    ):
+        """One :meth:`compare_agents` table per trained task.
+
+        The joint-training acceptance view: a single shared-trunk policy
+        evaluated separately on every task it was trained on.  Agents in
+        an explicit ``agents`` mapping that can re-pin themselves
+        (``for_task``) are re-pinned per table, so one task-pinned
+        ``PolicyAgent`` serves every task's line-up.  Returns an ordered
+        ``task name -> TaskComparison`` mapping.
+        """
+        from collections import OrderedDict
+
+        results = OrderedDict()
+        for task in self.tasks:
+            task_agents = None
+            if agents is not None:
+                task_agents = OrderedDict(
+                    (
+                        name,
+                        agent.for_task(task)
+                        if hasattr(agent, "for_task")
+                        else agent,
+                    )
+                    for name, agent in agents.items()
+                )
+            results[task.name] = self.compare_agents(
+                kernels, agents=task_agents, seed=seed, task=task
+            )
+        return results
 
     def vectorize_kernel(self, kernel: LoopKernel) -> VectorizationResult:
         """Decide factors, inject pragmas, compile and measure one kernel.
@@ -470,21 +602,30 @@ class NeuroVectorizer:
     ) -> Tuple["NeuroVectorizer", TrainingArtifacts]:
         """Train the full stack: embedding pretraining, then PPO.
 
-        ``config.task`` selects the optimization task being learned; any
-        registered task trains through the identical pipeline.  Returns the
-        framework (with a :class:`PolicyAgent`) and the training artifacts
-        (loss/reward curves, pretraining metrics, the environment samples)
-        so callers can plot Figure-5-style curves.
+        ``config.task`` selects the optimization task being learned — or
+        ``config.tasks`` a *list* of tasks to train jointly: one shared-
+        trunk :class:`repro.rl.policy.MultiTaskPolicy` whose task-
+        conditioned head banks learn every listed task at once from an
+        interleaved :class:`repro.rl.env.MultiTaskEnv`, rewards sharded
+        per task through the run's cache/store/service.  Single-task
+        training is the one-task special case of the same loop.  Returns
+        the framework (with a :class:`PolicyAgent`) and the training
+        artifacts (loss/reward curves — per task for joint runs —
+        pretraining metrics, the environment samples) so callers can plot
+        Figure-5-style curves.
         """
+        from collections import OrderedDict as _OrderedDict
+
         from repro.agents.policy_agent import PolicyAgent
         from repro.analysis.loopinfo import analyze_loop
         from repro.embedding.pretrain import Code2VecPretrainer, loop_property_labels
-        from repro.rl.env import VectorizationEnv, build_samples
+        from repro.rl.env import MultiTaskEnv, build_samples
         from repro.rl.policy import make_policy
         from repro.rl.ppo import PPOConfig, PPOTrainer
 
         config = config or TrainingConfig()
-        task = resolve_task(config.task)
+        tasks = list(config.resolved_tasks())
+        task = tasks[0]
         machine = machine or MachineDescription()
         pipeline = CompileAndMeasure(machine=machine)
 
@@ -548,21 +689,32 @@ class NeuroVectorizer:
                 )
 
             # --- stage 2: PPO over the frozen embedding ---------------------------
-            samples = build_samples(train_kernels, embedding_model, pipeline, task=task)
-            env = VectorizationEnv(
-                samples,
+            # The joint loop: one environment interleaving every task's
+            # decision sites, one policy with a head bank per task.  A
+            # single task is the one-lane/one-bank special case, identical
+            # to pre-joint single-task training.
+            samples_by_task: Dict[str, List[object]] = _OrderedDict()
+            for member in tasks:
+                samples_by_task[member.name] = build_samples(
+                    train_kernels, embedding_model, pipeline, task=member
+                )
+            env = MultiTaskEnv(
+                tasks,
+                samples_by_task,
                 pipeline=pipeline,
                 seed=config.seed,
                 reward_cache=reward_cache,
                 evaluation_service=evaluation_service,
-                task=task,
             )
             policy = make_policy(
                 config.policy,
                 env.observation_dim,
                 hidden_sizes=config.hidden_sizes,
                 seed=config.seed,
-                space=task.action_space(config.policy),
+                spaces=_OrderedDict(
+                    (member.name, member.action_space(config.policy))
+                    for member in tasks
+                ),
             )
             ppo_config = PPOConfig(
                 learning_rate=config.learning_rate,
@@ -582,15 +734,21 @@ class NeuroVectorizer:
 
         framework = cls(
             embedding_model,
-            PolicyAgent(policy),
+            # Pinned to the primary task; per-task surfaces re-pin it via
+            # _agent_for_task / PolicyAgent.for_task.
+            PolicyAgent(policy, task=task),
             pipeline,
             machine,
             reward_cache,
             evaluation_service=evaluation_service,
             task=task,
             compaction=compaction,
+            tasks=tasks,
         )
         artifacts = TrainingArtifacts(
-            history=history, pretrain_result=pretrain_result, samples=samples
+            history=history,
+            pretrain_result=pretrain_result,
+            samples=samples_by_task[task.name],
+            samples_by_task=dict(samples_by_task),
         )
         return framework, artifacts

@@ -8,9 +8,11 @@ the next chunk while worker processes simulate the first — with a parallel
 :class:`EvaluationService` the two genuinely overlap; without one the API
 degrades to the plain synchronous path with identical results.
 
-Generic over the environment's optimization task: raw policy actions are
-decoded once, and the decoded task-action tuples travel through the service
-exactly as the serial path would send them.
+Generic over the environment's optimization task(s): raw policy actions are
+decoded once (through each sample's own task space — a
+:class:`repro.rl.env.MultiTaskEnv` routes per tag), and the decoded
+task-action tuples travel through the service exactly as the serial path
+would send them.
 """
 
 from __future__ import annotations
@@ -89,19 +91,17 @@ class AsyncEvaluator:
         return self.service is not None and self.service.workers > 0
 
     def submit(self, pairs: Sequence[Tuple[EnvSample, object]]) -> RewardFuture:
-        """Queue decoded ``(sample, raw_action)`` pairs for evaluation."""
-        requests = [
-            (sample, self.env.action_space.decode(action)) for sample, action in pairs
-        ]
+        """Queue ``(sample, raw_action)`` pairs for evaluation.
+
+        Decoding and service submission are delegated to the environment
+        (``decode_batch``/``submit_requests``), which routes each request
+        through its sample's own task — single- and multi-task envs share
+        this one path.
+        """
+        requests = self.env.decode_batch(pairs)
         self.env.total_steps += len(pairs)
         self.env._current = None
         if self.overlapping:
-            service_future = self.service.submit(
-                [
-                    (sample.kernel, sample.loop_index, action)
-                    for sample, action in requests
-                ],
-                task=self.env.task,
-            )
+            service_future = self.env.submit_requests(self.service, requests)
             return RewardFuture(self.env, requests, service_future=service_future)
         return RewardFuture(self.env, requests)

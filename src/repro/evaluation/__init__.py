@@ -24,6 +24,7 @@ from repro.evaluation.figures import (
     ActionSweepResult,
     Figure1Result,
     Figure2Result,
+    FigureConvergenceResult,
     FigureCurvesResult,
     FigureComparisonResult,
     TaskComparisonFigure,
@@ -35,6 +36,7 @@ from repro.evaluation.figures import (
     figure7_main_comparison,
     figure8_polybench,
     figure9_mibench,
+    figure_convergence,
     figure_task_comparison,
 )
 
@@ -52,10 +54,12 @@ __all__ = [
     "ActionSweepResult",
     "Figure1Result",
     "Figure2Result",
+    "FigureConvergenceResult",
     "FigureCurvesResult",
     "FigureComparisonResult",
     "TaskComparisonFigure",
     "action_sweep",
+    "figure_convergence",
     "figure1_dot_product_grid",
     "figure2_bruteforce_suite",
     "figure5_hyperparameter_sweep",

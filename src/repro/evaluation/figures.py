@@ -170,9 +170,16 @@ class FigureCurvesResult:
 def _make_training_environment(
     train_count: int, seed: int, machine: Optional[MachineDescription]
 ):
-    """Build an env factory over a synthetic corpus (shared by Figures 5/6)."""
+    """Build an env factory over a synthetic corpus (shared by Figures 5/6).
+
+    The factory accepts an optional ``tasks=`` keyword (a tuple of
+    registered task names) so :func:`repro.rl.tune.run_experiments` grids
+    can sweep single-task vs joint multi-task configurations; per-task
+    samples are built lazily and memoised across experiments.
+    """
     from repro.core.framework import build_embedding_model
-    from repro.rl.env import VectorizationEnv, build_samples
+    from repro.rl.env import MultiTaskEnv, VectorizationEnv, build_samples
+    from repro.tasks import resolve_task
 
     machine = machine or MachineDescription()
     kernels = list(
@@ -181,9 +188,25 @@ def _make_training_environment(
     pipeline = CompileAndMeasure(machine=machine)
     embedding_model = build_embedding_model(kernels)
     samples = build_samples(kernels, embedding_model, pipeline)
+    sample_memo = {"vectorization": samples}
 
-    def make_env() -> VectorizationEnv:
-        return VectorizationEnv(samples, pipeline=pipeline, seed=seed)
+    def lane_samples(task):
+        if task.name not in sample_memo:
+            sample_memo[task.name] = build_samples(
+                kernels, embedding_model, pipeline, task=task
+            )
+        return sample_memo[task.name]
+
+    def make_env(tasks=None):
+        if not tasks:
+            return VectorizationEnv(samples, pipeline=pipeline, seed=seed)
+        task_objects = [resolve_task(name) for name in tasks]
+        return MultiTaskEnv(
+            task_objects,
+            {task.name: lane_samples(task) for task in task_objects},
+            pipeline=pipeline,
+            seed=seed,
+        )
 
     return make_env
 
@@ -361,6 +384,82 @@ def figure9_mibench(
         comparison=comparison,
         title="Figure 9: MiBench, performance normalised to the baseline",
     )
+
+
+# ---------------------------------------------------------------------------
+# Convergence curves: per-configuration / per-task reward over training
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FigureConvergenceResult:
+    """Reward-convergence curves per configuration and per task.
+
+    The Figure 5/6 plot data generalized to joint training: for every
+    configuration there is the joint reward-mean curve plus one curve per
+    task id seen during training (for a single-task run, that one task's
+    curve equals the joint curve).  ``curves`` maps ``configuration ->
+    curve name -> reward means``; ``"joint"`` is the overall curve.
+    """
+
+    curves: Dict[str, Dict[str, List[float]]]
+    steps: Dict[str, List[int]]
+
+    def configurations(self) -> List[str]:
+        return list(self.curves)
+
+    def reward_curve(self, configuration: str, task: Optional[str] = None) -> List[float]:
+        """One configuration's joint curve, or one of its task curves."""
+        return self.curves[configuration]["joint" if task is None else task]
+
+    def format_table(self, title: str = "reward convergence") -> Table:
+        table = Table(
+            headers=["configuration", "curve", "iterations", "first", "best",
+                     "final"],
+            title=title,
+        )
+        for configuration, curve_map in self.curves.items():
+            for curve_name, rewards in curve_map.items():
+                finite = [value for value in rewards if value == value]
+                table.add_row(
+                    [
+                        configuration,
+                        curve_name,
+                        len(rewards),
+                        finite[0] if finite else float("nan"),
+                        max(finite) if finite else float("nan"),
+                        finite[-1] if finite else float("nan"),
+                    ]
+                )
+        return table
+
+
+def figure_convergence(results) -> FigureConvergenceResult:
+    """Render per-configuration/per-task reward curves from training runs.
+
+    ``results`` is whatever holds the histories: a single
+    :class:`~repro.rl.ppo.TrainingHistory`, a ``name -> TrainingHistory``
+    mapping, or the :class:`~repro.rl.tune.ExperimentResult` list that
+    :func:`repro.rl.tune.run_experiments` returns — so one driver plots
+    both a single joint run and a whole Figure-5/6-style sweep.
+    """
+    from repro.rl.ppo import TrainingHistory
+
+    if isinstance(results, TrainingHistory):
+        items = [("default", results)]
+    elif isinstance(results, dict):
+        items = list(results.items())
+    else:
+        items = [(result.name, result.history) for result in results]
+    curves: Dict[str, Dict[str, List[float]]] = {}
+    steps: Dict[str, List[int]] = {}
+    for name, history in items:
+        curve_map: Dict[str, List[float]] = {"joint": history.reward_curve()}
+        for task_name in history.task_names():
+            curve_map[task_name] = history.reward_curve(task=task_name)
+        curves[name] = curve_map
+        steps[name] = history.steps()
+    return FigureConvergenceResult(curves=curves, steps=steps)
 
 
 # ---------------------------------------------------------------------------

@@ -24,8 +24,20 @@ from repro.rl.spaces import (
     default_action_space,
     make_action_space,
 )
-from repro.rl.env import EnvSample, VectorizationEnv, build_samples
-from repro.rl.policy import ContinuousPolicy, DiscretePolicy, Policy
+from repro.rl.env import (
+    EnvSample,
+    MultiTaskEnv,
+    TaggedSample,
+    VectorizationEnv,
+    build_samples,
+)
+from repro.rl.policy import (
+    ContinuousPolicy,
+    DiscretePolicy,
+    MultiTaskPolicy,
+    Policy,
+    make_policy,
+)
 from repro.rl.ppo import PPOConfig, PPOTrainer, TrainingHistory
 from repro.rl.tune import grid_search, run_experiments
 
@@ -37,11 +49,15 @@ __all__ = [
     "default_action_space",
     "make_action_space",
     "EnvSample",
+    "MultiTaskEnv",
+    "TaggedSample",
     "VectorizationEnv",
     "build_samples",
     "Policy",
+    "MultiTaskPolicy",
     "DiscretePolicy",
     "ContinuousPolicy",
+    "make_policy",
     "PPOConfig",
     "PPOTrainer",
     "TrainingHistory",

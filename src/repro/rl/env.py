@@ -5,12 +5,20 @@ decision sites of each kernel, the action menus, and how a chosen action is
 measured.  The default task reproduces the paper's per-loop (VF, IF)
 vectorization decision; ``VectorizationEnv`` keeps its name (and its legacy
 ``evaluate_factors`` API) as the compatibility surface.
+
+:class:`MultiTaskEnv` is the joint-training environment: it interleaves
+the decision sites of several tasks over one kernel set, tags every
+observation with its task id (so a task-conditioned policy can route to
+the right head bank), and routes each reward through its own task's cache
+key — one shared reward store and evaluation service serve all tasks
+without collisions.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +33,7 @@ from repro.core.pipeline import CompileAndMeasure
 from repro.datasets.kernels import LoopKernel
 from repro.embedding.code2vec import Code2VecModel
 from repro.rl.spaces import ActionSpace
-from repro.tasks import DecisionSite, OptimizationTask, resolve_task
+from repro.tasks import DecisionSite, OptimizationTask, resolve_task, resolve_tasks
 
 
 @dataclass
@@ -157,6 +165,11 @@ class VectorizationEnv:
             raise RuntimeError("call reset() before step()")
         return self._current
 
+    @property
+    def current_task_name(self) -> str:
+        """Task id tag of the observation (constant for single-task envs)."""
+        return self.task.name
+
     def step(self, action) -> StepResult:
         sample = self.current_sample()
         decoded = self.action_space.decode(action)
@@ -259,13 +272,29 @@ class VectorizationEnv:
         self, pairs: Sequence[Tuple[EnvSample, object]]
     ) -> List[StepResult]:
         """Batched :meth:`step`: decode raw actions, dedup, evaluate in one pass."""
-        requests = [
-            (sample, self.action_space.decode(action)) for sample, action in pairs
-        ]
-        results = self.evaluate_actions_batch(requests)
+        results = self.evaluate_actions_batch(self.decode_batch(pairs))
         self.total_steps += len(pairs)
         self._current = None
         return [StepResult(reward=reward, info=info) for reward, info in results]
+
+    # -- async plumbing (shared with repro.distributed.async_api) ---------------------
+
+    def decode_batch(
+        self, pairs: Sequence[Tuple[EnvSample, object]]
+    ) -> List[Tuple[EnvSample, Tuple[int, ...]]]:
+        """Decode raw policy actions to the task's concrete action tuples."""
+        return [
+            (sample, self.action_space.decode(action)) for sample, action in pairs
+        ]
+
+    def submit_requests(
+        self, service, requests: Sequence[Tuple[EnvSample, Tuple[int, ...]]]
+    ):
+        """Submit decoded requests to an evaluation service; returns its future."""
+        return service.submit(
+            [(sample.kernel, sample.loop_index, action) for sample, action in requests],
+            task=self.task,
+        )
 
     # -- evaluation helpers ---------------------------------------------------------------
 
@@ -276,3 +305,292 @@ class VectorizationEnv:
             action = policy.act(sample.observation, deterministic=True).action
             requests.append((sample, self.action_space.decode(action)))
         return [reward for reward, _ in self.evaluate_actions_batch(requests)]
+
+
+# ---------------------------------------------------------------------------
+# Multi-task joint training
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TaggedSample:
+    """One task's sample inside a :class:`MultiTaskEnv` (the task id tag)."""
+
+    task_name: str
+    sample: EnvSample
+
+    @property
+    def observation(self) -> np.ndarray:
+        return self.sample.observation
+
+    @property
+    def kernel(self) -> LoopKernel:
+        return self.sample.kernel
+
+    @property
+    def loop_index(self) -> int:
+        return self.sample.loop_index
+
+
+class _GroupedFuture:
+    """Reassembles per-task service futures back into request order."""
+
+    def __init__(self, parts: Sequence[Tuple[object, Sequence[int]]], size: int):
+        self._parts = list(parts)
+        self._size = size
+
+    def done(self) -> bool:
+        return all(future.done() for future, _ in self._parts)
+
+    def result(self):
+        outcomes = [None] * self._size
+        for future, slots in self._parts:
+            for slot, outcome in zip(slots, future.result()):
+                outcomes[slot] = outcome
+        return outcomes
+
+
+class MultiTaskEnv:
+    """Joint contextual bandit interleaving several tasks' decision sites.
+
+    One environment over the union of every task's samples: ``reset``
+    serves the next site (round-robin across tasks on the first epoch,
+    reshuffled jointly afterwards) and tags it with its task id
+    (:attr:`current_task_name`), ``step`` decodes the raw action through
+    *that task's* action space and routes the reward through that task's
+    cache key — so the persistent store and the sharded evaluation service
+    keep per-task entries exactly as single-task training would write them.
+
+    Internally each task gets a lane — a :class:`VectorizationEnv` over its
+    own samples sharing this env's pipeline, reward cache and evaluation
+    service — so the single-task environment remains the one reward path;
+    this class only owns the interleaving and the routing.  With exactly
+    one task the env behaves identically (ordering, shuffling, rewards) to
+    that task's ``VectorizationEnv``.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence,
+        samples_by_task: Mapping[str, Sequence[EnvSample]],
+        pipeline: Optional[CompileAndMeasure] = None,
+        action_spaces: Optional[Mapping[str, ActionSpace]] = None,
+        compile_time_limit: float = 10.0,
+        compile_time_penalty: float = -9.0,
+        shuffle: bool = True,
+        seed: int = 0,
+        reward_cache: Optional[RewardCache] = None,
+        evaluation_service=None,
+    ):
+        self.tasks = resolve_tasks(tasks)
+        if not self.tasks:
+            raise ValueError("MultiTaskEnv needs at least one task")
+        self.pipeline = pipeline or CompileAndMeasure()
+        self.evaluation_service = evaluation_service
+        self.reward_cache = resolve_cache(reward_cache, evaluation_service)
+        self.lanes: "OrderedDict[str, VectorizationEnv]" = OrderedDict()
+        per_task_samples: List[List[TaggedSample]] = []
+        for task in self.tasks:
+            samples = list(samples_by_task.get(task.name, ()))
+            if not samples:
+                raise ValueError(
+                    f"task {task.name!r} has no environment samples; every "
+                    "joint task needs at least one decision site"
+                )
+            self.lanes[task.name] = VectorizationEnv(
+                samples,
+                pipeline=self.pipeline,
+                action_space=(action_spaces or {}).get(task.name),
+                compile_time_limit=compile_time_limit,
+                compile_time_penalty=compile_time_penalty,
+                shuffle=False,  # ordering lives up here, jointly
+                seed=seed,
+                reward_cache=self.reward_cache,
+                evaluation_service=evaluation_service,
+                task=task,
+            )
+            per_task_samples.append(
+                [TaggedSample(task.name, sample) for sample in samples]
+            )
+        # Round-robin interleave for the first epoch (task A site 0, task B
+        # site 0, task A site 1, ...); subsequent epochs reshuffle jointly.
+        # With one task this is exactly the single-task in-order first epoch.
+        self.samples: List[TaggedSample] = []
+        for position in range(max(len(lane) for lane in per_task_samples)):
+            for lane_samples in per_task_samples:
+                if position < len(lane_samples):
+                    self.samples.append(lane_samples[position])
+        dims = {
+            int(entry.sample.observation.shape[0]) for entry in self.samples
+        }
+        if len(dims) != 1:
+            raise ValueError(
+                "joint tasks must share one embedding: observation dims "
+                f"differ across tasks ({sorted(dims)})"
+            )
+        self.observation_dim = dims.pop()
+        self.shuffle = shuffle
+        self.rng = np.random.default_rng(seed)
+        self._order = np.arange(len(self.samples))
+        self._cursor = 0
+        self._current: Optional[TaggedSample] = None
+        self.total_steps = 0
+
+    # -- structure -------------------------------------------------------------------
+
+    @property
+    def task_names(self) -> List[str]:
+        return list(self.lanes)
+
+    def lane_for(self, task_name: str) -> VectorizationEnv:
+        lane = self.lanes.get(task_name)
+        if lane is None:
+            raise ValueError(
+                f"no task {task_name!r} in this MultiTaskEnv; "
+                f"joint tasks: {list(self.lanes)}"
+            )
+        return lane
+
+    def set_action_spaces(self, spaces: Mapping[str, ActionSpace]) -> None:
+        """Adopt a (multi-task) policy's per-task action spaces.
+
+        Keys must match this env's task names; a single *unnamed* space (a
+        legacy one-head policy, keyed :data:`repro.rl.policy.DEFAULT_HEAD`)
+        is accepted by a single-task env.  A single bank named for a
+        *different* task is rejected — silently adopting its space would
+        decode that task's menus into this task's apply/cache path.
+        """
+        from repro.rl.policy import DEFAULT_HEAD
+
+        if set(spaces) == set(self.lanes):
+            for name, space in spaces.items():
+                self.lanes[name].action_space = space
+            return
+        if len(spaces) == 1 and len(self.lanes) == 1 and DEFAULT_HEAD in spaces:
+            only = next(iter(self.lanes.values()))
+            only.action_space = spaces[DEFAULT_HEAD]
+            return
+        raise ValueError(
+            f"policy head banks {list(spaces)} do not match the "
+            f"environment's tasks {list(self.lanes)}"
+        )
+
+    # -- episode control -------------------------------------------------------------
+
+    def reset(self) -> np.ndarray:
+        if self._cursor >= len(self._order):
+            self._cursor = 0
+            if self.shuffle:
+                self.rng.shuffle(self._order)
+        self._current = self.samples[self._order[self._cursor]]
+        self._cursor += 1
+        return self._current.sample.observation
+
+    def current_sample(self) -> TaggedSample:
+        if self._current is None:
+            raise RuntimeError("call reset() before step()")
+        return self._current
+
+    @property
+    def current_task_name(self) -> str:
+        """Task id tag of the observation served by the last ``reset``."""
+        return self.current_sample().task_name
+
+    def step(self, action) -> StepResult:
+        tagged = self.current_sample()
+        lane = self.lane_for(tagged.task_name)
+        decoded = lane.action_space.decode(action)
+        reward, info = lane.evaluate_action(tagged.sample, decoded)
+        self.total_steps += 1
+        self._current = None
+        return StepResult(reward=reward, info=info)
+
+    # -- reward routing --------------------------------------------------------------
+
+    def _reward_from_measurement(self, tagged, action, measurement, was_cached):
+        lane = self.lane_for(tagged.task_name)
+        return lane._reward_from_measurement(
+            tagged.sample, action, measurement, was_cached
+        )
+
+    def _grouped(self, requests: Sequence[Tuple[TaggedSample, Tuple[int, ...]]]):
+        groups: "OrderedDict[str, List[int]]" = OrderedDict()
+        for index, (tagged, _action) in enumerate(requests):
+            groups.setdefault(tagged.task_name, []).append(index)
+        return groups
+
+    def evaluate_actions_batch(
+        self, requests: Sequence[Tuple[TaggedSample, Tuple[int, ...]]]
+    ) -> List[Tuple[float, Dict[str, float]]]:
+        """Evaluate tagged ``(sample, action)`` requests, grouped per task.
+
+        Each group goes through its own lane — its task's cache keys and
+        reward rule — and results come back in request order, so joint
+        rollouts are as deduplicated (and as deterministic) as single-task
+        ones.
+        """
+        results: List[Optional[Tuple[float, Dict[str, float]]]] = [None] * len(
+            requests
+        )
+        for task_name, indices in self._grouped(requests).items():
+            lane = self.lane_for(task_name)
+            lane_results = lane.evaluate_actions_batch(
+                [(requests[i][0].sample, requests[i][1]) for i in indices]
+            )
+            for index, outcome in zip(indices, lane_results):
+                results[index] = outcome
+        return results  # type: ignore[return-value]
+
+    def evaluate_batch(
+        self, pairs: Sequence[Tuple[TaggedSample, object]]
+    ) -> List[StepResult]:
+        """Batched :meth:`step` over tagged samples (one pass per task)."""
+        results = self.evaluate_actions_batch(self.decode_batch(pairs))
+        self.total_steps += len(pairs)
+        self._current = None
+        return [StepResult(reward=reward, info=info) for reward, info in results]
+
+    # -- async plumbing ---------------------------------------------------------------
+
+    def decode_batch(
+        self, pairs: Sequence[Tuple[TaggedSample, object]]
+    ) -> List[Tuple[TaggedSample, Tuple[int, ...]]]:
+        """Decode raw actions through each sample's own task space."""
+        return [
+            (tagged, self.lane_for(tagged.task_name).action_space.decode(action))
+            for tagged, action in pairs
+        ]
+
+    def submit_requests(
+        self, service, requests: Sequence[Tuple[TaggedSample, Tuple[int, ...]]]
+    ):
+        """Submit decoded requests per task; one reassembling future back."""
+        parts = []
+        for task_name, indices in self._grouped(requests).items():
+            lane = self.lane_for(task_name)
+            future = lane.submit_requests(
+                service, [(requests[i][0].sample, requests[i][1]) for i in indices]
+            )
+            parts.append((future, indices))
+        return _GroupedFuture(parts, len(requests))
+
+    # -- evaluation helpers -----------------------------------------------------------
+
+    def greedy_rewards(self, policy) -> List[float]:
+        """Reward of the policy's argmax action on every sample of every task."""
+        requests = []
+        for tagged in self.samples:
+            lane = self.lane_for(tagged.task_name)
+            action = policy.act(
+                tagged.sample.observation, deterministic=True, task=tagged.task_name
+            ).action
+            requests.append((tagged, lane.action_space.decode(action)))
+        return [reward for reward, _ in self.evaluate_actions_batch(requests)]
+
+    def greedy_rewards_by_task(self, policy) -> Dict[str, List[float]]:
+        """Per-task greedy rewards (the joint policy evaluated task by task)."""
+        rewards = self.greedy_rewards(policy)
+        by_task: Dict[str, List[float]] = {name: [] for name in self.lanes}
+        for tagged, reward in zip(self.samples, rewards):
+            by_task[tagged.task_name].append(reward)
+        return by_task

@@ -1,15 +1,26 @@
-"""Policy networks (tanh MLPs with categorical or Gaussian heads).
+"""Policy networks: one shared tanh-MLP trunk, task-conditioned head banks.
 
-Generic over the action space's menus: the discrete policy grows one
-categorical head per decision dimension, the continuous policies one
-Gaussian dimension per real value.  With the default (VF, IF) space this
-reproduces the paper's architectures exactly.
+Since the multi-task redesign every policy is a :class:`MultiTaskPolicy`:
+a shared trunk feeds one *head bank* per optimization task, where a task's
+bank holds its categorical heads (one per decision dimension) or its
+Gaussian mean head, plus that task's value head, all built from the task's
+own :class:`~repro.rl.spaces.ActionSpace`.  ``act``/``evaluate`` take a
+task id and route through that task's bank, so one network jointly learns
+several tasks while each task keeps its own action menus.
+
+Single-task policies are the one-head special case:
+:class:`DiscretePolicy` and :class:`ContinuousPolicy` are thin
+specializations holding exactly one bank, with construction order (and
+therefore seeded weights and sampling behaviour) identical to the
+pre-redesign classes.  With the default (VF, IF) space the discrete policy
+reproduces the paper's architecture exactly.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -29,6 +40,12 @@ from repro.rl.spaces import (
     DiscreteFactorSpace,
 )
 
+#: Head-bank key used by single-task policies constructed without a task
+#: name (the legacy ``space=`` path).  A bank under this key answers *any*
+#: requested task id — it predates task conditioning, so there is nothing
+#: to misroute.
+DEFAULT_HEAD = "default"
+
 
 @dataclass
 class PolicyOutput:
@@ -39,25 +56,267 @@ class PolicyOutput:
     value: float
 
 
+class _TaskHeads(Module):
+    """One task's head bank: action heads + value head over the trunk.
+
+    ``kind`` is ``"discrete"`` (one categorical head per menu) or
+    ``"gaussian"`` (one mean dimension per continuous value, with a
+    learned log-std).  Construction draws from ``rng`` in the exact order
+    the pre-redesign single-task policies did — action heads, then the
+    value head — so a one-bank policy is weight-identical to the seed.
+    """
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        space: ActionSpace,
+        rng: np.random.Generator,
+        initial_log_std: float = -0.5,
+        action_dims: Optional[int] = None,
+    ):
+        self.space = space
+        if isinstance(space, DiscreteFactorSpace):
+            self.kind = "discrete"
+            self.heads = [
+                Dense(hidden_dim, classes, rng=rng, weight_scale=0.01)
+                for classes in space.sizes
+            ]
+            self.value_head = Dense(hidden_dim, 1, rng=rng, weight_scale=0.01)
+            self.action_dims = space.dims
+        else:
+            self.kind = "gaussian"
+            if action_dims is None:
+                action_dims = 1 if isinstance(space, ContinuousJointSpace) else space.dims
+            if action_dims < 1:
+                raise ValueError("continuous head banks need at least 1 action dimension")
+            self.action_dims = int(action_dims)
+            self.mean_head = Dense(
+                hidden_dim, self.action_dims, rng=rng, weight_scale=0.01
+            )
+            self.value_head = Dense(hidden_dim, 1, rng=rng, weight_scale=0.01)
+            self.log_std = Parameter(
+                np.full((self.action_dims,), initial_log_std), name="log_std"
+            )
+
+    # -- inference ----------------------------------------------------------
+
+    def act_from_hidden(
+        self, hidden: Tensor, rng: np.random.Generator, deterministic: bool
+    ) -> PolicyOutput:
+        value = self.value_head(hidden)
+        if self.kind == "discrete":
+            indices: List[int] = []
+            log_prob = 0.0
+            for head in self.heads:
+                probs = _softmax(head(hidden).numpy()[0])
+                if deterministic:
+                    index = int(np.argmax(probs))
+                else:
+                    index = int(rng.choice(len(probs), p=probs))
+                indices.append(index)
+                log_prob += float(np.log(probs[index] + 1e-12))
+            return PolicyOutput(
+                action=np.array(indices),
+                log_prob=log_prob,
+                value=float(value.numpy()[0, 0]),
+            )
+        mean = ops.sigmoid(self.mean_head(hidden))  # keep the mean in [0, 1]
+        mean_values = mean.numpy()[0]
+        std = np.exp(self.log_std.numpy())
+        if deterministic:
+            sample = mean_values
+        else:
+            sample = mean_values + std * rng.standard_normal(self.action_dims)
+        log_prob = float(
+            np.sum(
+                -0.5 * ((sample - mean_values) / std) ** 2
+                - np.log(std)
+                - 0.5 * np.log(2 * np.pi)
+            )
+        )
+        return PolicyOutput(
+            action=np.clip(sample, 0.0, 1.0),
+            log_prob=log_prob,
+            value=float(value.numpy()[0, 0]),
+        )
+
+    def evaluate_from_hidden(self, hidden: Tensor, actions: np.ndarray):
+        values = self.value_head(hidden)
+        if self.kind == "discrete":
+            log_probs = None
+            entropy = None
+            for dimension, head in enumerate(self.heads):
+                head_logits = head(hidden)
+                dim_actions = np.asarray(actions)[:, dimension].astype(np.int64)
+                dim_log_probs = categorical_log_prob(head_logits, dim_actions)
+                dim_entropy = categorical_entropy(head_logits)
+                log_probs = (
+                    dim_log_probs
+                    if log_probs is None
+                    else ops.add(log_probs, dim_log_probs)
+                )
+                entropy = (
+                    dim_entropy if entropy is None else ops.add(entropy, dim_entropy)
+                )
+            return log_probs, entropy, ops.reshape(values, (-1,))
+        mean = ops.sigmoid(self.mean_head(hidden))
+        # Joint minibatches are padded to the widest task's arity; only this
+        # bank's own dimensions carry meaning.
+        actions = np.asarray(actions)[:, : self.action_dims]
+        log_probs = gaussian_log_prob(mean, self.log_std, actions)
+        entropy = gaussian_entropy(self.log_std)
+        # Broadcast the (scalar) entropy across the batch for a uniform API.
+        entropy = ops.mul(entropy, Tensor(np.ones(actions.shape[0])))
+        return log_probs, entropy, ops.reshape(values, (-1,))
+
+
 class Policy(Module):
-    """Common interface: act on observations, evaluate log-probs for PPO."""
+    """Common interface: act on observations, evaluate log-probs for PPO.
+
+    ``task`` selects the head bank on multi-task policies; single-task
+    policies accept and ignore it (the one-head special case).
+    """
 
     observation_dim: int
 
-    def act(self, observation: np.ndarray, deterministic: bool = False) -> PolicyOutput:
+    def act(
+        self,
+        observation: np.ndarray,
+        deterministic: bool = False,
+        task: Optional[str] = None,
+    ) -> PolicyOutput:
         raise NotImplementedError
 
-    def evaluate(self, observations: np.ndarray, actions: np.ndarray):
+    def evaluate(
+        self, observations: np.ndarray, actions: np.ndarray, task: Optional[str] = None
+    ):
         """Return (log_probs, entropy, values) tensors for a batch."""
         raise NotImplementedError
 
 
-class DiscretePolicy(Policy):
+class MultiTaskPolicy(Policy):
+    """Shared trunk + per-task head banks (the joint-training network).
+
+    ``spaces`` is an ordered ``task name -> ActionSpace`` mapping; one head
+    bank is built per entry, all fed by the same tanh-MLP trunk, so
+    representation learning is amortized across tasks while every task
+    keeps its own action menus, log-probs and value estimate.
+
+    ``act``/``evaluate`` take the task id to route through.  A policy with
+    exactly one bank (the single-task special case) routes every request to
+    it when the request's task id matches the bank — or unconditionally
+    when the bank was built under the legacy :data:`DEFAULT_HEAD` key.
+    """
+
+    def __init__(
+        self,
+        observation_dim: int,
+        spaces: Mapping[str, ActionSpace],
+        hidden_sizes: Sequence[int] = (64, 64),
+        seed: int = 0,
+        initial_log_std: float = -0.5,
+        action_dims: Optional[int] = None,
+    ):
+        if not spaces:
+            raise ValueError("a policy needs at least one task head bank")
+        if action_dims is not None and len(spaces) > 1:
+            raise ValueError(
+                "action_dims overrides are only meaningful for single-task "
+                "policies; multi-task banks derive their arity from the space"
+            )
+        self.observation_dim = observation_dim
+        self.hidden_sizes = tuple(hidden_sizes)
+        rng = np.random.default_rng(seed)
+        self.trunk = MLP(observation_dim, hidden_sizes, hidden_sizes[-1],
+                         activation="tanh", output_activation="tanh", rng=rng)
+        self.task_heads: "OrderedDict[str, _TaskHeads]" = OrderedDict()
+        for name, space in spaces.items():
+            self.task_heads[str(name)] = _TaskHeads(
+                hidden_sizes[-1],
+                space,
+                rng,
+                initial_log_std=initial_log_std,
+                action_dims=action_dims,
+            )
+        self.rng = np.random.default_rng(seed + 1)
+
+    # -- routing ------------------------------------------------------------
+
+    @property
+    def task_names(self) -> List[str]:
+        """Names of the tasks this policy holds head banks for."""
+        return list(self.task_heads)
+
+    @property
+    def spaces(self) -> "OrderedDict[str, ActionSpace]":
+        """Ordered ``task name -> ActionSpace`` mapping of the head banks."""
+        return OrderedDict(
+            (name, bank.space) for name, bank in self.task_heads.items()
+        )
+
+    @property
+    def space(self) -> ActionSpace:
+        """The single bank's action space (single-task policies only)."""
+        return self.heads_for(None).space
+
+    def heads_for(self, task: Optional[str] = None) -> _TaskHeads:
+        """The head bank serving ``task`` (a name, a task object, or None)."""
+        if task is None:
+            if len(self.task_heads) == 1:
+                return next(iter(self.task_heads.values()))
+            raise ValueError(
+                "multi-task policy: pass task=<name> to select a head bank; "
+                f"trained heads: {list(self.task_heads)}"
+            )
+        name = task if isinstance(task, str) else getattr(task, "name", str(task))
+        bank = self.task_heads.get(name)
+        if bank is not None:
+            return bank
+        if len(self.task_heads) == 1 and DEFAULT_HEAD in self.task_heads:
+            # Legacy single-task policies predate task conditioning: with
+            # one unnamed bank there is nothing to misroute.
+            return self.task_heads[DEFAULT_HEAD]
+        raise ValueError(
+            f"policy has no head bank for task {name!r}; "
+            f"trained heads: {list(self.task_heads)}"
+        )
+
+    def space_for(self, task: Optional[str] = None) -> ActionSpace:
+        """The action space of the bank serving ``task``."""
+        return self.heads_for(task).space
+
+    # -- forward ------------------------------------------------------------
+
+    def act(
+        self,
+        observation: np.ndarray,
+        deterministic: bool = False,
+        task: Optional[str] = None,
+    ) -> PolicyOutput:
+        bank = self.heads_for(task)
+        with no_grad():
+            batch = Tensor(observation.reshape(1, -1))
+            hidden = self.trunk(batch)
+            return bank.act_from_hidden(hidden, self.rng, deterministic)
+
+    def evaluate(
+        self, observations: np.ndarray, actions: np.ndarray, task: Optional[str] = None
+    ):
+        bank = self.heads_for(task)
+        batch = Tensor(observations)
+        hidden = self.trunk(batch)
+        return bank.evaluate_from_hidden(hidden, actions)
+
+
+class DiscretePolicy(MultiTaskPolicy):
     """One categorical head per decision dimension plus a value head.
 
     This is action-space definition 1 of Figure 6, the one the paper finds
     performs best: for the (VF, IF) default it is two heads over 7 and 5
-    classes.  Default hidden sizes are the paper's 64x64 FCNN.
+    classes.  Default hidden sizes are the paper's 64x64 FCNN.  Since the
+    multi-task redesign this is the one-bank special case of
+    :class:`MultiTaskPolicy`; weights and sampling are seed-identical to
+    the pre-redesign class.
     """
 
     def __init__(
@@ -67,17 +326,21 @@ class DiscretePolicy(Policy):
         hidden_sizes: Sequence[int] = (64, 64),
         seed: int = 0,
     ):
-        self.space = space or DiscreteFactorSpace()
-        self.observation_dim = observation_dim
-        rng = np.random.default_rng(seed)
-        self.trunk = MLP(observation_dim, hidden_sizes, hidden_sizes[-1],
-                         activation="tanh", output_activation="tanh", rng=rng)
-        self.heads = [
-            Dense(hidden_sizes[-1], classes, rng=rng, weight_scale=0.01)
-            for classes in self.space.sizes
-        ]
-        self.value_head = Dense(hidden_sizes[-1], 1, rng=rng, weight_scale=0.01)
-        self.rng = np.random.default_rng(seed + 1)
+        super().__init__(
+            observation_dim,
+            {DEFAULT_HEAD: space or DiscreteFactorSpace()},
+            hidden_sizes=hidden_sizes,
+            seed=seed,
+        )
+
+    @property
+    def heads(self) -> List[Dense]:
+        """The categorical heads of the single bank."""
+        return self.heads_for(None).heads
+
+    @property
+    def value_head(self) -> Dense:
+        return self.heads_for(None).value_head
 
     @property
     def vf_head(self) -> Dense:
@@ -89,56 +352,14 @@ class DiscretePolicy(Policy):
         """Legacy alias for the second categorical head."""
         return self.heads[1]
 
-    # -- forward -----------------------------------------------------------------
 
-    def _heads(self, observations: Tensor) -> Tuple[List[Tensor], Tensor]:
-        hidden = self.trunk(observations)
-        return [head(hidden) for head in self.heads], self.value_head(hidden)
-
-    def act(self, observation: np.ndarray, deterministic: bool = False) -> PolicyOutput:
-        with no_grad():
-            batch = Tensor(observation.reshape(1, -1))
-            logits, value = self._heads(batch)
-            indices: List[int] = []
-            log_prob = 0.0
-            for head_logits in logits:
-                probs = _softmax(head_logits.numpy()[0])
-                if deterministic:
-                    index = int(np.argmax(probs))
-                else:
-                    index = int(self.rng.choice(len(probs), p=probs))
-                indices.append(index)
-                log_prob += float(np.log(probs[index] + 1e-12))
-            return PolicyOutput(
-                action=np.array(indices),
-                log_prob=log_prob,
-                value=float(value.numpy()[0, 0]),
-            )
-
-    def evaluate(self, observations: np.ndarray, actions: np.ndarray):
-        batch = Tensor(observations)
-        logits, values = self._heads(batch)
-        log_probs = None
-        entropy = None
-        for dimension, head_logits in enumerate(logits):
-            dim_actions = actions[:, dimension].astype(np.int64)
-            dim_log_probs = categorical_log_prob(head_logits, dim_actions)
-            dim_entropy = categorical_entropy(head_logits)
-            log_probs = (
-                dim_log_probs if log_probs is None else ops.add(log_probs, dim_log_probs)
-            )
-            entropy = (
-                dim_entropy if entropy is None else ops.add(entropy, dim_entropy)
-            )
-        return log_probs, entropy, ops.reshape(values, (-1,))
-
-
-class ContinuousPolicy(Policy):
+class ContinuousPolicy(MultiTaskPolicy):
     """Gaussian policy over N continuous action values in [0, 1].
 
     These are action-space definitions 2 and 3 of Figure 6 (one value for
     the whole action grid, or one per dimension); the environment rounds the
-    sampled values to the nearest valid factors.
+    sampled values to the nearest valid factors.  The one-bank special case
+    of :class:`MultiTaskPolicy`.
     """
 
     def __init__(
@@ -152,62 +373,32 @@ class ContinuousPolicy(Policy):
     ):
         if action_dims < 1:
             raise ValueError("continuous policies need at least 1 action dimension")
-        self.observation_dim = observation_dim
-        self.action_dims = action_dims
-        if space is not None:
-            self.space = space
-        else:
-            self.space = (
-                ContinuousJointSpace() if action_dims == 1 else ContinuousPairSpace()
-            )
-        rng = np.random.default_rng(seed)
-        self.trunk = MLP(observation_dim, hidden_sizes, hidden_sizes[-1],
-                         activation="tanh", output_activation="tanh", rng=rng)
-        self.mean_head = Dense(hidden_sizes[-1], action_dims, rng=rng, weight_scale=0.01)
-        self.value_head = Dense(hidden_sizes[-1], 1, rng=rng, weight_scale=0.01)
-        self.log_std = Parameter(
-            np.full((action_dims,), initial_log_std), name="log_std"
+        if space is None:
+            space = ContinuousJointSpace() if action_dims == 1 else ContinuousPairSpace()
+        super().__init__(
+            observation_dim,
+            {DEFAULT_HEAD: space},
+            hidden_sizes=hidden_sizes,
+            seed=seed,
+            initial_log_std=initial_log_std,
+            action_dims=action_dims,
         )
-        self.rng = np.random.default_rng(seed + 1)
 
-    def _heads(self, observations: Tensor) -> Tuple[Tensor, Tensor]:
-        hidden = self.trunk(observations)
-        mean = ops.sigmoid(self.mean_head(hidden))  # keep the mean in [0, 1]
-        value = self.value_head(hidden)
-        return mean, value
+    @property
+    def action_dims(self) -> int:
+        return self.heads_for(None).action_dims
 
-    def act(self, observation: np.ndarray, deterministic: bool = False) -> PolicyOutput:
-        with no_grad():
-            batch = Tensor(observation.reshape(1, -1))
-            mean, value = self._heads(batch)
-            mean_values = mean.numpy()[0]
-            std = np.exp(self.log_std.numpy())
-            if deterministic:
-                sample = mean_values
-            else:
-                sample = mean_values + std * self.rng.standard_normal(self.action_dims)
-            log_prob = float(
-                np.sum(
-                    -0.5 * ((sample - mean_values) / std) ** 2
-                    - np.log(std)
-                    - 0.5 * np.log(2 * np.pi)
-                )
-            )
-            return PolicyOutput(
-                action=np.clip(sample, 0.0, 1.0),
-                log_prob=log_prob,
-                value=float(value.numpy()[0, 0]),
-            )
+    @property
+    def mean_head(self) -> Dense:
+        return self.heads_for(None).mean_head
 
-    def evaluate(self, observations: np.ndarray, actions: np.ndarray):
-        batch = Tensor(observations)
-        mean, values = self._heads(batch)
-        log_probs = gaussian_log_prob(mean, self.log_std, actions)
-        entropy = gaussian_entropy(self.log_std)
-        # Broadcast the (scalar) entropy across the batch for a uniform API.
-        batch_size = observations.shape[0]
-        entropy = ops.mul(entropy, Tensor(np.ones(batch_size)))
-        return log_probs, entropy, ops.reshape(values, (-1,))
+    @property
+    def value_head(self) -> Dense:
+        return self.heads_for(None).value_head
+
+    @property
+    def log_std(self) -> Parameter:
+        return self.heads_for(None).log_std
 
 
 def _softmax(logits: np.ndarray) -> np.ndarray:
@@ -216,33 +407,57 @@ def _softmax(logits: np.ndarray) -> np.ndarray:
     return exps / exps.sum()
 
 
+_KIND_SPACE_CLASSES = {
+    "discrete": DiscreteFactorSpace,
+    "continuous1": ContinuousJointSpace,
+    "continuous2": ContinuousPairSpace,
+}
+
+
 def make_policy(
     kind: str,
     observation_dim: int,
     hidden_sizes: Sequence[int] = (64, 64),
     seed: int = 0,
     space: Optional[ActionSpace] = None,
+    spaces: Optional[Mapping[str, ActionSpace]] = None,
 ) -> Policy:
     """Factory for the three action-space variants of Figure 6.
 
-    ``space`` carries a task's own menus into the policy; without it the
-    paper's (VF, IF) defaults are used.
+    ``space`` carries a task's own menus into a single-task policy;
+    without it the paper's (VF, IF) defaults are used.  ``spaces`` (an
+    ordered ``task name -> ActionSpace`` mapping, every space of the same
+    ``kind``) builds a :class:`MultiTaskPolicy` with one head bank per
+    task instead — with one entry that is exactly the single-task policy
+    under a task-conditioned name.
     """
+    if kind not in _KIND_SPACE_CLASSES:
+        raise ValueError(f"unknown policy kind {kind!r}")
+    space_class = _KIND_SPACE_CLASSES[kind]
+    if spaces is not None:
+        if space is not None:
+            raise ValueError("pass either space or spaces, not both")
+        for name, task_space in spaces.items():
+            if not isinstance(task_space, space_class):
+                raise ValueError(
+                    f"{kind} policies need a {space_class.__name__}; task "
+                    f"{name!r} supplied a {type(task_space).__name__}"
+                )
+        return MultiTaskPolicy(
+            observation_dim,
+            spaces=OrderedDict(spaces),
+            hidden_sizes=hidden_sizes,
+            seed=seed,
+        )
+    if space is not None and not isinstance(space, space_class):
+        raise ValueError(f"{kind} policies need a {space_class.__name__}")
     if kind == "discrete":
-        if space is not None and not isinstance(space, DiscreteFactorSpace):
-            raise ValueError("discrete policies need a DiscreteFactorSpace")
         return DiscretePolicy(
             observation_dim, space=space, hidden_sizes=hidden_sizes, seed=seed
         )
     if kind == "continuous1":
-        if space is not None and not isinstance(space, ContinuousJointSpace):
-            raise ValueError("continuous1 policies need a ContinuousJointSpace")
         return ContinuousPolicy(observation_dim, action_dims=1,
                                 hidden_sizes=hidden_sizes, seed=seed, space=space)
-    if kind == "continuous2":
-        if space is not None and not isinstance(space, ContinuousPairSpace):
-            raise ValueError("continuous2 policies need a ContinuousPairSpace")
-        dims = space.dims if space is not None else 2
-        return ContinuousPolicy(observation_dim, action_dims=dims,
-                                hidden_sizes=hidden_sizes, seed=seed, space=space)
-    raise ValueError(f"unknown policy kind {kind!r}")
+    dims = space.dims if space is not None else 2
+    return ContinuousPolicy(observation_dim, action_dims=dims,
+                            hidden_sizes=hidden_sizes, seed=seed, space=space)

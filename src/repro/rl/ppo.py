@@ -4,11 +4,20 @@ Task-generic: actions flow through the policy's action space (built from
 the task's menus) and rewards through the environment's task-aware cache
 path, so the identical trainer optimizes vectorization factors, Polly
 tile/fusion choices, or any other registered task.
+
+Multi-task aware: over a :class:`repro.rl.env.MultiTaskEnv` with a
+:class:`repro.rl.policy.MultiTaskPolicy`, every collected step carries its
+task id, minibatches are grouped by task so each update applies the right
+head bank's log-probs/entropy/value, and :class:`IterationStats` reports
+per-task reward means alongside the joint mean.  A single-task run is the
+one-group special case — minibatch composition, RNG consumption and
+gradients are identical to the pre-redesign trainer.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -61,6 +70,12 @@ class IterationStats:
     value_loss: float
     entropy: float
     wall_time_seconds: float
+    #: Joint training: mean reward per task id within this batch (a single
+    #: entry — the task's own mean, equal to ``reward_mean`` — for
+    #: single-task runs).
+    per_task_reward_mean: Dict[str, float] = field(default_factory=dict)
+    #: Joint training: steps each task contributed to this batch.
+    per_task_steps: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -70,8 +85,29 @@ class TrainingHistory:
     config: PPOConfig
     iterations: List[IterationStats] = field(default_factory=list)
 
-    def reward_curve(self) -> List[float]:
-        return [it.reward_mean for it in self.iterations]
+    def reward_curve(self, task: Optional[str] = None) -> List[float]:
+        """The joint reward-mean curve, or one task's curve (``task=name``)."""
+        if task is None:
+            return [it.reward_mean for it in self.iterations]
+        return [
+            it.per_task_reward_mean.get(task, float("nan"))
+            for it in self.iterations
+        ]
+
+    def task_names(self) -> List[str]:
+        """Task ids seen during training, in first-appearance order."""
+        seen: "OrderedDict[str, None]" = OrderedDict()
+        for stats in self.iterations:
+            for name in stats.per_task_reward_mean:
+                seen.setdefault(name, None)
+        return list(seen)
+
+    def per_task_final_rewards(self) -> Dict[str, float]:
+        """Each task's reward mean in the last iteration it appeared in."""
+        finals: Dict[str, float] = {}
+        for stats in self.iterations:
+            finals.update(stats.per_task_reward_mean)
+        return finals
 
     def loss_curve(self) -> List[float]:
         return [it.total_loss for it in self.iterations]
@@ -112,9 +148,28 @@ class PPOTrainer:
         self.env = env
         self.policy = policy
         self.config = config or PPOConfig()
-        # The environment must decode actions with the policy's own space.
-        if hasattr(policy, "space"):
-            self.env.action_space = policy.space
+        # The environment must decode actions with the policy's own
+        # space(s).  A multi-task policy hands its per-task spaces to a
+        # multi-task env; a single-task policy keeps the legacy assignment.
+        spaces = getattr(policy, "spaces", None)
+        if spaces is not None and hasattr(env, "set_action_spaces"):
+            env.set_action_spaces(spaces)
+        elif spaces is not None and len(spaces) > 1:
+            raise ValueError(
+                "a multi-task policy (head banks: "
+                f"{list(spaces)}) needs a MultiTaskEnv, not "
+                f"{type(env).__name__}"
+            )
+        elif hasattr(policy, "space"):
+            env_task = getattr(env, "task", None)
+            if env_task is not None and hasattr(policy, "space_for"):
+                # Validates the bank serves the env's task: a single bank
+                # *named* for a different task is rejected here instead of
+                # silently decoding its menus into this task's cache path
+                # (the unnamed legacy bank serves any task).
+                self.env.action_space = policy.space_for(env_task.name)
+            else:
+                self.env.action_space = policy.space
         self.optimizer = Adam(policy.parameters(), self.config.learning_rate)
         self.history = TrainingHistory(config=self.config)
         self.total_steps = 0
@@ -129,6 +184,7 @@ class PPOTrainer:
         log_probs: List[float] = []
         rewards: List[float] = []
         values: List[float] = []
+        task_names: List[str] = []
         # Deduplicated evaluation for the whole rollout: repeated (loop,
         # action) pairs — the common case once the policy sharpens — hit the
         # shared reward cache instead of recompiling.  With a parallel
@@ -148,12 +204,14 @@ class PPOTrainer:
             pairs = []
             for _ in range(min(chunk_size, batch_size - collected)):
                 observation = self.env.reset()
-                output = self.policy.act(observation)
+                task_name = self.env.current_task_name
+                output = self.policy.act(observation, task=task_name)
                 pairs.append((self.env.current_sample(), output.action))
                 observations.append(observation)
                 actions.append(np.asarray(output.action, dtype=np.float64))
                 log_probs.append(output.log_prob)
                 values.append(output.value)
+                task_names.append(task_name)
             futures.append(evaluator.submit(pairs))
             collected += len(pairs)
         for future in futures:
@@ -164,17 +222,34 @@ class PPOTrainer:
                         np.clip(reward, -self.config.reward_clip, self.config.reward_clip)
                     )
                 rewards.append(reward)
+        # Tasks may differ in action arity; pad each row to the widest so
+        # one matrix holds the joint batch (each task's evaluate only reads
+        # its own leading columns).  Single-task batches pad to their own
+        # width — i.e. not at all.
+        width = max(action.shape[0] for action in actions)
+        action_matrix = np.zeros((len(actions), width), dtype=np.float64)
+        for row, action in enumerate(actions):
+            action_matrix[row, : action.shape[0]] = action
         return (
             np.stack(observations),
-            np.stack(actions),
+            action_matrix,
             np.asarray(log_probs),
             np.asarray(rewards),
             np.asarray(values),
+            task_names,
         )
 
     # -- optimisation ---------------------------------------------------------------
 
-    def update(self, observations, actions, old_log_probs, rewards, values) -> Dict[str, float]:
+    def update(
+        self,
+        observations,
+        actions,
+        old_log_probs,
+        rewards,
+        values,
+        task_names: Optional[Sequence[str]] = None,
+    ) -> Dict[str, float]:
         advantages = rewards - values
         if advantages.std() > 1e-8:
             advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
@@ -188,23 +263,43 @@ class PPOTrainer:
 
         for _ in range(config.epochs_per_batch):
             rng.shuffle(indices)
-            for start in range(0, batch_size, config.minibatch_size):
-                batch = indices[start : start + config.minibatch_size]
-                metrics = self._update_minibatch(
-                    observations[batch],
-                    actions[batch],
-                    old_log_probs[batch],
-                    advantages[batch],
-                    returns[batch],
-                )
-                last_metrics = metrics
+            # Minibatches form *within* task groups so every update step
+            # applies exactly one head bank's log-probs/entropy/value.  A
+            # single-task batch is one group spanning the whole shuffled
+            # index array — slicing (and therefore training) identical to
+            # the pre-multi-task trainer.
+            for task, task_indices in self._task_groups(indices, task_names):
+                for start in range(0, len(task_indices), config.minibatch_size):
+                    batch = task_indices[start : start + config.minibatch_size]
+                    metrics = self._update_minibatch(
+                        observations[batch],
+                        actions[batch],
+                        old_log_probs[batch],
+                        advantages[batch],
+                        returns[batch],
+                        task=task,
+                    )
+                    last_metrics = metrics
         return last_metrics
 
+    @staticmethod
+    def _task_groups(indices, task_names: Optional[Sequence[str]]):
+        """Partition shuffled indices by task id, preserving shuffle order."""
+        if task_names is None or len(set(task_names)) <= 1:
+            only = task_names[0] if task_names else None
+            return [(only, indices)]
+        groups: "OrderedDict[str, List[int]]" = OrderedDict()
+        for index in indices:
+            groups.setdefault(task_names[index], []).append(int(index))
+        return [(task, np.asarray(members)) for task, members in groups.items()]
+
     def _update_minibatch(
-        self, observations, actions, old_log_probs, advantages, returns
+        self, observations, actions, old_log_probs, advantages, returns, task=None
     ) -> Dict[str, float]:
         config = self.config
-        log_probs, entropy, values = self.policy.evaluate(observations, actions)
+        log_probs, entropy, values = self.policy.evaluate(
+            observations, actions, task=task
+        )
         ratio = ops.exp(ops.sub(log_probs, Tensor(old_log_probs)))
         advantage_tensor = Tensor(advantages)
         unclipped = ops.mul(ratio, advantage_tensor)
@@ -239,12 +334,26 @@ class PPOTrainer:
         while self.total_steps < total_steps:
             start_time = time.perf_counter()
             current_batch = min(batch_size, total_steps - self.total_steps)
-            observations, actions, log_probs, rewards, values = self.collect_batch(
-                current_batch
+            (
+                observations,
+                actions,
+                log_probs,
+                rewards,
+                values,
+                task_names,
+            ) = self.collect_batch(current_batch)
+            metrics = self.update(
+                observations, actions, log_probs, rewards, values, task_names
             )
-            metrics = self.update(observations, actions, log_probs, rewards, values)
             self.total_steps += current_batch
             iteration += 1
+            per_task_rewards: Dict[str, float] = {}
+            per_task_steps: Dict[str, int] = {}
+            name_array = np.asarray(task_names)
+            for name in dict.fromkeys(task_names):  # stable first-seen order
+                mask = name_array == name
+                per_task_rewards[name] = float(rewards[mask].mean())
+                per_task_steps[name] = int(mask.sum())
             self.history.iterations.append(
                 IterationStats(
                     iteration=iteration,
@@ -257,6 +366,8 @@ class PPOTrainer:
                     value_loss=metrics.get("value_loss", float("nan")),
                     entropy=metrics.get("entropy", float("nan")),
                     wall_time_seconds=time.perf_counter() - start_time,
+                    per_task_reward_mean=per_task_rewards,
+                    per_task_steps=per_task_steps,
                 )
             )
         return self.history

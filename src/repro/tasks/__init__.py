@@ -34,6 +34,7 @@ from repro.tasks.base import (
     get_task,
     register_task,
     resolve_task,
+    resolve_tasks,
     snap_to_menus,
 )
 from repro.tasks.polly_tiling import DEFAULT_TILE_SIZES, PollyTilingTask
@@ -58,5 +59,6 @@ __all__ = [
     "get_task",
     "register_task",
     "resolve_task",
+    "resolve_tasks",
     "snap_to_menus",
 ]

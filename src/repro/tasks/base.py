@@ -308,3 +308,17 @@ def resolve_task(task=None) -> OptimizationTask:
     raise TypeError(
         f"expected a task name, an OptimizationTask or None, got {type(task)!r}"
     )
+
+
+def resolve_tasks(entries) -> List[OptimizationTask]:
+    """Resolve a sequence of task names/instances, rejecting duplicates.
+
+    The multi-task counterpart of :func:`resolve_task`, shared by every
+    joint-training surface (``TrainingConfig.tasks``, ``NeuroVectorizer``,
+    ``MultiTaskEnv``) so task-identity rules live in one place.
+    """
+    resolved = [resolve_task(entry) for entry in entries]
+    names = [task.name for task in resolved]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tasks: {names}")
+    return resolved
