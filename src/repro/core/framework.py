@@ -316,11 +316,17 @@ class NeuroVectorizer:
             format_cache_stats_table,
             format_no_evaluations_table,
         )
+        from repro.frontend.cache import frontend_cache
 
         stats = self.reward_cache.stats
         if stats.lookups == 0 and stats.batch_deduplicated == 0:
             return format_no_evaluations_table(title=title)
-        return format_cache_stats_table(stats, title=title)
+        return format_cache_stats_table(
+            stats,
+            title=title,
+            simulator_memo=self.pipeline.simulator_memo_stats(),
+            frontend=frontend_cache().stats.as_dict(),
+        )
 
     def service_stats_report(self, title: str = "evaluation service"):
         """Per-worker dispatch statistics of the evaluation service.

@@ -107,9 +107,32 @@ def extract_loops(
     function_name: Optional[str] = None,
     filename: str = "<source>",
 ) -> List[ExtractedLoop]:
-    """Extract innermost loops from source, optionally from one function only."""
-    extractor = LoopExtractor()
-    loops = extractor.extract_from_source(source, filename)
+    """Extract innermost loops from source, optionally from one function only.
+
+    Results are memoized in the process-wide frontend cache by content hash
+    (parse results are shared with every other consumer of the same source),
+    so embedding pretraining, site discovery and evaluation runs extract
+    each distinct kernel once per process, not once per caller.
+    """
+    from repro.frontend.cache import frontend_cache, source_fingerprint
+
+    cache = frontend_cache()
+    key = ("loops", source_fingerprint(source), function_name, filename)
+    loops = cache.cached(
+        key, lambda: _extract_loops_uncached(source, function_name, filename)
+    )
+    # Hand back a fresh list so callers may filter/extend without
+    # corrupting the cached entry (the ExtractedLoop objects are shared).
+    return list(loops)
+
+
+def _extract_loops_uncached(
+    source: str, function_name: Optional[str], filename: str
+) -> List[ExtractedLoop]:
+    from repro.frontend.cache import frontend_cache
+
+    unit = frontend_cache().parse(source, filename=filename)
+    loops = LoopExtractor().extract_from_unit(unit)
     if function_name is not None:
         loops = [loop for loop in loops if loop.function_name == function_name]
         for index, loop in enumerate(loops):

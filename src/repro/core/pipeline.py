@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.datasets.kernels import LoopKernel
-from repro.frontend import parse_source
+from repro.frontend.cache import frontend_cache
 from repro.ir.lowering import LoweringContext, lower_function
 from repro.ir.nodes import IRFunction
 from repro.machine.description import MachineDescription
@@ -79,7 +79,9 @@ class CompileAndMeasure:
         cached = self._ir_cache.get(key)
         if cached is not None:
             return cached
-        unit = parse_source(text, filename=f"{kernel.name}.c")
+        # Parse through the process-wide content-hash memo: repeated kernels
+        # skip preprocess/tokenize/parse across pipelines and agents.
+        unit = frontend_cache().parse(text, filename=f"{kernel.name}.c")
         function = unit.find_function(kernel.function_name)
         if function is None:
             raise ValueError(
@@ -106,6 +108,41 @@ class CompileAndMeasure:
                 self._simulator_cache.clear()
             self._simulator_cache[key] = simulator
         return simulator
+
+    def simulator_memo_stats(self) -> Dict[str, float]:
+        """Aggregate memo counters over every cached per-kernel simulator.
+
+        Sums the whole-function LRU's hit/miss/eviction counts and the
+        entry counts of the per-function stores (analyses, statement
+        prices, region playbooks) so cache-pressure regressions show up in
+        :meth:`repro.core.framework.NeuroVectorizer.cache_stats_report`.
+        """
+        totals: Dict[str, float] = {
+            "simulators": 0,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "entries": 0,
+            "analysis_entries": 0,
+            "statement_entries": 0,
+            "playbook_entries": 0,
+        }
+        for simulator in self._simulator_cache.values():
+            stats = simulator.memo_stats()
+            totals["simulators"] += 1
+            for name in (
+                "hits",
+                "misses",
+                "evictions",
+                "entries",
+                "analysis_entries",
+                "statement_entries",
+                "playbook_entries",
+            ):
+                totals[name] += stats[name]
+        lookups = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+        return totals
 
     def _result(
         self, kernel: LoopKernel, ir_function: IRFunction, plan: FunctionVectorPlan

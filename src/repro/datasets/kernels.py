@@ -35,7 +35,13 @@ class LoopKernel:
 
     def parse(self) -> ast.TranslationUnit:
         if self._ast_cache is None:
-            self._ast_cache = parse_source(self.source, filename=f"{self.name}.c")
+            # Shares the process-wide frontend memo with the pipeline (same
+            # content hash and filename → the same cached AST).
+            from repro.frontend.cache import frontend_cache
+
+            self._ast_cache = frontend_cache().parse(
+                self.source, filename=f"{self.name}.c"
+            )
         return self._ast_cache
 
     def function_ast(self) -> ast.FunctionDecl:

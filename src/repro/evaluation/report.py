@@ -62,10 +62,21 @@ def format_speedup_table(
     return table
 
 
-def format_cache_stats_table(stats, title: str = "reward cache") -> Table:
+def format_cache_stats_table(
+    stats,
+    title: str = "reward cache",
+    simulator_memo=None,
+    frontend=None,
+) -> Table:
     """Render :class:`repro.cache.CacheStats` (or any object with the same
     counters) as a two-column table, including the derived hit rate and the
-    number of pipeline evaluations the cache avoided."""
+    number of pipeline evaluations the cache avoided.
+
+    ``simulator_memo`` (a :meth:`CompileAndMeasure.simulator_memo_stats`
+    dict) and ``frontend`` (a :class:`FrontendCacheStats` dict) append the
+    hot-path memo counters to the same table so cache-pressure regressions
+    in any layer are visible from one report.
+    """
     table = Table(headers=["metric", "value"], title=title)
     table.add_row(["lookups", stats.lookups])
     table.add_row(["hits", stats.hits])
@@ -74,6 +85,18 @@ def format_cache_stats_table(stats, title: str = "reward cache") -> Table:
     table.add_row(["evictions", stats.evictions])
     table.add_row(["hit rate", stats.hit_rate])
     table.add_row(["compiles avoided", stats.compiles_avoided])
+    if simulator_memo is not None:
+        table.add_row(["simulator memo hits", simulator_memo["hits"]])
+        table.add_row(["simulator memo misses", simulator_memo["misses"]])
+        table.add_row(["simulator memo evictions", simulator_memo["evictions"]])
+        table.add_row(["simulator memo hit rate", simulator_memo["hit_rate"]])
+        table.add_row(["simulator memo entries", simulator_memo["entries"]])
+        table.add_row(["simulator playbooks", simulator_memo["playbook_entries"]])
+    if frontend is not None:
+        table.add_row(["frontend cache hits", frontend["hits"]])
+        table.add_row(["frontend cache misses", frontend["misses"]])
+        table.add_row(["frontend cache evictions", frontend["evictions"]])
+        table.add_row(["frontend cache hit rate", frontend["hit_rate"]])
     return table
 
 

@@ -38,8 +38,18 @@ from repro.frontend.ctypes import (
     VoidType,
 )
 from repro.frontend import ast
+from repro.frontend.cache import (
+    FrontendCache,
+    FrontendCacheStats,
+    frontend_cache,
+    source_fingerprint,
+)
 
 __all__ = [
+    "FrontendCache",
+    "FrontendCacheStats",
+    "frontend_cache",
+    "source_fingerprint",
     "CompileError",
     "Diagnostic",
     "DiagnosticEngine",

@@ -263,6 +263,34 @@ def concatenate(tensors: Sequence[TensorLike], axis: int = -1) -> Tensor:
     return _make(out_data, tuple(items), backward)
 
 
+def slice_last_axis(a: TensorLike, start: int, stop: int) -> Tensor:
+    """``a[..., start:stop]`` — reads one head's columns out of a fused
+    logits matrix (the batched-heads counterpart of :func:`concatenate`)."""
+    a = Tensor.ensure(a)
+    out_data = a.data[..., start:stop]
+
+    def backward(gradient: np.ndarray) -> None:
+        if a.requires_grad:
+            grad = np.zeros_like(a.data)
+            grad[..., start:stop] = gradient
+            a._accumulate(grad)
+
+    return _make(out_data, (a,), backward)
+
+
+def broadcast_to(a: TensorLike, shape: Sequence[int]) -> Tensor:
+    """Broadcast ``a`` to ``shape``; the gradient sums back over the
+    broadcast axes (``_accumulate`` un-broadcasts)."""
+    a = Tensor.ensure(a)
+    out_data = np.broadcast_to(a.data, tuple(shape)).copy()
+
+    def backward(gradient: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(gradient)
+
+    return _make(out_data, (a,), backward)
+
+
 def sum(a: TensorLike, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
     a = Tensor.ensure(a)
     out_data = a.data.sum(axis=axis, keepdims=keepdims)

@@ -170,6 +170,22 @@ class VectorizationEnv:
         """Task id tag of the observation (constant for single-task envs)."""
         return self.task.name
 
+    def next_batch(
+        self, count: int
+    ) -> List[Tuple[EnvSample, np.ndarray, str]]:
+        """Serve the next ``count`` decision sites in rollout order.
+
+        Each entry is ``(sample, observation, task_name)`` — everything the
+        trainer needs to act on the whole chunk with one ``act_batch`` call.
+        Consumption order (and therefore shuffling) is identical to ``count``
+        sequential ``reset`` calls.
+        """
+        entries: List[Tuple[EnvSample, np.ndarray, str]] = []
+        for _ in range(count):
+            observation = self.reset()
+            entries.append((self.current_sample(), observation, self.current_task_name))
+        return entries
+
     def step(self, action) -> StepResult:
         sample = self.current_sample()
         decoded = self.action_space.decode(action)
@@ -300,11 +316,33 @@ class VectorizationEnv:
 
     def greedy_rewards(self, policy) -> List[float]:
         """Reward of the policy's argmax action on every sample (no sampling)."""
-        requests = []
-        for sample in self.samples:
-            action = policy.act(sample.observation, deterministic=True).action
-            requests.append((sample, self.action_space.decode(action)))
+        outputs = _policy_outputs_batch(
+            policy, [sample.observation for sample in self.samples]
+        )
+        requests = [
+            (sample, self.action_space.decode(output.action))
+            for sample, output in zip(self.samples, outputs)
+        ]
         return [reward for reward, _ in self.evaluate_actions_batch(requests)]
+
+
+def _policy_outputs_batch(policy, observations, tasks=None):
+    """Act on many observations with one ``act_batch`` call when available.
+
+    Duck-typed policies (hand-rolled baselines, mocks) that only implement
+    ``act`` fall back to the serial loop with identical results.
+    """
+    act_batch = getattr(policy, "act_batch", None)
+    if act_batch is not None:
+        if tasks is None:
+            return act_batch(np.stack(observations), deterministic=True)
+        return act_batch(np.stack(observations), deterministic=True, tasks=tasks)
+    if tasks is None:
+        return [policy.act(observation, deterministic=True) for observation in observations]
+    return [
+        policy.act(observation, deterministic=True, task=task)
+        for observation, task in zip(observations, tasks)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -496,6 +534,21 @@ class MultiTaskEnv:
         """Task id tag of the observation served by the last ``reset``."""
         return self.current_sample().task_name
 
+    def next_batch(
+        self, count: int
+    ) -> List[Tuple[TaggedSample, np.ndarray, str]]:
+        """Serve the next ``count`` tagged sites in joint rollout order.
+
+        Entries are ``(tagged_sample, observation, task_name)``; consumption
+        order matches ``count`` sequential ``reset`` calls, so batched and
+        serial rollouts see the identical site sequence.
+        """
+        entries: List[Tuple[TaggedSample, np.ndarray, str]] = []
+        for _ in range(count):
+            observation = self.reset()
+            entries.append((self.current_sample(), observation, self.current_task_name))
+        return entries
+
     def step(self, action) -> StepResult:
         tagged = self.current_sample()
         lane = self.lane_for(tagged.task_name)
@@ -578,13 +631,18 @@ class MultiTaskEnv:
 
     def greedy_rewards(self, policy) -> List[float]:
         """Reward of the policy's argmax action on every sample of every task."""
-        requests = []
-        for tagged in self.samples:
-            lane = self.lane_for(tagged.task_name)
-            action = policy.act(
-                tagged.sample.observation, deterministic=True, task=tagged.task_name
-            ).action
-            requests.append((tagged, lane.action_space.decode(action)))
+        outputs = _policy_outputs_batch(
+            policy,
+            [tagged.sample.observation for tagged in self.samples],
+            tasks=[tagged.task_name for tagged in self.samples],
+        )
+        requests = [
+            (
+                tagged,
+                self.lane_for(tagged.task_name).action_space.decode(output.action),
+            )
+            for tagged, output in zip(self.samples, outputs)
+        ]
         return [reward for reward, _ in self.evaluate_actions_batch(requests)]
 
     def greedy_rewards_by_task(self, policy) -> Dict[str, List[float]]:

@@ -56,6 +56,40 @@ class PolicyOutput:
     value: float
 
 
+# -- batch-size-invariant inference kernels -----------------------------------
+#
+# ``act_batch`` guarantees byte-identical results to N sequential ``act``
+# calls.  BLAS ``@`` breaks that guarantee: (1, K) @ (K, M) and row i of
+# (N, K) @ (K, M) take different kernel paths and differ in the last ULP.
+# ``np.einsum`` contracts each output element independently of the batch
+# size, so the whole inference forward is built on it.
+
+_NUMPY_ACTIVATIONS = {
+    "relu": lambda x: np.maximum(x, 0.0),
+    "tanh": np.tanh,
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
+    "linear": lambda x: x,
+}
+
+
+def _stable_matmul(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Matmul whose row ``i`` is bitwise independent of the batch size."""
+    return np.einsum("ij,jk->ik", x, w)
+
+
+def _dense_forward(layer: Dense, x: np.ndarray) -> np.ndarray:
+    output = _stable_matmul(x, layer.weight.data) + layer.bias.data
+    return _NUMPY_ACTIVATIONS[layer.activation](output)
+
+
+def _trunk_forward(trunk: MLP, x: np.ndarray) -> np.ndarray:
+    """Raw-NumPy forward through the trunk (no autodiff graph)."""
+    out = x
+    for layer in trunk.network.layers:
+        out = _dense_forward(layer, out)
+    return out
+
+
 class _TaskHeads(Module):
     """One task's head bank: action heads + value head over the trunk.
 
@@ -100,6 +134,63 @@ class _TaskHeads(Module):
 
     # -- inference ----------------------------------------------------------
 
+    @property
+    def draw_dims(self) -> int:
+        """RNG values one sampled action consumes (uniforms or normals)."""
+        return len(self.heads) if self.kind == "discrete" else self.action_dims
+
+    def act_batch_from_hidden(
+        self,
+        hidden: np.ndarray,
+        draws: Optional[np.ndarray],
+        deterministic: bool,
+    ):
+        """Vectorized sampling over ``hidden`` rows (raw NumPy, no graph).
+
+        ``draws`` carries each row's RNG values — uniforms for categorical
+        heads (sampling replicates ``Generator.choice``'s inverse-CDF walk
+        exactly), normals for Gaussian banks — so the caller controls the
+        stream order and batched sampling stays byte-identical to serial.
+        Returns ``(actions, log_probs, values)`` arrays over the rows.
+        """
+        rows = hidden.shape[0]
+        value_head = self.value_head
+        values = (
+            _stable_matmul(hidden, value_head.weight.data) + value_head.bias.data
+        )[:, 0]
+        if self.kind == "discrete":
+            indices = np.empty((rows, len(self.heads)), dtype=np.int64)
+            log_probs = np.zeros(rows)
+            for position, head in enumerate(self.heads):
+                logits = _stable_matmul(hidden, head.weight.data) + head.bias.data
+                shifted = logits - logits.max(axis=1, keepdims=True)
+                exps = np.exp(shifted)
+                probs = exps / exps.sum(axis=1, keepdims=True)
+                if deterministic:
+                    chosen = np.argmax(probs, axis=1)
+                else:
+                    # Generator.choice(len(p), p=p) == searchsorted of one
+                    # uniform into the normalized CDF, side="right".
+                    cdf = np.cumsum(probs, axis=1)
+                    cdf /= cdf[:, -1:]
+                    chosen = (cdf <= draws[:, position, None]).sum(axis=1)
+                indices[:, position] = chosen
+                log_probs += np.log(probs[np.arange(rows), chosen] + 1e-12)
+            return indices, log_probs, values
+        mean_head = self.mean_head
+        mean = _NUMPY_ACTIVATIONS["sigmoid"](
+            _stable_matmul(hidden, mean_head.weight.data) + mean_head.bias.data
+        )
+        std = np.exp(self.log_std.numpy())
+        sample = mean if deterministic else mean + std * draws
+        log_probs = np.sum(
+            -0.5 * ((sample - mean) / std) ** 2
+            - np.log(std)
+            - 0.5 * np.log(2 * np.pi),
+            axis=1,
+        )
+        return np.clip(sample, 0.0, 1.0), log_probs, values
+
     def act_from_hidden(
         self, hidden: Tensor, rng: np.random.Generator, deterministic: bool
     ) -> PolicyOutput:
@@ -143,11 +234,21 @@ class _TaskHeads(Module):
     def evaluate_from_hidden(self, hidden: Tensor, actions: np.ndarray):
         values = self.value_head(hidden)
         if self.kind == "discrete":
+            actions = np.asarray(actions)
+            # One fused matmul over every head's classes; per-head log-probs
+            # and entropies read their own column slice of the result.
+            weight = ops.concatenate([head.weight for head in self.heads], axis=1)
+            bias = ops.concatenate([head.bias for head in self.heads], axis=0)
+            logits = ops.add(ops.matmul(hidden, weight), bias)
             log_probs = None
             entropy = None
+            offset = 0
             for dimension, head in enumerate(self.heads):
-                head_logits = head(hidden)
-                dim_actions = np.asarray(actions)[:, dimension].astype(np.int64)
+                head_logits = ops.slice_last_axis(
+                    logits, offset, offset + head.out_features
+                )
+                offset += head.out_features
+                dim_actions = actions[:, dimension].astype(np.int64)
                 dim_log_probs = categorical_log_prob(head_logits, dim_actions)
                 dim_entropy = categorical_entropy(head_logits)
                 log_probs = (
@@ -164,9 +265,11 @@ class _TaskHeads(Module):
         # bank's own dimensions carry meaning.
         actions = np.asarray(actions)[:, : self.action_dims]
         log_probs = gaussian_log_prob(mean, self.log_std, actions)
-        entropy = gaussian_entropy(self.log_std)
-        # Broadcast the (scalar) entropy across the batch for a uniform API.
-        entropy = ops.mul(entropy, Tensor(np.ones(actions.shape[0])))
+        # The state-independent Gaussian's entropy is one scalar; broadcast
+        # it across the batch without the ones-vector multiply.
+        entropy = ops.broadcast_to(
+            gaussian_entropy(self.log_std), (actions.shape[0],)
+        )
         return log_probs, entropy, ops.reshape(values, (-1,))
 
 
@@ -186,6 +289,28 @@ class Policy(Module):
         task: Optional[str] = None,
     ) -> PolicyOutput:
         raise NotImplementedError
+
+    def act_batch(
+        self,
+        observations,
+        deterministic: bool = False,
+        task: Optional[str] = None,
+        tasks: Optional[Sequence[str]] = None,
+    ) -> List[PolicyOutput]:
+        """Act on many observations at once; results in presentation order.
+
+        ``tasks`` routes row ``i`` through head bank ``tasks[i]`` (mixed-task
+        chunks from a joint rollout); ``task`` applies one bank to every row.
+        This base implementation is the serial fallback for policies that
+        only define ``act``; :class:`MultiTaskPolicy` overrides it with a
+        vectorized forward that consumes the RNG stream in the same order.
+        """
+        rows = _as_observation_matrix(observations)
+        names = _row_task_names(rows.shape[0], task, tasks)
+        return [
+            self.act(row, deterministic=deterministic, task=name)
+            for row, name in zip(rows, names)
+        ]
 
     def evaluate(
         self, observations: np.ndarray, actions: np.ndarray, task: Optional[str] = None
@@ -293,11 +418,87 @@ class MultiTaskPolicy(Policy):
         deterministic: bool = False,
         task: Optional[str] = None,
     ) -> PolicyOutput:
-        bank = self.heads_for(task)
-        with no_grad():
-            batch = Tensor(observation.reshape(1, -1))
-            hidden = self.trunk(batch)
-            return bank.act_from_hidden(hidden, self.rng, deterministic)
+        # The batch-of-one special case of ``act_batch``: same code path,
+        # same RNG consumption, so serial and batched rollouts are
+        # byte-identical under the same seed.
+        return self.act_batch(
+            np.asarray(observation, dtype=np.float64).reshape(1, -1),
+            deterministic=deterministic,
+            task=task,
+        )[0]
+
+    def act_batch(
+        self,
+        observations,
+        deterministic: bool = False,
+        task: Optional[str] = None,
+        tasks: Optional[Sequence[str]] = None,
+    ) -> List[PolicyOutput]:
+        """One trunk matmul over all rows, vectorized per-head sampling.
+
+        Rows are grouped by head bank (mixed-task chunks run one batched
+        head forward per bank) but RNG values are drawn flat in row order
+        first, so the sample stream equals that of sequential ``act`` calls
+        — the seed-identity guarantee the rollout layer relies on.
+        """
+        rows = _as_observation_matrix(observations)
+        count = rows.shape[0]
+        if tasks is None:
+            banks = [self.heads_for(task)] * count
+        else:
+            names = _row_task_names(count, None, tasks)
+            banks = [self.heads_for(name) for name in names]
+        if count == 0:
+            return []
+        hidden = _trunk_forward(self.trunk, rows)
+        draw_rows: List[Optional[np.ndarray]] = [None] * count
+        if not deterministic:
+            kinds = {bank.kind for bank in banks}
+            if len(kinds) == 1:
+                # One flat draw covering every row, split in row order:
+                # identical stream to per-row draws (array fills are
+                # sequential), one Generator call instead of N.
+                counts = [bank.draw_dims for bank in banks]
+                total = int(np.sum(counts, dtype=np.int64)) if counts else 0
+                flat = (
+                    self.rng.random(total)
+                    if kinds == {"discrete"}
+                    else self.rng.standard_normal(total)
+                )
+                offset = 0
+                for index, width in enumerate(counts):
+                    draw_rows[index] = flat[offset : offset + width]
+                    offset += width
+            else:
+                # Mixed discrete/Gaussian banks interleave uniform and
+                # normal draws; keep the exact serial consumption order.
+                for index, bank in enumerate(banks):
+                    draw_rows[index] = (
+                        self.rng.random(bank.draw_dims)
+                        if bank.kind == "discrete"
+                        else self.rng.standard_normal(bank.draw_dims)
+                    )
+        groups: "OrderedDict[int, List[int]]" = OrderedDict()
+        bank_by_id = {}
+        for index, bank in enumerate(banks):
+            bank_by_id[id(bank)] = bank
+            groups.setdefault(id(bank), []).append(index)
+        outputs: List[Optional[PolicyOutput]] = [None] * count
+        for bank_id, row_indices in groups.items():
+            bank = bank_by_id[bank_id]
+            grouped_draws = None
+            if not deterministic:
+                grouped_draws = np.stack([draw_rows[i] for i in row_indices])
+            actions, log_probs, values = bank.act_batch_from_hidden(
+                hidden[row_indices], grouped_draws, deterministic
+            )
+            for position, index in enumerate(row_indices):
+                outputs[index] = PolicyOutput(
+                    action=actions[position].copy(),
+                    log_prob=float(log_probs[position]),
+                    value=float(values[position]),
+                )
+        return outputs  # type: ignore[return-value]
 
     def evaluate(
         self, observations: np.ndarray, actions: np.ndarray, task: Optional[str] = None
@@ -399,6 +600,32 @@ class ContinuousPolicy(MultiTaskPolicy):
     @property
     def log_std(self) -> Parameter:
         return self.heads_for(None).log_std
+
+
+def _as_observation_matrix(observations) -> np.ndarray:
+    """Coerce an observation batch (array, list of rows, single row) to 2-D."""
+    rows = np.asarray(observations, dtype=np.float64)
+    if rows.ndim == 1:
+        rows = rows.reshape(1, -1)
+    if rows.ndim != 2:
+        raise ValueError(
+            f"observations must be one row or a batch of rows, got shape {rows.shape}"
+        )
+    return rows
+
+
+def _row_task_names(
+    count: int, task: Optional[str], tasks: Optional[Sequence[str]]
+) -> List[Optional[str]]:
+    """Per-row task routing: ``tasks`` (one id per row) wins over ``task``."""
+    if tasks is None:
+        return [task] * count
+    names = list(tasks)
+    if len(names) != count:
+        raise ValueError(
+            f"tasks has {len(names)} entries for a batch of {count} observations"
+        )
+    return names
 
 
 def _softmax(logits: np.ndarray) -> np.ndarray:

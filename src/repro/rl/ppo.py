@@ -201,12 +201,15 @@ class PPOTrainer:
         futures = []
         collected = 0
         while collected < batch_size:
+            # Gather the whole chunk's ready observations first, then act on
+            # them with ONE batched forward (rows grouped by task id inside
+            # act_batch).  Site order and RNG consumption match the serial
+            # loop exactly, so rollouts are byte-identical either way.
+            entries = self._gather_chunk(min(chunk_size, batch_size - collected))
+            outputs = self._act_chunk(entries)
             pairs = []
-            for _ in range(min(chunk_size, batch_size - collected)):
-                observation = self.env.reset()
-                task_name = self.env.current_task_name
-                output = self.policy.act(observation, task=task_name)
-                pairs.append((self.env.current_sample(), output.action))
+            for (sample, observation, task_name), output in zip(entries, outputs):
+                pairs.append((sample, output.action))
                 observations.append(observation)
                 actions.append(np.asarray(output.action, dtype=np.float64))
                 log_probs.append(output.log_prob)
@@ -238,6 +241,32 @@ class PPOTrainer:
             np.asarray(values),
             task_names,
         )
+
+    def _gather_chunk(self, count: int):
+        """The next ``count`` rollout entries as (sample, observation, task)."""
+        next_batch = getattr(self.env, "next_batch", None)
+        if next_batch is not None:
+            return next_batch(count)
+        entries = []
+        for _ in range(count):
+            observation = self.env.reset()
+            entries.append(
+                (self.env.current_sample(), observation, self.env.current_task_name)
+            )
+        return entries
+
+    def _act_chunk(self, entries):
+        """Sample actions for a whole chunk with one batched forward."""
+        act_batch = getattr(self.policy, "act_batch", None)
+        if act_batch is not None:
+            return act_batch(
+                np.stack([observation for _, observation, _ in entries]),
+                tasks=[task_name for _, _, task_name in entries],
+            )
+        return [
+            self.policy.act(observation, task=task_name)
+            for _, observation, task_name in entries
+        ]
 
     # -- optimisation ---------------------------------------------------------------
 

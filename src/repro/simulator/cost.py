@@ -57,9 +57,39 @@ def _reduction_op_class(op: str, is_float: bool) -> OpClass:
     return OpClass.FLOAT_ADD if is_float else OpClass.INT_ADD
 
 
+def _analysis_memo(analysis: LoopAnalysis) -> dict:
+    """Per-analysis memo for derived costs, stored on the analysis itself.
+
+    An analysis is immutable once built, so working sets and iteration
+    costs derived from it can be reused for the lifetime of the object —
+    exactly the lifetime a simulator's per-loop analysis cache gives it.
+    The planner's (VF, IF) sweeps re-query the same analysis hundreds of
+    times per training run; without this memo each query re-walked the
+    access-pattern list from scratch.
+    """
+    memo = analysis.__dict__.get("_cost_memo")
+    if memo is None:
+        memo = {}
+        analysis.__dict__["_cost_memo"] = memo
+    elif len(memo) > 4096:  # runaway-key backstop; never hit in practice
+        memo.clear()
+    return memo
+
+
 def estimate_working_set(analysis: LoopAnalysis, trip_count: int) -> float:
     """Bytes the loop touches over its full trip (per array, capped at the
-    declared array size when known)."""
+    declared array size when known).  Memoized per (analysis, trip count)."""
+    memo = _analysis_memo(analysis)
+    key = ("working_set", trip_count)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    value = _estimate_working_set_uncached(analysis, trip_count)
+    memo[key] = value
+    return value
+
+
+def _estimate_working_set_uncached(analysis: LoopAnalysis, trip_count: int) -> float:
     per_array: Dict[str, float] = {}
     for pattern in analysis.access_patterns:
         stride = pattern.stride_elements
@@ -92,7 +122,37 @@ def estimate_iteration_cycles(
     model takes the maximum of four structural bounds (compute throughput,
     memory-port throughput, recurrence latency, cache/DRAM bandwidth) and
     adds loop control overhead and any register-spill traffic.
+
+    Results are memoized per (analysis, machine, factors, working set):
+    every ``estimate_loop_cost`` call re-derives the scalar iteration and
+    brute-force sweeps revisit the same (VF, IF) points, so most queries
+    after the first are pure lookups.  Callers get a fresh
+    :class:`IterationCost` each time (the memoized one stays pristine).
     """
+    memo = _analysis_memo(analysis)
+    key = ("iteration", id(machine), vf, interleave, working_set_bytes, if_converted)
+    cached = memo.get(key)
+    if cached is None or cached[0] is not machine:
+        result = _estimate_iteration_cycles_uncached(
+            analysis, machine, vf, interleave, working_set_bytes, if_converted
+        )
+        memo[key] = cached = (machine, result)
+    pristine = cached[1]
+    return IterationCost(
+        cycles=pristine.cycles,
+        bound_by=pristine.bound_by,
+        components=dict(pristine.components),
+    )
+
+
+def _estimate_iteration_cycles_uncached(
+    analysis: LoopAnalysis,
+    machine: MachineDescription,
+    vf: int,
+    interleave: int,
+    working_set_bytes: float,
+    if_converted: bool = False,
+) -> IterationCost:
     mix = analysis.operation_mix
     elements = vf * interleave
     element_bits = analysis.element_bits

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.analysis.loopinfo import LoopAnalysis, OperationMix, analyze_loop, _count_statement
 from repro.ir.evaluate import evaluate_expr, trip_count_of
@@ -13,6 +16,42 @@ from repro.simulator.cost import LoopCost, estimate_loop_cost
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-level import cycle
     from repro.vectorizer.planner import FunctionVectorPlan
+
+
+#: :class:`OperationMix` count fields paired with the op class that prices
+#: them, in the exact order the scalar pricer accumulates.  The vectorised
+#: block pricer adds the per-class products in this same order so both paths
+#: produce bit-identical cycles for every statement.
+_MIX_OP_CLASSES: Tuple[Tuple[str, OpClass], ...] = (
+    ("int_add", OpClass.INT_ADD),
+    ("int_mul", OpClass.INT_MUL),
+    ("int_div", OpClass.INT_DIV),
+    ("float_add", OpClass.FLOAT_ADD),
+    ("float_mul", OpClass.FLOAT_MUL),
+    ("float_div", OpClass.FLOAT_DIV),
+    ("bitwise", OpClass.BITWISE),
+    ("shift", OpClass.SHIFT),
+    ("compare", OpClass.COMPARE),
+    ("select", OpClass.SELECT),
+    ("convert", OpClass.CONVERT),
+    ("math_call", OpClass.MATH_CALL),
+    ("loads", OpClass.LOAD),
+    ("stores", OpClass.STORE),
+)
+
+
+@dataclass
+class SimulatorMemoStats:
+    """Hit/miss/eviction counters for the whole-function simulation memo."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 @dataclass
@@ -58,12 +97,24 @@ class Simulator:
         self.default_symbol_value = default_symbol_value
         self._analysis_cache: Dict[Tuple[int, int], LoopAnalysis] = {}
         # Memoised whole-function simulations keyed by (function, plan
-        # factors, bindings).  The FunctionCost values hold the function
-        # alive, so the id()-based keys cannot be recycled while cached.
-        self._simulate_cache: Dict[tuple, FunctionCost] = {}
+        # factors, bindings), LRU-evicted at MAX_MEMO_ENTRIES.  The
+        # FunctionCost values hold the function alive, so the id()-based
+        # keys cannot be recycled while cached.
+        self._simulate_cache: "OrderedDict[tuple, FunctionCost]" = OrderedDict()
+        self.memo = SimulatorMemoStats()
         # Per-statement cycle estimates; statements are immutable during
         # simulation and shared across repeated simulations of cached IR.
         self._statement_cache: Dict[int, Tuple[Statement, float]] = {}
+        # Per-region "playbooks": each region body (a statement list) reduces
+        # to folded statement-run cycles interleaved with the Loop/Conditional
+        # nodes that still depend on the query's plan and bindings.  Built
+        # once per region, so repeated (VF, IF, unroll) queries stop
+        # re-walking (and re-pricing) the statement lists.
+        self._playbook_cache: Dict[int, Tuple[object, Tuple[object, ...]]] = {}
+        self._op_costs = np.array(
+            [self.machine.cost(op).recip_throughput for _, op in _MIX_OP_CLASSES],
+            dtype=np.float64,
+        )
 
     # -- public API ---------------------------------------------------------------
 
@@ -83,13 +134,32 @@ class Simulator:
         )
         cached = self._simulate_cache.get(key)
         if cached is not None and cached.function is function:
+            self.memo.hits += 1
+            self._simulate_cache.move_to_end(key)
             return cached
+        self.memo.misses += 1
         cost = FunctionCost(function=function, machine=self.machine, total_cycles=0.0)
         cost.total_cycles = self._region_cycles(function.body, function, plan, bindings, cost)
-        if len(self._simulate_cache) >= self.MAX_MEMO_ENTRIES:
-            self._simulate_cache.clear()
         self._simulate_cache[key] = cost
+        self._simulate_cache.move_to_end(key)
+        while len(self._simulate_cache) > self.MAX_MEMO_ENTRIES:
+            self._simulate_cache.popitem(last=False)
+            self.memo.evictions += 1
         return cost
+
+    def memo_stats(self) -> Dict[str, float]:
+        """Counters for this simulator's memos (the whole-function LRU plus
+        entry counts of the per-function analysis/statement/playbook stores)."""
+        return {
+            "hits": self.memo.hits,
+            "misses": self.memo.misses,
+            "evictions": self.memo.evictions,
+            "hit_rate": self.memo.hit_rate,
+            "entries": len(self._simulate_cache),
+            "analysis_entries": len(self._analysis_cache),
+            "statement_entries": len(self._statement_cache),
+            "playbook_entries": len(self._playbook_cache),
+        }
 
     def loop_analysis(self, function: IRFunction, loop: Loop) -> LoopAnalysis:
         key = (id(function), loop.loop_id)
@@ -110,21 +180,59 @@ class Simulator:
         bindings: Dict[str, float],
         cost: FunctionCost,
     ) -> float:
+        if isinstance(nodes, (list, tuple)):
+            items: Iterable[object] = self._region_playbook(nodes)
+        else:
+            # No stable identity to memoize under (e.g. a generator from an
+            # external caller): walk the nodes directly.
+            items = nodes
         cycles = 0.0
-        for node in nodes:
-            if isinstance(node, Statement):
-                cycles += self._statement_cycles(node)
-            elif isinstance(node, Conditional):
+        for item in items:
+            if type(item) is float:
+                cycles += item  # a pre-priced statement run
+            elif isinstance(item, Statement):
+                cycles += self._statement_cycles(item)
+            elif isinstance(item, Conditional):
                 then_cycles = self._region_cycles(
-                    node.then_body, function, plan, bindings, cost
+                    item.then_body, function, plan, bindings, cost
                 )
                 else_cycles = self._region_cycles(
-                    node.else_body, function, plan, bindings, cost
+                    item.else_body, function, plan, bindings, cost
                 )
                 cycles += 1.0 + max(then_cycles, else_cycles)
-            elif isinstance(node, Loop):
-                cycles += self._loop_cycles(node, function, plan, bindings, cost)
+            elif isinstance(item, Loop):
+                cycles += self._loop_cycles(item, function, plan, bindings, cost)
         return cycles
+
+    def _region_playbook(self, nodes) -> Tuple[object, ...]:
+        """Reduce a region body to folded statement-run cycles plus the
+        plan-dependent nodes, memoized by body identity.
+
+        Consecutive statements are priced in one vectorised pass and folded
+        into a single float, so per-plan queries only re-evaluate the Loop
+        and Conditional entries.  The body list is pinned in the cache value
+        to keep its id() from being recycled.
+        """
+        key = id(nodes)
+        cached = self._playbook_cache.get(key)
+        if cached is not None and cached[0] is nodes:
+            return cached[1]
+        items: List[object] = []
+        run: List[Statement] = []
+        for node in nodes:
+            if isinstance(node, Statement):
+                run.append(node)
+                continue
+            if run:
+                items.append(self._statement_block_cycles(run))
+                run = []
+            if isinstance(node, (Conditional, Loop)):
+                items.append(node)
+        if run:
+            items.append(self._statement_block_cycles(run))
+        playbook = tuple(items)
+        self._playbook_cache[key] = (nodes, playbook)
+        return playbook
 
     def _loop_cycles(
         self,
@@ -168,24 +276,38 @@ class Simulator:
     def _statement_cycles_uncached(self, statement: Statement) -> float:
         mix = OperationMix()
         _count_statement(statement, mix)
-        machine = self.machine
-        cycles = (
-            mix.int_add * machine.cost(OpClass.INT_ADD).recip_throughput
-            + mix.int_mul * machine.cost(OpClass.INT_MUL).recip_throughput
-            + mix.int_div * machine.cost(OpClass.INT_DIV).recip_throughput
-            + mix.float_add * machine.cost(OpClass.FLOAT_ADD).recip_throughput
-            + mix.float_mul * machine.cost(OpClass.FLOAT_MUL).recip_throughput
-            + mix.float_div * machine.cost(OpClass.FLOAT_DIV).recip_throughput
-            + mix.bitwise * machine.cost(OpClass.BITWISE).recip_throughput
-            + mix.shift * machine.cost(OpClass.SHIFT).recip_throughput
-            + mix.compare * machine.cost(OpClass.COMPARE).recip_throughput
-            + mix.select * machine.cost(OpClass.SELECT).recip_throughput
-            + mix.convert * machine.cost(OpClass.CONVERT).recip_throughput
-            + mix.math_call * machine.cost(OpClass.MATH_CALL).recip_throughput
-            + mix.loads * machine.cost(OpClass.LOAD).recip_throughput
-            + mix.stores * machine.cost(OpClass.STORE).recip_throughput
-        )
+        costs = self._op_costs
+        cycles = 0.0
+        for column, (field_name, _) in enumerate(_MIX_OP_CLASSES):
+            cycles += getattr(mix, field_name) * float(costs[column])
         return max(cycles, 0.25)
+
+    def _statement_block_cycles(self, statements: List[Statement]) -> float:
+        """Cycles of a run of consecutive statements, priced in one pass.
+
+        Builds an (n_statements, n_op_classes) count matrix and reduces it
+        against the machine cost vector class by class — the same
+        accumulation order as the scalar pricer, so every per-statement
+        value is bit-identical to :meth:`_statement_cycles`.
+        """
+        if len(statements) == 1:
+            return self._statement_cycles(statements[0])
+        mixes = np.empty((len(statements), len(_MIX_OP_CLASSES)), dtype=np.float64)
+        for row, statement in enumerate(statements):
+            mix = OperationMix()
+            _count_statement(statement, mix)
+            for column, (field_name, _) in enumerate(_MIX_OP_CLASSES):
+                mixes[row, column] = getattr(mix, field_name)
+        costs = self._op_costs
+        cycles = mixes[:, 0] * costs[0]
+        for column in range(1, costs.shape[0]):
+            cycles += mixes[:, column] * costs[column]
+        np.maximum(cycles, 0.25, out=cycles)
+        total = 0.0
+        for statement, value in zip(statements, cycles.tolist()):
+            self._statement_cache[id(statement)] = (statement, value)
+            total += value
+        return total
 
     def _runtime_trip_count(self, loop: Loop, bindings: Dict[str, float]) -> int:
         trip = trip_count_of(
