@@ -1,0 +1,384 @@
+"""BENCH_serving.json writer — the compile-service perf trajectory.
+
+Measures the serving front door the way a deployment would see it and
+appends one labelled entry to ``BENCH_serving.json``:
+
+* **throughput** — requests/second for the same warm request stream served
+  two ways: *single* (``max_batch_size=1``, one request in flight at a
+  time — the pre-serving, call-the-framework-per-request shape) versus
+  *coalesced* (the admission queue batches the whole stream, duplicate
+  in-flight kernels share one computation, every tick runs one shared-trunk
+  ``act_batch`` forward).  The ratio is the headline number: coalesced
+  serving must stay ≥3x single-request throughput.
+* **warm store** — a brand-new service on a reopened
+  :class:`~repro.distributed.store.DiskBackedRewardCache` answers the whole
+  unique-kernel set with **zero** ``Simulator.simulate`` calls (the
+  ``store`` tier end to end).
+
+Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/serving.py --label my-change
+
+``--tiny`` shrinks the workload for CI smoke runs; ``--check`` validates
+the written file's schema and fails if coalesced throughput ever drops
+below 3x single or the warm store simulates anything.  Each entry records
+its workload, so readers compare entries with equal ``workload`` only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+SCHEMA = "bench-serving/v1"
+
+#: Fields every entry must carry (``--check`` enforces these).
+_ENTRY_KEYS = ("label", "workload", "throughput", "warm_store")
+
+#: The acceptance floor: coalesced serving versus one-at-a-time serving.
+MIN_COALESCED_OVER_SINGLE = 3.0
+
+
+def _workload(tiny: bool) -> Dict[str, object]:
+    if tiny:
+        return {
+            "tiny": True,
+            "unique_kernels": 4,
+            "repeats_per_kernel": 24,
+            "train_steps": 40,
+            "train_batch": 20,
+            "max_batch_size": 96,
+            "max_wait_us": 2000,
+            "seed": 0,
+            "tasks": ["vectorization", "unrolling"],
+        }
+    return {
+        "tiny": False,
+        "unique_kernels": 8,
+        "repeats_per_kernel": 32,
+        "train_steps": 120,
+        "train_batch": 40,
+        "max_batch_size": 128,
+        "max_wait_us": 2000,
+        "seed": 0,
+        "tasks": ["vectorization", "unrolling"],
+    }
+
+
+def _train_framework(workload: Dict[str, object]):
+    """A tiny trained framework whose policy the services serve."""
+    from repro.core.framework import NeuroVectorizer, TrainingConfig
+    from repro.datasets.synthetic import (
+        SyntheticDatasetConfig,
+        generate_synthetic_dataset,
+    )
+
+    kernels = list(
+        generate_synthetic_dataset(
+            SyntheticDatasetConfig(
+                count=int(workload["unique_kernels"]), seed=int(workload["seed"])
+            )
+        )
+    )
+    config = TrainingConfig(
+        tasks=list(workload["tasks"]),
+        rl_total_steps=int(workload["train_steps"]),
+        rl_batch_size=int(workload["train_batch"]),
+        pretrain_epochs=0,
+        seed=int(workload["seed"]),
+    )
+    framework, _artifacts = NeuroVectorizer.train(kernels, config)
+    return framework, kernels
+
+
+def _request_stream(workload: Dict[str, object], kernels) -> list:
+    """The benchmark traffic: every kernel repeated, tasks round-robin."""
+    from repro.serving import CompileRequest
+
+    tasks = list(workload["tasks"])
+    stream = []
+    for repeat in range(int(workload["repeats_per_kernel"])):
+        for index, kernel in enumerate(kernels):
+            stream.append(
+                CompileRequest(
+                    source=kernel.source,
+                    function_name=kernel.function_name,
+                    task=tasks[index % len(tasks)],
+                    name=kernel.name,
+                    bindings=dict(kernel.bindings),
+                    request_id=f"r{repeat}-{index}",
+                )
+            )
+    return stream
+
+
+def _fresh_service(framework, workload: Dict[str, object], reward_cache,
+                   max_batch_size: int, max_wait_us: int):
+    """A service with its own observation memo on a shared reward cache."""
+    from repro.serving import CompileService
+
+    return CompileService(
+        framework.agent.policy,
+        framework.embedding_model,
+        tasks=list(workload["tasks"]),
+        reward_cache=reward_cache,
+        max_batch_size=max_batch_size,
+        max_wait_us=max_wait_us,
+    )
+
+
+def _count_simulations(body):
+    from repro.simulator.engine import Simulator
+
+    calls = {"n": 0}
+    original = Simulator.simulate
+
+    def counting(self, *args, **kwargs):
+        calls["n"] += 1
+        return original(self, *args, **kwargs)
+
+    Simulator.simulate = counting
+    try:
+        result = body()
+    finally:
+        Simulator.simulate = original
+    return result, calls["n"]
+
+
+def bench_throughput(framework, kernels, workload: Dict[str, object],
+                     reward_cache) -> Dict[str, object]:
+    """Requests/second: one-at-a-time versus coalesced, same warm stream.
+
+    Both services share the pre-warmed reward cache and start with empty
+    observation memos, so the gap is pure serving machinery: admission
+    batching, in-flight dedup and the single-forward tick.
+    """
+    stream = _request_stream(workload, kernels)
+
+    # Single: one request in flight at a time, no coalescing window.
+    single = _fresh_service(framework, workload, reward_cache,
+                            max_batch_size=1, max_wait_us=0)
+    with single:
+        start = time.perf_counter()
+        for request in stream:
+            response = single.optimize(request)
+            if not response.ok:
+                raise RuntimeError(f"single-request serving failed: {response.error}")
+        single_seconds = time.perf_counter() - start
+
+    # Coalesced: the whole stream is admitted up front; the tick worker
+    # batches it, duplicates share leaders.
+    coalesced = _fresh_service(
+        framework, workload, reward_cache,
+        max_batch_size=int(workload["max_batch_size"]),
+        max_wait_us=int(workload["max_wait_us"]),
+    )
+    futures = [coalesced.submit(request) for request in stream]
+    start = time.perf_counter()
+    coalesced.start()
+    responses = [future.result(timeout=120) for future in futures]
+    coalesced_seconds = time.perf_counter() - start
+    coalesced.stop()
+    for response in responses:
+        if not response.ok:
+            raise RuntimeError(f"coalesced serving failed: {response.error}")
+
+    report = coalesced.report()
+    requests = len(stream)
+    single_rate = requests / single_seconds if single_seconds > 0 else float("inf")
+    coalesced_rate = (
+        requests / coalesced_seconds if coalesced_seconds > 0 else float("inf")
+    )
+    return {
+        "requests": requests,
+        "single_seconds": single_seconds,
+        "single_requests_per_second": single_rate,
+        "coalesced_seconds": coalesced_seconds,
+        "coalesced_requests_per_second": coalesced_rate,
+        "coalesced_over_single": coalesced_rate / single_rate,
+        "coalesced_report": report.as_dict(),
+    }
+
+
+def bench_warm_store(framework, kernels, workload: Dict[str, object],
+                     store_dir: Path) -> Dict[str, object]:
+    """Fully warm persistent store: zero simulator calls for the whole set."""
+    from repro.distributed import DiskBackedRewardCache
+
+    stream = _request_stream(workload, kernels)
+    unique = {request.fingerprint(): request for request in stream}
+
+    cold_cache = DiskBackedRewardCache.open(str(store_dir))
+    with _fresh_service(framework, workload, cold_cache,
+                        max_batch_size=int(workload["max_batch_size"]),
+                        max_wait_us=0) as service:
+        for request in unique.values():
+            response = service.optimize(request)
+            if not response.ok:
+                raise RuntimeError(f"store warm-up failed: {response.error}")
+    cold_cache.close()
+
+    warm_cache = DiskBackedRewardCache.open(str(store_dir))
+    warm_service = _fresh_service(framework, workload, warm_cache,
+                                  max_batch_size=int(workload["max_batch_size"]),
+                                  max_wait_us=0)
+
+    def serve_all():
+        with warm_service:
+            return [
+                warm_service.optimize(request) for request in unique.values()
+            ]
+
+    responses, simulations = _count_simulations(serve_all)
+    report = warm_service.report()
+    preloaded = warm_cache.preloaded
+    warm_cache.close()
+    tiers = {response.tier for response in responses}
+    return {
+        "requests": len(responses),
+        "preloaded_measurements": preloaded,
+        "simulations": simulations,
+        "tiers": sorted(tiers),
+        "store_rate": report.tier_rate("store"),
+    }
+
+
+def run_benchmark(label: str, tiny: bool, store_dir: Path) -> Dict[str, object]:
+    """Run both serving measurements and return one trajectory entry."""
+    from repro.cache.reward_cache import RewardCache
+
+    workload = _workload(tiny)
+    entry: Dict[str, object] = {
+        "label": label,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "workload": workload,
+    }
+    framework, kernels = _train_framework(workload)
+    try:
+        # Pre-warm one shared cache so both throughput arms serve the same
+        # (store-tier) work and the ratio isolates the serving machinery.
+        warmup = RewardCache()
+        warm_service = _fresh_service(framework, workload, warmup,
+                                      max_batch_size=64, max_wait_us=0)
+        with warm_service:
+            for request in _request_stream(workload, kernels):
+                warm_service.optimize(request)
+        entry["throughput"] = bench_throughput(framework, kernels, workload, warmup)
+        entry["warm_store"] = bench_warm_store(framework, kernels, workload,
+                                               store_dir)
+    finally:
+        framework.close()
+    return entry
+
+
+# ---------------------------------------------------------------------------
+# Trajectory file handling
+# ---------------------------------------------------------------------------
+
+
+def load_trajectory(path: Path) -> Dict[str, object]:
+    if path.exists():
+        payload = json.loads(path.read_text())
+        if payload.get("schema") != SCHEMA:
+            raise ValueError(
+                f"{path} has schema {payload.get('schema')!r}, expected {SCHEMA!r}"
+            )
+        return payload
+    return {"schema": SCHEMA, "entries": []}
+
+
+def append_entry(path: Path, entry: Dict[str, object]) -> Dict[str, object]:
+    payload = load_trajectory(path)
+    payload["entries"].append(entry)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return payload
+
+
+def validate(payload: Dict[str, object]) -> List[str]:
+    """Schema/regression checks; returns a list of problems (empty = OK)."""
+    problems: List[str] = []
+    if payload.get("schema") != SCHEMA:
+        problems.append(f"schema is {payload.get('schema')!r}, expected {SCHEMA!r}")
+    entries = payload.get("entries")
+    if not isinstance(entries, list) or not entries:
+        return problems + ["entries must be a non-empty list"]
+    for index, entry in enumerate(entries):
+        for key in _ENTRY_KEYS:
+            if key not in entry:
+                problems.append(f"entry {index} ({entry.get('label')}) lacks {key!r}")
+        throughput = entry.get("throughput", {})
+        for key in ("single_requests_per_second", "coalesced_requests_per_second"):
+            value = throughput.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(f"entry {index}: bad throughput {key}={value!r}")
+        ratio = throughput.get("coalesced_over_single")
+        if not isinstance(ratio, (int, float)) or ratio < MIN_COALESCED_OVER_SINGLE:
+            problems.append(
+                f"entry {index} ({entry.get('label')}): coalesced serving is "
+                f"{ratio!r}x single-request throughput, below the "
+                f"{MIN_COALESCED_OVER_SINGLE}x floor"
+            )
+        warm_store = entry.get("warm_store", {})
+        simulations = warm_store.get("simulations")
+        if simulations != 0:
+            problems.append(
+                f"entry {index} ({entry.get('label')}): warm store ran "
+                f"{simulations!r} simulations, expected 0"
+            )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_serving.json",
+        help="trajectory file to append to (default: repo-root BENCH_serving.json)",
+    )
+    parser.add_argument("--label", default="unlabelled", help="entry label")
+    parser.add_argument(
+        "--tiny", action="store_true", help="CI-sized workload (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the file after writing; non-zero exit on problems",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="bench-serving-store-") as store_dir:
+        entry = run_benchmark(args.label, tiny=args.tiny,
+                              store_dir=Path(store_dir) / "store")
+    payload = append_entry(args.output, entry)
+    throughput = entry["throughput"]
+    warm_store = entry["warm_store"]
+    print(f"wrote {args.output} ({len(payload['entries'])} entries)")
+    print(
+        f"  single: {throughput['single_requests_per_second']:,.0f} req/s "
+        f"({throughput['requests']} requests in {throughput['single_seconds']:.2f}s)"
+    )
+    print(
+        f"  coalesced: {throughput['coalesced_requests_per_second']:,.0f} req/s "
+        f"({throughput['coalesced_over_single']:.1f}x single)"
+    )
+    print(
+        f"  warm store: {warm_store['requests']} requests, "
+        f"{warm_store['simulations']} simulations, tiers {warm_store['tiers']}"
+    )
+    if args.check:
+        problems = validate(payload)
+        for problem in problems:
+            print(f"CHECK FAILED: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

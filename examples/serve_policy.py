@@ -1,0 +1,125 @@
+"""Serve a trained policy behind the compile service and query it.
+
+Trains a tiny joint policy, stands up a :class:`repro.serving.CompileService`
+on it, and sends a burst of requests two ways: in process (zero
+serialization) and over the newline-delimited-JSON TCP front end.  The
+burst mixes tasks and duplicates, so the printed stats table shows
+coalescing, micro-batch sizes and the three answer tiers in action.
+
+    python examples/serve_policy.py                # in-process + TCP
+    python examples/serve_policy.py --no-tcp       # in-process only
+    python examples/serve_policy.py --requests 32  # a bigger burst
+
+See ``examples/train_neurovectorizer.py`` for full training runs and the
+README's *Serving* section for the service's knobs.
+"""
+
+import argparse
+
+from repro.core.framework import NeuroVectorizer, TrainingConfig
+from repro.datasets.synthetic import (
+    SyntheticDatasetConfig,
+    generate_synthetic_dataset,
+)
+from repro.serving import (
+    CompileRequest,
+    CompileServer,
+    CompileService,
+    InProcessClient,
+    TCPClient,
+)
+
+USER_SOURCE = """
+float prices[4096], weights[4096];
+
+float weighted_sum() {
+    float total = 0;
+    for (int i = 0; i < 4096; i++) {
+        total += prices[i] * weights[i];
+    }
+    return total;
+}
+"""
+
+TASKS = ("vectorization", "unrolling")
+
+
+def train_tiny_framework() -> NeuroVectorizer:
+    kernels = list(
+        generate_synthetic_dataset(SyntheticDatasetConfig(count=6, seed=0))
+    )
+    config = TrainingConfig(
+        tasks=list(TASKS),
+        rl_total_steps=48,
+        rl_batch_size=24,
+        learning_rate=1e-3,
+        pretrain_epochs=0,
+        seed=0,
+    )
+    framework, _artifacts = NeuroVectorizer.train(kernels, config)
+    return framework
+
+
+def describe(response) -> str:
+    if not response.ok:
+        return f"ERROR: {response.error}"
+    decisions = ", ".join(
+        f"site {site}: {action}" for site, action in sorted(response.decisions.items())
+    )
+    return (
+        f"task={response.task:<13} tier={response.tier:<8} "
+        f"coalesced={str(response.coalesced):<5} "
+        f"speedup={response.speedup:5.2f}x  [{decisions}]"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--requests", type=int, default=12, help="burst size (mixed tasks + dups)"
+    )
+    parser.add_argument(
+        "--no-tcp", action="store_true", help="skip the TCP front-end demo"
+    )
+    arguments = parser.parse_args()
+
+    print("training a tiny joint policy (vectorization + unrolling)...")
+    framework = train_tiny_framework()
+
+    # One service straight off the framework: same tasks, pipeline, reward
+    # cache (so a warm cache serves the "store" tier) and embedding model.
+    service = CompileService.from_framework(framework, max_batch_size=16)
+    burst = [
+        CompileRequest(
+            source=USER_SOURCE,
+            task=TASKS[index % len(TASKS)],
+            name=f"user{index}",
+            request_id=f"req-{index}",
+        )
+        for index in range(arguments.requests)
+    ]
+
+    print(f"\n=== in-process burst ({len(burst)} requests) ===")
+    client = InProcessClient(service)
+    with service:
+        for response in client.optimize_many(burst):
+            print(f"  {describe(response)}")
+
+        if not arguments.no_tcp:
+            print("\n=== the same kernel over TCP ===")
+            with CompileServer(service) as server:
+                host, port = server.address
+                print(f"  listening on {host}:{port}")
+                with TCPClient.connect(server.address) as tcp:
+                    response = tcp.optimize(
+                        CompileRequest(source=USER_SOURCE, task="vectorization")
+                    )
+                    print(f"  {describe(response)}")
+
+    print()
+    print(service.stats_report().render())
+    framework.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -294,6 +294,15 @@ class RewardCache:
                 self.stats.evictions += 1
         self._entries[key] = measurement
 
+    def items(self) -> List[Tuple[RewardKey, CachedMeasurement]]:
+        """Snapshot of every ``(key, measurement)`` entry, insertion-ordered.
+
+        The shipping surface of the distributed apply fan-out: a worker
+        runs an application against a fresh local cache and sends exactly
+        these entries back to the parent.
+        """
+        return list(self._entries.items())
+
     def clear(self) -> None:
         self._entries.clear()
         self._kernel_fingerprints.clear()

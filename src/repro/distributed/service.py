@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.reward_cache import (
+    WHOLE_FUNCTION_APPLICATION,
     BatchOutcome,
     CachedMeasurement,
     EvaluationBatcher,
@@ -138,6 +139,12 @@ class EvaluationService:
         self._next_request_id = 0
         self._pending: Dict[int, RewardKey] = {}
         self._waiters: Dict[RewardKey, List[Tuple[EvaluationFuture, int]]] = {}
+        # Whole-kernel application fan-out (measure_applications): in-flight
+        # jobs by request id, jobs already fanned out this service lifetime
+        # (so repeat comparisons don't re-dispatch), and collected failures.
+        self._pending_apply: Dict[int, RewardKey] = {}
+        self._applied: set = set()
+        self._apply_errors: List[Tuple[RewardKey, str]] = []
         if self.workers > 0:
             self._start_workers()
 
@@ -351,6 +358,95 @@ class EvaluationService:
             )
         )
 
+    # -- whole-kernel application fan-out -----------------------------------
+
+    def measure_applications(self, task: "OptimizationTask", jobs) -> int:
+        """Fan whole-kernel task applications out across the worker shards.
+
+        ``jobs`` is a sequence of ``(kernel, decisions)`` pairs.  Each
+        unique job (canonicalized by the application's flattened-decision
+        cache key) runs ``measure_baseline`` + ``task.apply`` inside the
+        worker owning the kernel's shard, against a fresh worker-local
+        cache; every measurement entry the application produced is shipped
+        back and merged into the shared cache.  A serial pass re-running
+        the same applications afterwards is then pure lookups — which is
+        how :meth:`repro.evaluation.comparison.ComparisonRunner.run`
+        parallelizes per kernel while staying byte-identical to serial.
+
+        Returns the number of jobs dispatched (0 when the service is
+        serial, or every job was already fanned out by an earlier call).
+        Raises if any worker failed; failed jobs become retryable again.
+        """
+        if self.workers == 0 or not jobs:
+            return 0
+        if not self._processes:
+            raise RuntimeError(
+                "evaluation service is closed; create a new one to submit"
+            )
+        dispatched = 0
+        outstanding: set = set()
+        for kernel, decisions in jobs:
+            flattened: List[int] = []
+            for site_index in sorted(decisions):
+                flattened.append(int(site_index))
+                flattened.extend(int(value) for value in decisions[site_index])
+            key = self.cache.key_for(
+                kernel,
+                self.pipeline.machine,
+                WHOLE_FUNCTION_APPLICATION,
+                default_symbol_value=self.pipeline.default_symbol_value,
+                action=tuple(flattened),
+                task=task.name,
+            )
+            if key in self._applied:
+                continue
+            self._applied.add(key)
+            shard = int(key.kernel_hash[:8], 16) % self.workers
+            payload = None
+            if key.kernel_hash not in self._shipped[shard]:
+                payload = kernel_payload(kernel)
+                self._shipped[shard].add(key.kernel_hash)
+            task_payload = None
+            if self._shipped_tasks[shard].get(task.name) != id(task):
+                task_payload = task
+                self._shipped_tasks[shard][task.name] = id(task)
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            self._pending_apply[request_id] = key
+            outstanding.add(request_id)
+            self.stats.dispatched += 1
+            self.stats.per_worker_dispatched[shard] = (
+                self.stats.per_worker_dispatched.get(shard, 0) + 1
+            )
+            self._inboxes[shard].put(
+                WorkRequest(
+                    request_id,
+                    key.kernel_hash,
+                    payload,
+                    WHOLE_FUNCTION_APPLICATION,
+                    tuple(flattened),
+                    task.name,
+                    task_payload,
+                    kind="apply",
+                    decisions={
+                        int(site): tuple(int(v) for v in action)
+                        for site, action in decisions.items()
+                    },
+                )
+            )
+            dispatched += 1
+        while any(rid in self._pending_apply for rid in outstanding):
+            self._drain_one()
+        if self._apply_errors:
+            errors, self._apply_errors = self._apply_errors, []
+            for key, _message in errors:
+                self._applied.discard(key)
+            raise RuntimeError(
+                f"{len(errors)} application job(s) failed in workers; "
+                f"first failure:\n{errors[0][1]}"
+            )
+        return dispatched
+
     # -- result collection -------------------------------------------------
 
     def _drain_until(self, future: EvaluationFuture) -> None:
@@ -376,6 +472,23 @@ class EvaluationService:
                         f"evaluation worker(s) died: {dead} "
                         f"({len(self._pending)} request(s) outstanding)"
                     )
+        if result.request_id in self._pending_apply:
+            key = self._pending_apply.pop(result.request_id)
+            self.stats.completed += 1
+            self.stats.per_worker_completed[result.worker_id] = (
+                self.stats.per_worker_completed.get(result.worker_id, 0) + 1
+            )
+            if result.error is not None:
+                self.stats.errors += 1
+                self._apply_errors.append((key, result.error))
+                return
+            for entry_key, measurement in result.entries or []:
+                # peek() not get(): merging shipped entries is plumbing,
+                # not a lookup, and skipping already-present keys keeps a
+                # disk-backed store from appending duplicate records.
+                if self.cache.peek(entry_key) is None:
+                    self.cache.put(entry_key, measurement)
+            return
         key = self._pending.pop(result.request_id)
         waiters = self._waiters.pop(key, [])
         self.stats.completed += 1

@@ -71,6 +71,13 @@ class WorkRequest:
     action: Tuple[int, ...]
     task: str
     task_payload: Optional[object] = None
+    #: ``"site"`` — evaluate one action at one site (the original reward
+    #: query).  ``"apply"`` — run the task's whole-kernel application
+    #: (baseline + full decision map) against a fresh worker-local cache
+    #: and ship every measurement entry back (the comparison fan-out).
+    kind: str = "site"
+    #: The full ``{site: action}`` decision map for ``kind == "apply"``.
+    decisions: Optional[Dict[int, Tuple[int, ...]]] = None
 
 
 @dataclass
@@ -82,6 +89,10 @@ class WorkResult:
     cycles: float = 0.0
     compile_seconds: float = 0.0
     error: Optional[str] = None
+    #: ``kind == "apply"`` answers: the ``(RewardKey, CachedMeasurement)``
+    #: entries the application generated, for the parent to merge into the
+    #: shared cache.
+    entries: Optional[list] = None
 
 
 def worker_main(
@@ -98,6 +109,7 @@ def worker_main(
     re-imports this module before the package's heavier dependencies are
     needed.
     """
+    from repro.cache.reward_cache import RewardCache
     from repro.core.pipeline import CompileAndMeasure
     from repro.tasks import get_task
 
@@ -119,6 +131,28 @@ def worker_main(
             task = tasks.get(request.task)
             if task is None:
                 task = tasks[request.task] = get_task(request.task)
+            if getattr(request, "kind", "site") == "apply":
+                # A whole-kernel application: run exactly the serial path
+                # (cached baseline + ``task.apply``) against a fresh local
+                # cache, then ship every entry it produced back to the
+                # parent — the per-request cache means the entry list is
+                # precisely this application's measurements, nothing more.
+                local = RewardCache()
+                local.measure_baseline(pipeline, kernel)
+                task.apply(
+                    pipeline,
+                    kernel,
+                    dict(request.decisions or {}),
+                    reward_cache=local,
+                )
+                outbox.put(
+                    WorkResult(
+                        request_id=request.request_id,
+                        worker_id=worker_id,
+                        entries=local.items(),
+                    )
+                )
+                continue
             result = task.evaluate(
                 pipeline, kernel, request.site_index, tuple(request.action)
             )

@@ -8,6 +8,7 @@ in DESIGN.md (§4) and EXPERIMENTS.md.
 
 from repro.evaluation.report import (
     Table,
+    format_serving_stats_table,
     format_speedup_table,
     format_task_summary_table,
 )
@@ -42,6 +43,7 @@ from repro.evaluation.figures import (
 
 __all__ = [
     "Table",
+    "format_serving_stats_table",
     "format_speedup_table",
     "format_task_summary_table",
     "ComparisonRunner",

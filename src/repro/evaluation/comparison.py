@@ -272,23 +272,34 @@ class ComparisonRunner:
     ) -> TaskComparison:
         """Measure every agent on every kernel under this runner's task.
 
-        Per kernel: the baseline cycles are measured once (cached), every
-        agent decides an action per decision site (logged), and the task
-        applies the full decision map — through the reward cache, so warm
-        reruns and repeated decisions are lookups, not simulations.
+        Three phases: (1) per kernel, measure the baseline once (cached)
+        and let every agent decide an action per decision site (logged);
+        (2) with an attached evaluation service running workers, fan the
+        resulting whole-kernel applications out across the shards, so the
+        comparison matrix measures in parallel; (3) apply every decision
+        map through the reward cache — after phase 2 those are pure
+        lookups, and serially (no workers) phase 3 simply measures inline.
+        The decision sequence, decision log and every reported number are
+        byte-identical between the serial and fanned-out paths.
         """
         for name, agent in agents.items():
             self._check_agent(name, agent)
         hits_before = self.reward_cache.stats.hits
         misses_before = self.reward_cache.stats.misses
         comparison = TaskComparison(task=self.task.name, methods=list(agents))
+
+        # Phase 1: decisions.  No agent's decision depends on any apply
+        # result (brute-force site sweeps route their own reward queries
+        # through the shared cache/service), so every (kernel, agent)
+        # decision map exists before anything is applied — which is what
+        # lets phase 2 parallelize per kernel.
+        plans: List[Tuple[LoopKernel, object, List[Tuple[str, Dict[int, Tuple[int, ...]]]]]] = []
         for kernel in kernels:
             baseline, _ = self.reward_cache.measure_baseline(self.pipeline, kernel)
             sites = self.task.decision_sites(kernel)
             observations = [self._observation(site) for site in sites]
             comparison.baseline_cycles[kernel.name] = baseline.cycles
-            speedup_row: Dict[str, float] = {}
-            cycles_row: Dict[str, float] = {}
+            per_agent: List[Tuple[str, Dict[int, Tuple[int, ...]]]] = []
             for name, agent in agents.items():
                 decisions: Dict[int, Tuple[int, ...]] = {}
                 for site, observation in zip(sites, observations):
@@ -307,6 +318,37 @@ class ComparisonRunner:
                             description=site.description,
                         )
                     )
+                per_agent.append((name, decisions))
+            plans.append((kernel, baseline, per_agent))
+
+        # Phase 2: fan the applications out across the service's worker
+        # shards; their measurements land in the shared cache (including a
+        # disk-backed store), making phase 3 lookup-only.
+        service = self.evaluation_service
+        if service is not None and getattr(service, "workers", 0) > 0:
+            if service.cache is not self.reward_cache:
+                raise ValueError(
+                    "evaluation service uses a different RewardCache than "
+                    "the comparison runner; share one cache (e.g. pass "
+                    "service.cache)"
+                )
+            service.measure_applications(
+                self.task,
+                [
+                    (kernel, decisions)
+                    for kernel, _baseline, per_agent in plans
+                    for _name, decisions in per_agent
+                ],
+            )
+
+        # Phase 3: the original serial apply loop, unchanged — it reports
+        # exactly what the task's apply measures, whether that answer
+        # comes from the warm cache (fanned-out or rerun) or is simulated
+        # inline right here (serial cold run).
+        for kernel, baseline, per_agent in plans:
+            speedup_row: Dict[str, float] = {}
+            cycles_row: Dict[str, float] = {}
+            for name, decisions in per_agent:
                 application = self.task.apply(
                     self.pipeline, kernel, decisions, reward_cache=self.reward_cache
                 )

@@ -190,6 +190,43 @@ def format_service_stats_table(
     return table
 
 
+def format_serving_stats_table(
+    report,
+    title: str = "compile service",
+) -> Table:
+    """Render a :class:`repro.serving.stats.ServingReport` as a text table.
+
+    One glanceable view of a serving run: request/error/coalescing counts,
+    the p50/p95/p99/mean latency profile, sustained requests per second,
+    per-tier hit rates (``store`` answered with zero simulation,
+    ``frontend`` skipped parse/AST/embedding, ``cold`` ran the full
+    pipeline), micro-batch shape, and — when a latency SLO is configured —
+    its attainment.
+    """
+    table = Table(headers=["metric", "value"], title=title)
+    table.add_row(["requests", report.requests])
+    table.add_row(["errors", report.errors])
+    table.add_row(["coalesced", report.coalesced])
+    table.add_row(["coalesced rate", report.coalesced_rate])
+    table.add_row(["latency p50 (ms)", report.latency_p50_ms])
+    table.add_row(["latency p95 (ms)", report.latency_p95_ms])
+    table.add_row(["latency p99 (ms)", report.latency_p99_ms])
+    table.add_row(["latency mean (ms)", report.latency_mean_ms])
+    table.add_row(["requests/s", report.requests_per_second])
+    for tier in ("store", "frontend", "cold"):
+        table.add_row(
+            [f"tier {tier}", report.tier_counts.get(tier, 0)]
+        )
+        table.add_row([f"tier {tier} rate", report.tier_rate(tier)])
+    table.add_row(["ticks", report.ticks])
+    table.add_row(["mean batch size", report.mean_batch_size])
+    table.add_row(["max batch size", report.max_batch_size])
+    if report.slo_ms is not None:
+        table.add_row(["SLO (ms)", report.slo_ms])
+        table.add_row(["SLO attainment", report.slo_attainment])
+    return table
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     values = [v for v in values if v > 0]
     if not values:

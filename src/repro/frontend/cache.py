@@ -23,8 +23,12 @@ parsing and semantic analysis annotates its own tables, so a
 ``TranslationUnit`` is safe to hand to any number of lowering calls.
 
 The environment variables ``REPRO_FRONTEND_CACHE=0`` (disable) and
-``REPRO_FRONTEND_CACHE_CAPACITY=<n>`` configure the process-wide instance
-at first use.
+``REPRO_FRONTEND_CACHE_CAPACITY=<n>`` configure the process-wide instance.
+They are re-read on every :func:`frontend_cache` call, and a *changed*
+value is applied to the live instance — so exporting a new capacity (or
+toggling the cache off) between runs in one process takes effect without a
+restart.  Unchanged variables never override programmatic
+:meth:`FrontendCache.set_capacity` / :meth:`FrontendCache.disable` calls.
 """
 
 from __future__ import annotations
@@ -158,25 +162,54 @@ class FrontendCache:
         self.enabled = False
 
 
+def _environment_settings() -> Dict[str, object]:
+    """The current env-var view of the cache configuration."""
+    return {
+        "capacity": int(os.environ.get("REPRO_FRONTEND_CACHE_CAPACITY", "512")),
+        "enabled": os.environ.get("REPRO_FRONTEND_CACHE", "1").lower()
+        not in ("0", "off", "false"),
+    }
+
+
 def _from_environment() -> FrontendCache:
-    capacity = int(os.environ.get("REPRO_FRONTEND_CACHE_CAPACITY", "512"))
-    enabled = os.environ.get("REPRO_FRONTEND_CACHE", "1").lower() not in (
-        "0",
-        "off",
-        "false",
+    settings = _environment_settings()
+    return FrontendCache(
+        capacity=settings["capacity"], enabled=settings["enabled"]
     )
-    return FrontendCache(capacity=capacity, enabled=enabled)
 
 
 _GLOBAL_CACHE: Optional[FrontendCache] = None
 _GLOBAL_LOCK = threading.Lock()
+#: The env settings last applied to the global instance.  Only *changes*
+#: relative to this snapshot are re-applied, so an unchanged environment
+#: never clobbers programmatic set_capacity()/disable() calls.
+_GLOBAL_ENV: Optional[Dict[str, object]] = None
 
 
 def frontend_cache() -> FrontendCache:
-    """The process-wide frontend memo (created on first use)."""
-    global _GLOBAL_CACHE
-    if _GLOBAL_CACHE is None:
-        with _GLOBAL_LOCK:
-            if _GLOBAL_CACHE is None:
-                _GLOBAL_CACHE = _from_environment()
+    """The process-wide frontend memo (created on first use).
+
+    ``REPRO_FRONTEND_CACHE`` / ``REPRO_FRONTEND_CACHE_CAPACITY`` are
+    re-read on every call; a variable whose value changed since it was
+    last applied reconfigures the live instance (per field), so env
+    reconfiguration works mid-process — including between ``disable()`` /
+    re-enable cycles — without discarding the cache or its stats.
+    """
+    global _GLOBAL_CACHE, _GLOBAL_ENV
+    with _GLOBAL_LOCK:
+        settings = _environment_settings()
+        if _GLOBAL_CACHE is None:
+            _GLOBAL_CACHE = FrontendCache(
+                capacity=settings["capacity"], enabled=settings["enabled"]
+            )
+        else:
+            assert _GLOBAL_ENV is not None
+            if settings["capacity"] != _GLOBAL_ENV["capacity"]:
+                _GLOBAL_CACHE.set_capacity(settings["capacity"])
+            if settings["enabled"] != _GLOBAL_ENV["enabled"]:
+                if settings["enabled"]:
+                    _GLOBAL_CACHE.enable()
+                else:
+                    _GLOBAL_CACHE.disable()
+        _GLOBAL_ENV = settings
     return _GLOBAL_CACHE

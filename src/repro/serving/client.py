@@ -1,0 +1,130 @@
+"""Clients for the compile service: in-process and TCP.
+
+:class:`InProcessClient` wraps a :class:`~repro.serving.service.
+CompileService` directly — the zero-serialization path tests and benchmarks
+drive.  :class:`TCPClient` speaks the newline-delimited-JSON wire format of
+:class:`~repro.serving.server.CompileServer` over one socket, with
+pipelining: :meth:`~TCPClient.optimize_many` submits every request before
+reading any response (that concurrency is what the server's admission
+queue coalesces into micro-batches), then matches responses to requests by
+id.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.serving.schema import (
+    CompileRequest,
+    CompileResponse,
+    ServingError,
+    decode_message,
+    encode_message,
+)
+
+
+def _as_request(request) -> CompileRequest:
+    if isinstance(request, CompileRequest):
+        return request
+    if isinstance(request, str):
+        return CompileRequest(source=request)
+    raise TypeError(f"expected a CompileRequest or C source text, got {type(request)!r}")
+
+
+class InProcessClient:
+    """Drive a (started) service without sockets or serialization."""
+
+    def __init__(self, service):
+        self.service = service
+
+    def optimize(
+        self, request, timeout: Optional[float] = None
+    ) -> CompileResponse:
+        """Submit one request (a :class:`CompileRequest` or raw C source)
+        and block for its response."""
+        return self.service.optimize(_as_request(request), timeout)
+
+    def optimize_many(
+        self, requests: Sequence, timeout: Optional[float] = None
+    ) -> List[CompileResponse]:
+        """Submit every request before collecting any response.
+
+        All requests are in flight together, so identical kernels coalesce
+        and the admission queue fills whole micro-batches — the concurrent
+        client behaviour the service is built for.
+        """
+        futures = [self.service.submit(_as_request(r)) for r in requests]
+        return [future.result(timeout) for future in futures]
+
+
+class TCPClient:
+    """One socket connection to a :class:`CompileServer`.
+
+    Thread-compatible (a lock serializes use); requests without an id get a
+    connection-unique one so pipelined responses match up even if the
+    server completes them out of order.
+    """
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+        self._ids = itertools.count()
+
+    @classmethod
+    def connect(cls, address, timeout: Optional[float] = 30.0) -> "TCPClient":
+        """Connect to a server's ``(host, port)`` address tuple."""
+        host, port = address
+        return cls(host, port, timeout=timeout)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "TCPClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- requests -------------------------------------------------------------
+
+    def _tagged(self, request) -> CompileRequest:
+        request = _as_request(request)
+        if request.request_id is None:
+            request.request_id = f"c{next(self._ids)}"
+        return request
+
+    def _read_response(self) -> CompileResponse:
+        line = self._file.readline()
+        if not line:
+            raise ServingError("server closed the connection")
+        return CompileResponse.from_payload(decode_message(line))
+
+    def optimize(self, request) -> CompileResponse:
+        return self.optimize_many([request])[0]
+
+    def optimize_many(self, requests: Sequence) -> List[CompileResponse]:
+        """Pipelined round trip: write all requests, then read all responses.
+
+        The burst arrives at the server as concurrent work, which is what
+        makes coalescing and micro-batching kick in server-side.
+        """
+        with self._lock:
+            tagged = [self._tagged(r) for r in requests]
+            for request in tagged:
+                self._file.write(encode_message(request.to_payload()))
+            self._file.flush()
+            by_id: Dict[str, CompileResponse] = {}
+            for _ in tagged:
+                response = self._read_response()
+                by_id[response.request_id] = response
+        missing = [r.request_id for r in tagged if r.request_id not in by_id]
+        if missing:
+            raise ServingError(f"server never answered request(s) {missing}")
+        return [by_id[request.request_id] for request in tagged]

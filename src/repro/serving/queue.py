@@ -1,0 +1,163 @@
+"""Admission queue and response futures for the compile service.
+
+The queue implements the service's micro-batching policy: the tick worker
+blocks until at least one request is admitted, then keeps collecting until
+either ``max_batch_size`` requests are waiting or ``max_wait_us``
+microseconds have passed since the batch's first request arrived — the
+classic max-size/max-wait coalescing window.  Admission is bounded by
+``max_queue_depth`` (load shedding raises :class:`AdmissionRejected`
+instead of growing the queue without bound) and closes at shutdown
+(:class:`ServiceClosed`); a closed queue still hands its remaining
+requests to the worker, which is what makes draining shutdown graceful.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Generic, List, Optional, TypeVar
+
+from repro.serving.schema import (
+    AdmissionRejected,
+    CompileResponse,
+    ServiceClosed,
+    ServingError,
+)
+
+T = TypeVar("T")
+
+
+class ResponseFuture:
+    """A write-once slot for one request's :class:`CompileResponse`.
+
+    The tick worker resolves (or fails) it; the submitting thread blocks in
+    :meth:`result`.  Failures re-raise in the waiter.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._response: Optional[CompileResponse] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def resolve(self, response: CompileResponse) -> None:
+        self._response = response
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> CompileResponse:
+        if not self._event.wait(timeout):
+            raise TimeoutError("timed out waiting for a compile response")
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+
+@dataclass
+class QueuedRequest:
+    """One admitted request: payload plus its future and arrival time."""
+
+    request: object
+    future: ResponseFuture
+    enqueued_at: float
+
+
+class AdmissionQueue(Generic[T]):
+    """Bounded FIFO with a max-size/max-wait batch collection policy."""
+
+    def __init__(
+        self,
+        max_batch_size: int = 16,
+        max_wait_us: int = 2000,
+        max_queue_depth: Optional[int] = None,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_wait_us < 0:
+            raise ValueError("max_wait_us must be non-negative")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive or None")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_us = int(max_wait_us)
+        self.max_queue_depth = max_queue_depth
+        self._items: List[T] = []
+        self._closed = False
+        self._condition = threading.Condition()
+
+    def __len__(self) -> int:
+        with self._condition:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._condition:
+            return self._closed
+
+    # -- producer side -------------------------------------------------------
+
+    def submit(self, item: T) -> None:
+        """Admit one request, or raise if closed / at capacity."""
+        with self._condition:
+            if self._closed:
+                raise ServiceClosed("the compile service is shut down")
+            if (
+                self.max_queue_depth is not None
+                and len(self._items) >= self.max_queue_depth
+            ):
+                raise AdmissionRejected(
+                    f"admission queue is full ({self.max_queue_depth} pending)"
+                )
+            self._items.append(item)
+            self._condition.notify_all()
+
+    def close(self) -> None:
+        """Refuse new admissions; already-queued items remain collectable."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    def pop_all(self) -> List[T]:
+        """Take every queued item at once (non-draining shutdown)."""
+        with self._condition:
+            items, self._items = self._items, []
+            return items
+
+    # -- consumer side -------------------------------------------------------
+
+    def next_batch(self) -> List[T]:
+        """Collect the next micro-batch, honouring the coalescing window.
+
+        Blocks until a first request arrives, then waits up to
+        ``max_wait_us`` after that arrival for followers, capped at
+        ``max_batch_size``.  Returns an empty list only when the queue is
+        closed *and* drained — the worker's exit signal.
+        """
+        with self._condition:
+            while not self._items:
+                if self._closed:
+                    return []
+                self._condition.wait()
+            deadline = time.monotonic() + self.max_wait_us / 1e6
+            while len(self._items) < self.max_batch_size and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._condition.wait(timeout=remaining)
+            batch = self._items[: self.max_batch_size]
+            del self._items[: self.max_batch_size]
+            return batch
+
+
+def fail_pending(items: List[QueuedRequest], message: str) -> None:
+    """Fail every queued request's future (non-draining shutdown path)."""
+    for item in items:
+        if not item.future.done:
+            item.future.fail(ServingError(message))

@@ -1,0 +1,182 @@
+"""Latency/throughput/tier accounting for the compile service.
+
+:class:`ServingStats` is the thread-safe collector the service feeds from
+its submit path and tick worker; :meth:`ServingStats.report` freezes it
+into a :class:`ServingReport` — p50/p95/p99/mean latency, requests per
+second, per-tier hit rates, coalescing rates and micro-batch shape — the
+value :func:`repro.evaluation.report.format_serving_stats_table` renders
+and ``benchmarks/serving.py`` records into ``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.serving.schema import TIERS
+
+
+@dataclass
+class ServingReport:
+    """One frozen snapshot of a service's traffic statistics."""
+
+    requests: int = 0
+    errors: int = 0
+    coalesced: int = 0
+    tier_counts: Dict[str, int] = field(default_factory=dict)
+    latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    latency_mean_ms: float = 0.0
+    requests_per_second: float = 0.0
+    wall_seconds: float = 0.0
+    ticks: int = 0
+    mean_batch_size: float = 0.0
+    max_batch_size: int = 0
+    #: Optional latency objective; ``slo_attainment`` is the fraction of
+    #: requests answered within it (1.0 when no SLO is configured).
+    slo_ms: Optional[float] = None
+    slo_attainment: float = 1.0
+
+    @property
+    def answered(self) -> int:
+        """Successful responses (``requests`` minus ``errors``)."""
+        return self.requests - self.errors
+
+    def tier_rate(self, tier: str) -> float:
+        """Fraction of successful responses served from ``tier``."""
+        return self.tier_counts.get(tier, 0) / self.answered if self.answered else 0.0
+
+    @property
+    def coalesced_rate(self) -> float:
+        """Fraction of all responses that shared another request's work."""
+        return self.coalesced / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the ``BENCH_serving.json`` entry shape)."""
+        payload = {
+            "requests": self.requests,
+            "errors": self.errors,
+            "coalesced": self.coalesced,
+            "coalesced_rate": self.coalesced_rate,
+            "tiers": {tier: self.tier_counts.get(tier, 0) for tier in TIERS},
+            "tier_rates": {tier: self.tier_rate(tier) for tier in TIERS},
+            "latency_ms": {
+                "p50": self.latency_p50_ms,
+                "p95": self.latency_p95_ms,
+                "p99": self.latency_p99_ms,
+                "mean": self.latency_mean_ms,
+            },
+            "requests_per_second": self.requests_per_second,
+            "wall_seconds": self.wall_seconds,
+            "ticks": self.ticks,
+            "mean_batch_size": self.mean_batch_size,
+            "max_batch_size": self.max_batch_size,
+        }
+        if self.slo_ms is not None:
+            payload["slo_ms"] = self.slo_ms
+            payload["slo_attainment"] = self.slo_attainment
+        return payload
+
+
+class ServingStats:
+    """Thread-safe traffic collector for one :class:`CompileService`.
+
+    The submit path marks request arrival (the wall clock starts at the
+    first admission); the tick worker records one sample per response
+    (latency, tier, coalescing) and one per micro-batch.  ``slo_ms``
+    configures an optional latency objective reported as attainment.
+    """
+
+    def __init__(self, slo_ms: Optional[float] = None):
+        self.slo_ms = slo_ms
+        self._lock = threading.Lock()
+        self._latencies_ms: List[float] = []
+        self._tier_counts: Dict[str, int] = {}
+        self._coalesced = 0
+        self._errors = 0
+        self._batch_sizes: List[int] = []
+        self._first_arrival: Optional[float] = None
+        self._last_completion: Optional[float] = None
+
+    # -- collection (service-internal) --------------------------------------
+
+    def mark_arrival(self, timestamp: float) -> None:
+        """Note one request's admission time (monotonic seconds)."""
+        with self._lock:
+            if self._first_arrival is None or timestamp < self._first_arrival:
+                self._first_arrival = timestamp
+
+    def record_tick(self, batch_size: int) -> None:
+        """Note one micro-batch leaving the admission queue."""
+        with self._lock:
+            self._batch_sizes.append(int(batch_size))
+
+    def record_response(
+        self,
+        tier: str,
+        latency_ms: float,
+        completed_at: float,
+        coalesced: bool = False,
+        error: bool = False,
+    ) -> None:
+        """Note one response leaving the service."""
+        with self._lock:
+            self._latencies_ms.append(float(latency_ms))
+            if error:
+                self._errors += 1
+            else:
+                self._tier_counts[tier] = self._tier_counts.get(tier, 0) + 1
+            if coalesced:
+                self._coalesced += 1
+            if self._last_completion is None or completed_at > self._last_completion:
+                self._last_completion = completed_at
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> ServingReport:
+        """Freeze the counters into a :class:`ServingReport`."""
+        with self._lock:
+            latencies = list(self._latencies_ms)
+            tier_counts = dict(self._tier_counts)
+            coalesced = self._coalesced
+            errors = self._errors
+            batch_sizes = list(self._batch_sizes)
+            first, last = self._first_arrival, self._last_completion
+        requests = len(latencies)
+        wall = max(last - first, 0.0) if first is not None and last is not None else 0.0
+        if latencies:
+            array = np.asarray(latencies, dtype=np.float64)
+            p50, p95, p99 = (
+                float(np.percentile(array, q)) for q in (50.0, 95.0, 99.0)
+            )
+            mean = float(array.mean())
+        else:
+            p50 = p95 = p99 = mean = 0.0
+        attainment = 1.0
+        if self.slo_ms is not None and latencies:
+            attainment = float(
+                sum(1 for value in latencies if value <= self.slo_ms) / requests
+            )
+        return ServingReport(
+            requests=requests,
+            errors=errors,
+            coalesced=coalesced,
+            tier_counts=tier_counts,
+            latency_p50_ms=p50,
+            latency_p95_ms=p95,
+            latency_p99_ms=p99,
+            latency_mean_ms=mean,
+            requests_per_second=requests / wall if wall > 0 else 0.0,
+            wall_seconds=wall,
+            ticks=len(batch_sizes),
+            mean_batch_size=(
+                float(np.mean(batch_sizes)) if batch_sizes else 0.0
+            ),
+            max_batch_size=max(batch_sizes) if batch_sizes else 0,
+            slo_ms=self.slo_ms,
+            slo_attainment=attainment,
+        )

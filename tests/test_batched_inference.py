@@ -387,6 +387,40 @@ class TestFrontendCache:
         assert cache.stats.misses == misses_after_first
         assert cache.stats.hits >= 1
 
+    def test_env_reconfigures_live_instance(self, monkeypatch):
+        # Regression: REPRO_FRONTEND_CACHE[_CAPACITY] used to be read only
+        # at first touch, so env changes after process start (including
+        # between disable()/re-enable cycles) were silently ignored.
+        import repro.frontend.cache as module
+
+        monkeypatch.setattr(module, "_GLOBAL_CACHE", None)
+        monkeypatch.setattr(module, "_GLOBAL_ENV", None)
+        monkeypatch.setenv("REPRO_FRONTEND_CACHE_CAPACITY", "4")
+        monkeypatch.delenv("REPRO_FRONTEND_CACHE", raising=False)
+        cache = module.frontend_cache()
+        assert cache.capacity == 4 and cache.enabled
+        # A programmatic disable survives later calls while the env is
+        # unchanged (env must not clobber explicit configuration).
+        cache.disable()
+        assert module.frontend_cache() is cache
+        assert not cache.enabled
+        # A capacity change applies mid-process — to the live instance,
+        # not a replacement — and leaves the disabled state alone.
+        monkeypatch.setenv("REPRO_FRONTEND_CACHE_CAPACITY", "9")
+        assert module.frontend_cache() is cache
+        assert cache.capacity == 9
+        assert not cache.enabled
+        cache.enable()
+        # Toggling the env off applies once...
+        monkeypatch.setenv("REPRO_FRONTEND_CACHE", "0")
+        module.frontend_cache()
+        assert not cache.enabled
+        # ...but does not keep re-disabling: a programmatic re-enable
+        # sticks for as long as the env value stays the same.
+        cache.enable()
+        module.frontend_cache()
+        assert cache.enabled
+
     def test_loop_extraction_shares_parse_results(self):
         from repro.core.loop_extractor import extract_loops
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.agents.baseline import BaselineAgent
 from repro.agents.brute_force import BruteForceAgent
 from repro.agents.decision_tree import DecisionTreeAgent
 from repro.agents.nns import NearestNeighborAgent
@@ -31,6 +32,7 @@ from repro.evaluation import (
     action_sweep,
     figure_task_comparison,
 )
+from repro.cache.reward_cache import RewardCache
 from repro.simulator.engine import Simulator
 from repro.tasks import UnrollingTask, available_tasks, get_task
 
@@ -240,6 +242,40 @@ class TestSerialParallelIdentity:
                 parallel_runner.default_agents(seed=7), kernels
             )
         assert comparison_fingerprint(parallel) == comparison_fingerprint(serial)
+
+    def test_fanned_out_comparison_simulates_only_baselines_in_parent(self):
+        # With workers attached, every application (and every brute-force
+        # sweep) measures inside the forked workers; the parent's only
+        # simulations are the phase-1 baselines.  Count what the baselines
+        # alone cost on a fresh cache, then hold the fanned-out run to it.
+        kernels = [two_loop_kernel(), stream_kernel()]
+        probe = ComparisonRunner(task="unrolling")
+        _, baseline_sims = count_simulations(
+            lambda: [
+                probe.reward_cache.measure_baseline(probe.pipeline, kernel)
+                for kernel in kernels
+            ]
+        )
+        assert baseline_sims > 0
+        with EvaluationService(CompileAndMeasure(), workers=2) as service:
+            runner = ComparisonRunner(task="unrolling", evaluation_service=service)
+            comparison, simulations = count_simulations(
+                lambda: runner.run(runner.default_agents(seed=7), kernels)
+            )
+        assert simulations == baseline_sims
+        assert set(comparison.speedups) == {"work", "stream"}
+
+    def test_comparison_rejects_service_with_foreign_cache(self):
+        with EvaluationService(CompileAndMeasure(), workers=2) as service:
+            runner = ComparisonRunner(
+                task="unrolling",
+                evaluation_service=service,
+                reward_cache=service.cache,
+            )
+            runner.reward_cache = RewardCache()  # simulate a swapped cache
+            agents = {"baseline": BaselineAgent(runner.pipeline, task=runner.task)}
+            with pytest.raises(ValueError, match="different RewardCache"):
+                runner.run(agents, [stream_kernel()])
 
 
 # ---------------------------------------------------------------------------
