@@ -118,6 +118,16 @@ class TrainingConfig:
     #: persistent cross-run reward store (None = memory only).
     workers: int = 0
     cache_dir: Optional[str] = None
+    #: Fleet evaluation: ``host:port`` addresses of running
+    #: :class:`repro.fleet.FleetWorker` daemons.  When set (and at least
+    #: one is reachable) reward evaluation shards across those hosts
+    #: instead of local worker processes; ``workers`` becomes the local
+    #: fallback pool used if none answer.  ``fleet_prefetch_top_k`` is the
+    #: number of most-likely next actions speculatively evaluated per
+    #: upcoming sample while the trainer is busy inferring (0 disables
+    #: prefetch).
+    fleet_workers: Sequence[str] = ()
+    fleet_prefetch_top_k: int = 8
     #: Store-compaction policy applied by ``NeuroVectorizer.close()``: when
     #: enabled and the cache directory holds at least ``compact_min_segments``
     #: segment files (optionally also at least ``compact_min_bytes`` in
@@ -321,25 +331,45 @@ class NeuroVectorizer:
         stats = self.reward_cache.stats
         if stats.lookups == 0 and stats.batch_deduplicated == 0:
             return format_no_evaluations_table(title=title)
+        service_stats = getattr(self.evaluation_service, "stats", None)
         return format_cache_stats_table(
             stats,
             title=title,
             simulator_memo=self.pipeline.simulator_memo_stats(),
             frontend=frontend_cache().stats.as_dict(),
+            # A fleet service's stats carry the speculative-prefetch
+            # ledger; split those hits out from demand-earned ones.
+            fleet=(
+                service_stats
+                if hasattr(service_stats, "prefetch_issued")
+                else None
+            ),
         )
 
     def service_stats_report(self, title: str = "evaluation service"):
         """Per-worker dispatch statistics of the evaluation service.
 
         Returns ``None`` when no service is attached; includes persistent
-        store statistics when the cache is disk-backed.
+        store statistics when the cache is disk-backed.  A fleet-backed
+        service renders the fleet table (robustness + prefetch counters)
+        instead of the local-service one.
         """
-        from repro.evaluation.report import format_service_stats_table
+        from repro.evaluation.report import (
+            format_fleet_stats_table,
+            format_service_stats_table,
+        )
 
         if self.evaluation_service is None:
             return None
         store = getattr(self.reward_cache, "store", None)
-        return format_service_stats_table(
+        formatter = (
+            format_fleet_stats_table
+            if hasattr(self.evaluation_service.stats, "prefetch_issued")
+            else format_service_stats_table
+        )
+        if formatter is format_fleet_stats_table and title == "evaluation service":
+            title = "fleet evaluation"
+        return formatter(
             self.evaluation_service.stats,
             store_stats=store.stats if store is not None else None,
             preloaded=getattr(self.reward_cache, "preloaded", 0),
@@ -649,7 +679,20 @@ class NeuroVectorizer:
             )
         else:
             reward_cache = RewardCache()
-        if config.workers > 0:
+        if config.fleet_workers:
+            from repro.fleet import FleetEvaluationService
+
+            # Shard reward evaluation across remote fleet workers; when
+            # none of the addresses answer this degrades to a local
+            # EvaluationService with ``config.workers`` processes.
+            evaluation_service = FleetEvaluationService.connect(
+                pipeline,
+                reward_cache,
+                addresses=list(config.fleet_workers),
+                fallback_workers=config.workers,
+                prefetch_top_k=config.fleet_prefetch_top_k,
+            )
+        elif config.workers > 0:
             from repro.distributed.service import EvaluationService
 
             evaluation_service = EvaluationService(

@@ -81,9 +81,23 @@ class AsyncEvaluator:
     paths are interchangeable.
     """
 
-    def __init__(self, env: VectorizationEnv):
+    def __init__(self, env: VectorizationEnv, policy=None):
         self.env = env
         self.service = getattr(env, "evaluation_service", None)
+        # With a fleet-backed service that speculates (prefetch_top_k > 0)
+        # and a policy to rank actions with, warm the cache with the
+        # policy's likely next actions after every submission — the fleet
+        # evaluates them while the trainer is busy inferring/updating.
+        self.prefetcher = None
+        if (
+            policy is not None
+            and self.service is not None
+            and int(getattr(self.service, "prefetch_top_k", 0) or 0) > 0
+            and hasattr(self.service, "prefetch")
+        ):
+            from repro.fleet.prefetch import SpeculativePrefetcher
+
+            self.prefetcher = SpeculativePrefetcher(env, policy, self.service)
 
     @property
     def overlapping(self) -> bool:
@@ -103,5 +117,7 @@ class AsyncEvaluator:
         self.env._current = None
         if self.overlapping:
             service_future = self.env.submit_requests(self.service, requests)
+            if self.prefetcher is not None:
+                self.prefetcher.prefetch()
             return RewardFuture(self.env, requests, service_future=service_future)
         return RewardFuture(self.env, requests)

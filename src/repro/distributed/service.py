@@ -360,7 +360,7 @@ class EvaluationService:
 
     # -- whole-kernel application fan-out -----------------------------------
 
-    def measure_applications(self, task: "OptimizationTask", jobs) -> int:
+    def measure_applications(self, task: "OptimizationTask", jobs, detail: bool = False):
         """Fan whole-kernel task applications out across the worker shards.
 
         ``jobs`` is a sequence of ``(kernel, decisions)`` pairs.  Each
@@ -374,16 +374,19 @@ class EvaluationService:
         parallelizes per kernel while staying byte-identical to serial.
 
         Returns the number of jobs dispatched (0 when the service is
-        serial, or every job was already fanned out by an earlier call).
+        serial, or every job was already fanned out by an earlier call) —
+        or, with ``detail=True``, a per-job list of booleans (``True``
+        when that job was dispatched to a worker) so callers can tell
+        which jobs actually cost a simulation this call.
         Raises if any worker failed; failed jobs become retryable again.
         """
         if self.workers == 0 or not jobs:
-            return 0
+            return [False] * len(jobs or []) if detail else 0
         if not self._processes:
             raise RuntimeError(
                 "evaluation service is closed; create a new one to submit"
             )
-        dispatched = 0
+        flags: List[bool] = []
         outstanding: set = set()
         for kernel, decisions in jobs:
             flattened: List[int] = []
@@ -399,6 +402,7 @@ class EvaluationService:
                 task=task.name,
             )
             if key in self._applied:
+                flags.append(False)
                 continue
             self._applied.add(key)
             shard = int(key.kernel_hash[:8], 16) % self.workers
@@ -434,7 +438,7 @@ class EvaluationService:
                     },
                 )
             )
-            dispatched += 1
+            flags.append(True)
         while any(rid in self._pending_apply for rid in outstanding):
             self._drain_one()
         if self._apply_errors:
@@ -445,7 +449,7 @@ class EvaluationService:
                 f"{len(errors)} application job(s) failed in workers; "
                 f"first failure:\n{errors[0][1]}"
             )
-        return dispatched
+        return flags if detail else sum(flags)
 
     # -- result collection -------------------------------------------------
 

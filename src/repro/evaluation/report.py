@@ -67,6 +67,7 @@ def format_cache_stats_table(
     title: str = "reward cache",
     simulator_memo=None,
     frontend=None,
+    fleet=None,
 ) -> Table:
     """Render :class:`repro.cache.CacheStats` (or any object with the same
     counters) as a two-column table, including the derived hit rate and the
@@ -75,16 +76,29 @@ def format_cache_stats_table(
     ``simulator_memo`` (a :meth:`CompileAndMeasure.simulator_memo_stats`
     dict) and ``frontend`` (a :class:`FrontendCacheStats` dict) append the
     hot-path memo counters to the same table so cache-pressure regressions
-    in any layer are visible from one report.
+    in any layer are visible from one report.  ``fleet`` (a
+    :class:`repro.fleet.FleetStats`) splits the hits into speculative vs
+    demand-earned ones, so warm-start analysis can tell a genuinely warm
+    store from one the prefetcher filled moments earlier.
     """
     table = Table(headers=["metric", "value"], title=title)
     table.add_row(["lookups", stats.lookups])
     table.add_row(["hits", stats.hits])
+    if fleet is not None:
+        table.add_row(["hits (speculative)", fleet.prefetch_hits])
+        table.add_row(
+            ["hits (demand)", max(0, stats.hits - fleet.prefetch_hits)]
+        )
     table.add_row(["misses", stats.misses])
     table.add_row(["batch deduplicated", stats.batch_deduplicated])
     table.add_row(["evictions", stats.evictions])
     table.add_row(["hit rate", stats.hit_rate])
     table.add_row(["compiles avoided", stats.compiles_avoided])
+    if fleet is not None:
+        table.add_row(["prefetch issued", fleet.prefetch_issued])
+        table.add_row(["prefetch joined in flight", fleet.prefetch_joined])
+        table.add_row(["prefetch wasted", fleet.prefetch_wasted])
+        table.add_row(["async waits converted", fleet.waits_converted])
     if simulator_memo is not None:
         table.add_row(["simulator memo hits", simulator_memo["hits"]])
         table.add_row(["simulator memo misses", simulator_memo["misses"]])
@@ -179,6 +193,51 @@ def format_service_stats_table(
     for worker_id in sorted(stats.per_worker_completed):
         table.add_row(
             [f"worker {worker_id} completed", stats.per_worker_completed[worker_id]]
+        )
+    if store_stats is not None:
+        table.add_row(["store: preloaded entries", preloaded])
+        table.add_row(["store: records loaded", store_stats.records_loaded])
+        table.add_row(["store: records appended", store_stats.appended])
+        table.add_row(["store: segments loaded", store_stats.segments_loaded])
+        table.add_row(["store: segments skipped", store_stats.segments_skipped])
+        table.add_row(["store: corrupt records", store_stats.corrupt_records])
+    return table
+
+
+def format_fleet_stats_table(
+    stats,
+    store_stats=None,
+    preloaded: int = 0,
+    title: str = "fleet evaluation",
+) -> Table:
+    """Render :class:`repro.fleet.FleetStats` as a text table.
+
+    The fleet analogue of :func:`format_service_stats_table`: dispatch and
+    completion totals with one per-worker throughput row each, the
+    robustness counters (workers lost, retries, re-shards, inline
+    fallbacks), and the speculative-prefetch ledger with the derived
+    waits-converted rate.  ``store_stats``/``preloaded`` append the shared
+    persistent store's counters exactly as the local-service table does.
+    """
+    table = Table(headers=["metric", "value"], title=title)
+    table.add_row(["dispatched to fleet", stats.dispatched])
+    table.add_row(["demand dispatches", stats.demand_dispatched])
+    table.add_row(["completed by fleet", stats.completed])
+    table.add_row(["worker errors", stats.errors])
+    table.add_row(["serial batches", stats.serial_batches])
+    table.add_row(["serial requests", stats.serial_requests])
+    table.add_row(["workers lost", stats.workers_lost])
+    table.add_row(["retries", stats.retries])
+    table.add_row(["re-shards", stats.reshards])
+    table.add_row(["inline evaluations", stats.inline_evaluations])
+    table.add_row(["prefetch issued", stats.prefetch_issued])
+    table.add_row(["prefetch hits", stats.prefetch_hits])
+    table.add_row(["prefetch joined in flight", stats.prefetch_joined])
+    table.add_row(["prefetch wasted", stats.prefetch_wasted])
+    table.add_row(["async waits converted", stats.waits_converted])
+    for worker in sorted(stats.per_worker_completed):
+        table.add_row(
+            [f"worker {worker} completed", stats.per_worker_completed[worker]]
         )
     if store_stats is not None:
         table.add_row(["store: preloaded entries", preloaded])

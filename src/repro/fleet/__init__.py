@@ -1,0 +1,31 @@
+"""Fleet evaluation: multi-host sharded reward measurement.
+
+The fleet extends :class:`repro.distributed.EvaluationService`'s sharding
+across machines: :class:`FleetWorker` daemons serve measurements over a
+newline-delimited-JSON TCP protocol, a :class:`FleetCoordinator` manages
+connections/heartbeats/loss detection, and
+:class:`FleetEvaluationService` exposes the whole thing behind the exact
+local-service contract — byte-identical to serial, robust to worker
+death (retry, re-shard, inline fallback), degrading gracefully to a
+local service when no workers are reachable.
+:class:`~repro.fleet.prefetch.SpeculativePrefetcher` uses idle fleet
+capacity to evaluate the policy's likely next actions so async rollouts
+hit the cache instead of waiting.
+"""
+
+from repro.fleet.coordinator import FleetCoordinator, FleetEvaluationService
+from repro.fleet.prefetch import SpeculativePrefetcher
+from repro.fleet.protocol import FleetError, FleetProtocolError
+from repro.fleet.stats import FleetStats
+from repro.fleet.worker import FleetWorker, WorkerFaults
+
+__all__ = [
+    "FleetCoordinator",
+    "FleetEvaluationService",
+    "FleetError",
+    "FleetProtocolError",
+    "FleetStats",
+    "FleetWorker",
+    "SpeculativePrefetcher",
+    "WorkerFaults",
+]

@@ -1,0 +1,133 @@
+"""Speculative prefetch: evaluate the policy's likely next actions early.
+
+While PPO is inside policy inference / the update step, the fleet's
+workers are idle.  :class:`SpeculativePrefetcher` fills that window: after
+each rollout chunk is submitted, it peeks at the environment's *upcoming*
+samples (no RNG is consumed — rollout order is untouched), replays the
+policy's deterministic forward pass over their observations, ranks the
+joint action distribution of each sample, and asks the fleet to evaluate
+the top-k most likely actions at low priority.  By the time the rollout
+reaches those samples, the demanded keys resolve as store hits (or join
+the in-flight speculation) instead of paying a dispatch-and-wait.
+
+The ranking reuses the exact inference kernels ``act_batch`` runs
+(:func:`repro.rl.policy._trunk_forward` + the stable softmax), and decodes
+index tuples through the same per-lane action space the demand path uses
+— so a speculated key is byte-identical to the demanded one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class SpeculativePrefetcher:
+    """Rank likely next actions and warm the fleet cache with them.
+
+    ``top_k``/``horizon`` default from the service's ``prefetch_top_k`` /
+    ``prefetch_horizon`` knobs; ``horizon`` is how many upcoming samples
+    to speculate on per call.  Safe to hold against duck-typed policies
+    and environments — anything without the needed surface (``trunk``,
+    ``heads_for``, ``peek_upcoming``) silently prefetches nothing.
+    """
+
+    #: Joint action spaces larger than this are not enumerated.
+    MAX_JOINT_ACTIONS = 65536
+
+    def __init__(self, env, policy, service, top_k=None, horizon=None):
+        self.env = env
+        self.policy = policy
+        self.service = service
+        if top_k is None:
+            top_k = int(getattr(service, "prefetch_top_k", 0) or 0)
+        self.top_k = int(top_k)
+        if horizon is None:
+            horizon = getattr(service, "prefetch_horizon", None)
+        self.horizon = int(horizon) if horizon else 16
+
+    def prefetch(self) -> int:
+        """Issue one round of speculation; returns how many were issued."""
+        if self.top_k <= 0:
+            return 0
+        if getattr(self.service, "workers", 0) == 0:
+            return 0
+        prefetch = getattr(self.service, "prefetch", None)
+        peek = getattr(self.env, "peek_upcoming", None)
+        if prefetch is None or peek is None:
+            return 0
+        if getattr(self.policy, "trunk", None) is None or not hasattr(
+            self.policy, "heads_for"
+        ):
+            return 0
+        upcoming = peek(self.horizon)
+        if not upcoming:
+            return 0
+        issued = 0
+        for task_name, samples in self._by_task(upcoming).items():
+            issued += self._prefetch_task(task_name, samples)
+        return issued
+
+    def _by_task(self, samples) -> Dict[Optional[str], List[object]]:
+        grouped: Dict[Optional[str], List[object]] = {}
+        for sample in samples:
+            name = getattr(sample, "task_name", None)
+            if name is None:
+                task = getattr(self.env, "task", None)
+                name = getattr(task, "name", None)
+            grouped.setdefault(name, []).append(sample)
+        return grouped
+
+    def _prefetch_task(self, task_name: Optional[str], samples) -> int:
+        from repro.rl.policy import _stable_matmul, _trunk_forward
+
+        try:
+            bank = self.policy.heads_for(task_name)
+        except (ValueError, KeyError):
+            return 0
+        if getattr(bank, "kind", None) != "discrete":
+            return 0
+        lane = (
+            self.env.lane_for(task_name)
+            if hasattr(self.env, "lane_for")
+            else self.env
+        )
+        space = lane.action_space
+        sizes = [len(menu) for menu in getattr(space, "menus", [])]
+        if not sizes:
+            return 0
+        total = 1
+        for size in sizes:
+            total *= size
+        if total > self.MAX_JOINT_ACTIONS:
+            return 0
+        observations = np.stack(
+            [np.asarray(sample.observation, dtype=np.float64) for sample in samples]
+        )
+        hidden = _trunk_forward(self.policy.trunk, observations)
+        # The act_batch softmax, per factored dimension.
+        per_dim = []
+        for head in bank.heads:
+            logits = _stable_matmul(hidden, head.weight.data) + head.bias.data
+            shifted = logits - logits.max(axis=1, keepdims=True)
+            exps = np.exp(shifted)
+            per_dim.append(exps / exps.sum(axis=1, keepdims=True))
+        requests: List[Tuple[object, int, Tuple[int, ...]]] = []
+        count = min(self.top_k, total)
+        for row, sample in enumerate(samples):
+            joint = per_dim[0][row]
+            for probs in per_dim[1:]:
+                joint = np.multiply.outer(joint, probs[row])
+            flat = joint.reshape(-1)
+            ranked = np.argsort(-flat, kind="stable")[:count]
+            index_tuples = np.unravel_index(ranked, joint.shape)
+            for position in range(count):
+                raw = np.array(
+                    [int(dim[position]) for dim in index_tuples], dtype=np.int64
+                )
+                decoded = space.decode(raw)
+                requests.append((sample.kernel, sample.loop_index, decoded))
+        if not requests:
+            return 0
+        return int(self.service.prefetch(requests, task=lane.task))

@@ -1,0 +1,452 @@
+"""The fleet worker daemon: a TCP reward-measurement server.
+
+A :class:`FleetWorker` is the multi-host analogue of the process worker in
+:mod:`repro.distributed.worker`: it hosts its own
+:class:`~repro.core.pipeline.CompileAndMeasure` pipeline per coordinator
+connection (built from the coordinator's ``hello``, so measurements run
+under exactly the caller's machine model and symbol defaults), keeps
+kernels by content hash and tasks by name — each shipped at most once per
+connection — and answers ``site`` and ``apply`` work with the *same code
+paths* the serial batcher runs, so fleet answers are byte-identical to
+serial ones.
+
+The worker holds one worker-local reward cache shared by all connections.
+With ``store_dir`` it is a :class:`~repro.distributed.store.DiskBackedRewardCache`
+over the shared :class:`~repro.distributed.store.PersistentRewardStore`
+directory — the fleet-wide cache: the store's append-only multi-writer
+segments mean many workers (and the coordinator itself) write the same
+directory safely, and a worker restarted against it comes back warm.
+
+Threading mirrors :class:`repro.serving.server.CompileServer`: one accept
+loop, and per connection a reader (decode + route), an evaluator draining
+a priority queue (demand before speculative prefetch), and a writer
+draining an outbox.  :class:`WorkerFaults` injects the failure modes the
+fault-tolerance tests exercise — abrupt death mid-batch, silent
+heartbeat loss, a torn connection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import queue as _queue
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.reward_cache import CachedMeasurement, RewardCache
+from repro.distributed.worker import kernel_from_payload
+from repro.fleet.protocol import (
+    FleetError,
+    FleetProtocolError,
+    b64_to_pickle,
+    decode_message,
+    encode_entries,
+    encode_message,
+    pong_message,
+    register_message,
+    result_message,
+    welcome_message,
+)
+
+_WORKER_SEQUENCE = [0]
+_WORKER_SEQUENCE_LOCK = threading.Lock()
+
+
+def _next_worker_name() -> str:
+    with _WORKER_SEQUENCE_LOCK:
+        _WORKER_SEQUENCE[0] += 1
+        return f"fleet-worker-{_WORKER_SEQUENCE[0]}"
+
+
+@dataclass
+class WorkerFaults:
+    """Failure injection for the fault-tolerance tests.
+
+    ``die_after`` — after answering N work items, the whole worker drops
+    abruptly (listener and every connection closed with no ``bye``), like
+    a host losing power; coordinators see EOF.  ``drop_heartbeats_after``
+    — after N answers the worker goes silent: it keeps reading but sends
+    nothing (no pongs, no results), so only a heartbeat timeout can
+    unmask it.  ``tear_after`` — after N answers the current connection
+    alone is torn; the worker itself stays up for fresh dials.
+    """
+
+    die_after: Optional[int] = None
+    drop_heartbeats_after: Optional[int] = None
+    tear_after: Optional[int] = None
+
+
+class _Session:
+    """One coordinator connection: its pipeline, payloads, and threads."""
+
+    def __init__(self, worker: "FleetWorker", connection: socket.socket):
+        self.worker = worker
+        self.connection = connection
+        self.pipeline = None
+        self.kernels: Dict[str, object] = {}
+        self.tasks: Dict[str, object] = {}
+        # (priority, arrival sequence, message): demand (0) outranks
+        # prefetch (1); arrival order breaks ties so demand stays FIFO.
+        # The stop sentinel sorts first of all so shutdown never waits
+        # behind queued speculation.
+        self.work: "_queue.PriorityQueue" = _queue.PriorityQueue()
+        self.outbox: "_queue.Queue" = _queue.Queue()
+        self._sequence = 0
+        self.torn = False
+
+    STOP = (-1, -1, None)
+
+    def enqueue_work(self, message: dict) -> None:
+        self._sequence += 1
+        priority = int(message.get("priority", 0))
+        self.work.put((priority, self._sequence, message))
+
+    def send(self, payload: dict) -> None:
+        self.outbox.put(payload)
+
+    def tear(self) -> None:
+        """Abruptly drop this connection (no ``bye``)."""
+        if self.torn:
+            return
+        self.torn = True
+        try:
+            self.connection.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.connection.close()
+
+
+class FleetWorker:
+    """Serve reward measurements to fleet coordinators over TCP.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    :meth:`start`.  ``store_dir`` points the worker-local cache at the
+    shared persistent store directory (the fleet-wide cache).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store_dir=None,
+        name: Optional[str] = None,
+        faults: Optional[WorkerFaults] = None,
+    ):
+        self.name = name or _next_worker_name()
+        self.faults = faults or WorkerFaults()
+        self._host = host
+        self._port = port
+        self._store_dir = store_dir
+        self.cache = None
+        self._cache_lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._sessions: List[_Session] = []
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+        # Observability for the payload-dedup and fault tests.
+        self.kernels_received = 0
+        self.tasks_received = 0
+        self.evaluations = 0
+        self.results_sent = 0
+        self._silent = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._listener is None:
+            raise FleetError("fleet worker is not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "FleetWorker":
+        if self._listener is not None:
+            return self
+        if self.cache is None:
+            if self._store_dir is not None:
+                from repro.distributed.store import DiskBackedRewardCache
+
+                self.cache = DiskBackedRewardCache.open(self._store_dir)
+            else:
+                self.cache = RewardCache()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(32)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._stopping.clear()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"{self.name}-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join()
+            self._accept_thread = None
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        with self._lock:
+            sessions, self._sessions = self._sessions, []
+            threads, self._threads = self._threads, []
+        for session in sessions:
+            session.work.put(_Session.STOP)
+            session.outbox.put(None)
+            session.tear()
+        current = threading.current_thread()
+        for thread in threads:
+            # die() is called from a session's own evaluator thread.
+            if thread is not current:
+                thread.join(timeout=5.0)
+
+    def die(self) -> None:
+        """Abrupt full-worker death: every socket closed, nothing sent."""
+        self._silent = True
+        self.stop()
+
+    def __enter__(self) -> "FleetWorker":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- connections ----------------------------------------------------------
+
+    def dial(self, host: str, port: int) -> None:
+        """Register with a *listening* coordinator instead of being dialed."""
+        if self.cache is None:
+            self.start()
+        connection = socket.create_connection((host, port), timeout=10.0)
+        connection.settimeout(None)
+        connection.sendall(encode_message(register_message(self.name)))
+        self._spawn_session(connection)
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                connection, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            connection.settimeout(None)
+            self._spawn_session(connection)
+
+    def _spawn_session(self, connection: socket.socket) -> None:
+        session = _Session(self, connection)
+        reader = threading.Thread(
+            target=self._read_loop, args=(session,),
+            name=f"{self.name}-read", daemon=True,
+        )
+        evaluator = threading.Thread(
+            target=self._evaluate_loop, args=(session,),
+            name=f"{self.name}-eval", daemon=True,
+        )
+        writer = threading.Thread(
+            target=self._write_loop, args=(session,),
+            name=f"{self.name}-write", daemon=True,
+        )
+        with self._lock:
+            self._sessions.append(session)
+            self._threads.extend((reader, evaluator, writer))
+        reader.start()
+        evaluator.start()
+        writer.start()
+
+    # -- message handling -----------------------------------------------------
+
+    def _read_loop(self, session: _Session) -> None:
+        stream = session.connection.makefile("rb")
+        try:
+            for line in stream:
+                if not line.strip():
+                    continue
+                try:
+                    message = decode_message(line)
+                except FleetProtocolError:
+                    continue
+                kind = message.get("type")
+                if kind == "hello":
+                    self._handle_hello(session, message)
+                elif kind == "kernel":
+                    session.kernels[message["hash"]] = kernel_from_payload(
+                        message["kernel"]
+                    )
+                    self.kernels_received += 1
+                elif kind == "task":
+                    session.tasks[message["name"]] = b64_to_pickle(message["data"])
+                    self.tasks_received += 1
+                elif kind == "work":
+                    session.enqueue_work(message)
+                elif kind == "ping":
+                    session.send(pong_message(message.get("n", 0)))
+                elif kind == "bye":
+                    break
+        except (OSError, ValueError):
+            pass
+        finally:
+            stream.close()
+            session.work.put(_Session.STOP)
+            session.outbox.put(None)
+            session.tear()
+
+    def _handle_hello(self, session: _Session, message: dict) -> None:
+        from repro.core.pipeline import CompileAndMeasure
+
+        machine = b64_to_pickle(message["machine"])
+        session.pipeline = CompileAndMeasure(
+            machine=machine,
+            default_symbol_value=int(message.get("default_symbol_value", 100)),
+        )
+        session.send(welcome_message(self.name))
+
+    def _write_loop(self, session: _Session) -> None:
+        try:
+            while True:
+                payload = session.outbox.get()
+                if payload is None:
+                    return
+                if self._silent:
+                    # Fault injection: the worker is "alive" but mute —
+                    # results and pongs vanish, only a heartbeat timeout
+                    # can detect it.
+                    continue
+                session.connection.sendall(encode_message(payload))
+                if payload.get("type") == "result":
+                    self.results_sent += 1
+                    self._after_result(session)
+        except OSError:
+            return
+
+    def _after_result(self, session: _Session) -> None:
+        faults = self.faults
+        if (
+            faults.drop_heartbeats_after is not None
+            and self.results_sent >= faults.drop_heartbeats_after
+        ):
+            self._silent = True
+        if faults.tear_after is not None and self.results_sent >= faults.tear_after:
+            session.tear()
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _evaluate_loop(self, session: _Session) -> None:
+        while True:
+            item = session.work.get()
+            _priority, _sequence, message = item
+            if message is None:
+                return
+            faults = self.faults
+            if faults.die_after is not None and self.evaluations >= faults.die_after:
+                self.die()
+                return
+            self.evaluations += 1
+            try:
+                session.send(self._evaluate(session, message))
+            except OSError:
+                return
+
+    def _evaluate(self, session: _Session, message: dict) -> dict:
+        import traceback
+
+        request_id = int(message.get("id", 0))
+        try:
+            if session.pipeline is None:
+                raise FleetError("work before hello: no pipeline configured")
+            pipeline = session.pipeline
+            kernel = session.kernels[message["hash"]]
+            task_name = message["task"]
+            task = session.tasks.get(task_name)
+            if task is None:
+                from repro.tasks import get_task
+
+                task = session.tasks[task_name] = get_task(task_name)
+            if message.get("kind") == "apply":
+                # Exactly the serial whole-kernel path: cached baseline +
+                # ``task.apply`` against a fresh per-request cache, whose
+                # entries (precisely this application's measurements) ship
+                # back and also warm the worker-local cache.
+                local = RewardCache()
+                local.measure_baseline(pipeline, kernel)
+                decisions = {
+                    int(site): tuple(int(value) for value in chosen)
+                    for site, chosen in (message.get("decisions") or {}).items()
+                }
+                task.apply(pipeline, kernel, decisions, reward_cache=local)
+                entries = local.items()
+                with self._cache_lock:
+                    for key, measurement in entries:
+                        if self.cache.peek(key) is None:
+                            self.cache.put(key, measurement)
+                return result_message(request_id, entries=encode_entries(entries))
+            action = tuple(int(value) for value in message["action"])
+            key = self.cache.key_for(
+                kernel,
+                pipeline.machine,
+                int(message["site"]),
+                default_symbol_value=pipeline.default_symbol_value,
+                action=action,
+                task=task_name,
+            )
+            with self._cache_lock:
+                cached = self.cache.peek(key)
+            if cached is None:
+                measured = task.evaluate(
+                    pipeline, kernel, int(message["site"]), action
+                )
+                cached = CachedMeasurement(
+                    cycles=measured.cycles,
+                    compile_seconds=measured.compile_seconds,
+                )
+                with self._cache_lock:
+                    if self.cache.peek(key) is None:
+                        self.cache.put(key, cached)
+            return result_message(
+                request_id,
+                cycles=cached.cycles,
+                compile_seconds=cached.compile_seconds,
+            )
+        except Exception:
+            return result_message(request_id, error=traceback.format_exc())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run a fleet evaluation worker daemon."
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--store-dir", default=None,
+                        help="shared persistent reward-store directory")
+    parser.add_argument("--name", default=None)
+    parser.add_argument("--coordinator", default=None, metavar="HOST:PORT",
+                        help="dial in and register with a listening coordinator")
+    args = parser.parse_args(argv)
+    worker = FleetWorker(
+        host=args.host, port=args.port, store_dir=args.store_dir, name=args.name
+    )
+    worker.start()
+    if args.coordinator:
+        host, _, port = args.coordinator.rpartition(":")
+        worker.dial(host, int(port))
+        print(f"{worker.name} registered with {args.coordinator}", flush=True)
+    else:
+        host, port = worker.address
+        print(f"{worker.name} listening on {host}:{port}", flush=True)
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        worker.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -160,6 +160,21 @@ class VectorizationEnv:
         self._cursor += 1
         return self._current.observation
 
+    def peek_upcoming(self, count: int) -> List[EnvSample]:
+        """The next ``count`` samples rollout order will serve — read-only.
+
+        Consumes no RNG and moves no cursor, so interleaving peeks with
+        ``reset``/``next_batch`` leaves rollouts byte-identical.  At an
+        epoch boundary the *exact* next-epoch order is unknowable without
+        consuming the shuffle draw, so the stable sample order stands in —
+        speculation needs likely candidates, not the precise sequence.
+        """
+        count = max(0, int(count))
+        if self._cursor >= len(self._order):
+            return [self.samples[i] for i in range(min(count, len(self.samples)))]
+        end = min(self._cursor + count, len(self._order))
+        return [self.samples[i] for i in self._order[self._cursor:end]]
+
     def current_sample(self) -> EnvSample:
         if self._current is None:
             raise RuntimeError("call reset() before step()")
@@ -523,6 +538,19 @@ class MultiTaskEnv:
         self._current = self.samples[self._order[self._cursor]]
         self._cursor += 1
         return self._current.sample.observation
+
+    def peek_upcoming(self, count: int) -> List[TaggedSample]:
+        """The next ``count`` tagged samples joint rollout order will serve.
+
+        Same contract as :meth:`VectorizationEnv.peek_upcoming`: no RNG, no
+        cursor movement; past the epoch boundary the stable sample order
+        stands in as the speculation candidates.
+        """
+        count = max(0, int(count))
+        if self._cursor >= len(self._order):
+            return [self.samples[i] for i in range(min(count, len(self.samples)))]
+        end = min(self._cursor + count, len(self._order))
+        return [self.samples[i] for i in self._order[self._cursor:end]]
 
     def current_sample(self) -> TaggedSample:
         if self._current is None:

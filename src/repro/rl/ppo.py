@@ -192,7 +192,11 @@ class PPOTrainer:
         # misses simulate in worker processes while the policy network acts
         # on chunk k+1 (latency hiding); otherwise one chunk preserves the
         # single-pass serial behaviour exactly.
-        evaluator = AsyncEvaluator(self.env)
+        # The policy hands a fleet-backed service its action distribution:
+        # idle workers speculatively evaluate the top-k likely next actions
+        # while this process is busy inferring, so later chunks hit instead
+        # of waiting.
+        evaluator = AsyncEvaluator(self.env, policy=self.policy)
         chunk_size = (
             max(1, self.config.async_chunk_size)
             if evaluator.overlapping

@@ -30,7 +30,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cache.reward_cache import RewardCache, resolve_cache
+from repro.cache.reward_cache import (
+    WHOLE_FUNCTION_APPLICATION,
+    RewardCache,
+    resolve_cache,
+)
 from repro.core.loop_extractor import extract_loops
 from repro.core.pipeline import CompileAndMeasure
 from repro.datasets.kernels import LoopKernel
@@ -349,9 +353,10 @@ class CompileService:
                     )
                 outputs = []
 
-        # Phase 3: decode + measure per unique kernel, then fan each
-        # result out to the leader and its coalesced followers.
+        # Phase 3a: decode every unique kernel's decisions from the shared
+        # forward's outputs.
         batch_size = len(batch)
+        live_jobs = []
         for job in jobs:
             if "error" in job:
                 self._respond_error(job["items"], batch_size, job["error"])
@@ -362,6 +367,23 @@ class CompileService:
             decisions: Dict[int, Tuple[int, ...]] = {}
             for (site_index, _), output in zip(job["sites"], outputs[start:end]):
                 decisions[site_index] = task.cache_key(space.decode(output.action))
+            job["decisions"] = decisions
+            live_jobs.append(job)
+
+        # Phase 3b: fan the tick's *cold* applications across the attached
+        # evaluation service (process pool or fleet) so one slow simulation
+        # no longer serializes the whole tick — the serial measure pass
+        # below then answers fanned jobs from the freshly-merged cache.
+        # Jobs whose application measurement is already cached are skipped
+        # (they are the warm ``store`` tier; dispatching them would both
+        # waste a worker and mislabel the tier).
+        self._fan_out_measurements(live_jobs)
+
+        # Phase 3c: measure per unique kernel, then fan each result out to
+        # the leader and its coalesced followers.
+        for job in live_jobs:
+            task = job["task"]
+            decisions = job["decisions"]
             try:
                 # The misses delta over the measurement phase is the exact
                 # simulation count (the tick worker is the only thread
@@ -385,7 +407,11 @@ class CompileService:
                     ServingError(f"measurement failed: {error}"),
                 )
                 continue
-            if simulated == 0:
+            if simulated == 0 and not job.get("fanned"):
+                # Zero local misses AND no remote simulation this tick:
+                # the genuinely warm store tier.  A fanned job also shows
+                # zero local misses, but its simulations merely ran
+                # elsewhere — report it by its front-end path instead.
                 tier = TIER_STORE
             elif job["memo_hit"]:
                 tier = TIER_FRONTEND
@@ -400,6 +426,50 @@ class CompileService:
                 baseline_cycles=float(baseline.cycles),
                 tier=tier,
             )
+
+    def _fan_out_measurements(self, jobs) -> None:
+        """Run the tick's cold whole-kernel applications through the
+        attached evaluation service, grouped per task.
+
+        Each dispatched job's ``fanned`` flag records that its simulation
+        happened remotely (the tier report uses it).  Fan-out failures are
+        non-fatal: the serial measure pass re-runs anything unfinished.
+        """
+        service = self.evaluation_service
+        if service is None or getattr(service, "workers", 0) == 0:
+            return
+        by_task: "OrderedDict[str, List[dict]]" = OrderedDict()
+        for job in jobs:
+            key = self._reward_cache.key_for(
+                job["kernel"],
+                self._pipeline.machine,
+                WHOLE_FUNCTION_APPLICATION,
+                default_symbol_value=self._pipeline.default_symbol_value,
+                action=self._flattened_decisions(job["decisions"]),
+                task=job["task"].name,
+            )
+            if self._reward_cache.peek(key) is not None:
+                continue
+            by_task.setdefault(job["task"].name, []).append(job)
+        for name, group in by_task.items():
+            try:
+                flags = service.measure_applications(
+                    self._tasks[name],
+                    [(job["kernel"], job["decisions"]) for job in group],
+                    detail=True,
+                )
+            except RuntimeError:
+                continue
+            for job, fanned in zip(group, flags):
+                job["fanned"] = bool(fanned)
+
+    @staticmethod
+    def _flattened_decisions(decisions) -> Tuple[int, ...]:
+        flattened: List[int] = []
+        for site_index in sorted(decisions):
+            flattened.append(int(site_index))
+            flattened.extend(int(value) for value in decisions[site_index])
+        return tuple(flattened)
 
     # -- response fan-out -----------------------------------------------------
 
