@@ -17,11 +17,12 @@ class PolicyAgent(VectorizationAgent):
     "Once the model is trained it can be plugged in as is for inference
     without further retraining" (§3) — this class is that plug.
 
-    ``task`` selects which head bank of a jointly-trained
-    :class:`repro.rl.policy.MultiTaskPolicy` this agent decides with (and
-    which space decodes its actions); one joint policy yields one
-    task-pinned agent per task via :meth:`for_task`.  Single-task policies
-    need no task: the agent routes to the only head bank.
+    ``task`` selects which head of a jointly-trained policy this agent
+    decides with (and which space decodes its actions) — a head *bank* of
+    a :class:`repro.rl.policy.MultiTaskPolicy` or the task embedding of a
+    :class:`repro.rl.policy.ConditionedPolicy`; one joint policy yields
+    one task-pinned agent per task via :meth:`for_task`.  Single-task
+    policies need no task: the agent routes to the only head.
     """
 
     name = "rl"

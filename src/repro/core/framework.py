@@ -113,6 +113,31 @@ class TrainingConfig:
     #: as the single-task ``task=`` shim accepts them.  ``None`` means
     #: single-task training on ``task``.
     tasks: Optional[Sequence] = None
+    #: Multi-task head architecture handed to ``make_policy``:
+    #: ``"embedding"`` (task-embedding-conditioned shared head stacks),
+    #: ``"banks"`` (the legacy per-task head banks), or ``None`` — the
+    #: default — which picks "embedding" for joint runs (two or more
+    #: tasks) and "banks" for single-task runs, keeping the latter
+    #: byte-identical to the pre-conditioning wiring.
+    conditioning: Optional[str] = None
+    #: Per-task advantage normalization (running mean/std per task id),
+    #: forwarded to :class:`repro.rl.ppo.PPOConfig`.  ``None`` enables it
+    #: exactly for joint batches; ``True``/``False`` force it.
+    per_task_advantage_norm: Optional[bool] = None
+    #: Transfer protocol: a task name excluded from joint training and
+    #: recorded on the framework, so a later
+    #: :meth:`NeuroVectorizer.fine_tune` can train just that task's
+    #: embedding row and head with the trunk frozen.  Must name one of the
+    #: configured ``tasks`` (and leave at least one task to train).
+    holdout_task: Optional[str] = None
+    #: Held-out kernels excluded from *every* training stage (embedding
+    #: vocabularies, pretraining, PPO rollouts): either a fraction in
+    #: (0, 1) — split seed-stably by kernel name via
+    #: :func:`repro.evaluation.splits.split_kernels` under this config's
+    #: ``seed`` — or an explicit sequence of kernel names.  The resulting
+    #: :class:`repro.evaluation.splits.KernelSplit` is recorded on the
+    #: framework for ``compare_all_tasks(kernel_split=True)``.
+    holdout_kernels: Optional[object] = None
     #: Evaluation-service settings: worker processes for sharded reward
     #: evaluation (0 = serial in-process) and the directory of the
     #: persistent cross-run reward store (None = memory only).
@@ -236,6 +261,9 @@ class NeuroVectorizer:
         task: Optional[OptimizationTask] = None,
         compaction=None,
         tasks: Optional[Sequence] = None,
+        kernel_split=None,
+        training_kernel_names: Optional[Sequence[str]] = None,
+        holdout_task: Optional[str] = None,
     ):
         self.machine = machine or MachineDescription()
         self.pipeline = pipeline or CompileAndMeasure(machine=self.machine)
@@ -283,6 +311,17 @@ class NeuroVectorizer:
         self.reward_cache = resolve_cache(reward_cache, evaluation_service)
         # Optional repro.distributed.CompactionPolicy consulted by close().
         self.compaction = compaction
+        # Transfer-protocol provenance, recorded by train(): the train/test
+        # kernel split (when holdout_kernels was set), the names of the
+        # kernels the policy actually trained on (for leakage checks in
+        # compare_all_tasks), and the task held out for fine_tune().
+        self.kernel_split = kernel_split
+        self.training_kernel_names = (
+            tuple(str(name) for name in training_kernel_names)
+            if training_kernel_names is not None
+            else None
+        )
+        self.holdout_task = holdout_task
 
     # -- service lifecycle ------------------------------------------------------------
 
@@ -539,8 +578,53 @@ class NeuroVectorizer:
             agents[getattr(agent, "name", "agent")] = agent
         return runner.run(agents, kernels)
 
+    @staticmethod
+    def _repin_agents(agents, task):
+        """Re-pin an explicit agents mapping to one task (``for_task``)."""
+        from collections import OrderedDict
+
+        if agents is None:
+            return None
+        return OrderedDict(
+            (
+                name,
+                agent.for_task(task) if hasattr(agent, "for_task") else agent,
+            )
+            for name, agent in agents.items()
+        )
+
+    def _resolve_kernel_split(self, kernel_split, kernels, seed: int):
+        """Coerce a ``kernel_split`` argument to a :class:`KernelSplit`."""
+        from repro.evaluation.splits import KernelSplit, split_kernels
+
+        if kernel_split is True:
+            if self.kernel_split is None:
+                raise ValueError(
+                    "compare_all_tasks(kernel_split=True) replays the "
+                    "training run's split, but this framework was trained "
+                    "without TrainingConfig(holdout_kernels=...) and "
+                    "recorded none; pass a fraction or a KernelSplit"
+                )
+            return self.kernel_split
+        if isinstance(kernel_split, KernelSplit):
+            return kernel_split
+        if isinstance(kernel_split, (int, float)) and not isinstance(
+            kernel_split, bool
+        ):
+            return split_kernels(
+                kernels, test_fraction=float(kernel_split), seed=seed
+            )
+        raise ValueError(
+            "kernel_split must be True (replay the training split), a "
+            f"test fraction, or a KernelSplit; got {kernel_split!r}"
+        )
+
     def compare_all_tasks(
-        self, kernels: Sequence[LoopKernel], agents=None, seed: int = 0
+        self,
+        kernels: Sequence[LoopKernel],
+        agents=None,
+        seed: int = 0,
+        kernel_split=None,
     ):
         """One :meth:`compare_agents` table per trained task.
 
@@ -550,26 +634,128 @@ class NeuroVectorizer:
         (``for_task``) are re-pinned per table, so one task-pinned
         ``PolicyAgent`` serves every task's line-up.  Returns an ordered
         ``task name -> TaskComparison`` mapping.
+
+        ``kernel_split`` turns the run into a held-out-kernel
+        generalization matrix instead: ``True`` replays the training run's
+        recorded split (``TrainingConfig(holdout_kernels=...)``), a float
+        computes a fresh seed-stable split of ``kernels``, and an explicit
+        :class:`repro.evaluation.splits.KernelSplit` is used as-is.  Each
+        task is compared twice — on the training-side kernels and on the
+        held-out ones — and the result is a
+        :class:`repro.evaluation.comparison.GeneralizationMatrix`.  A
+        split whose test side overlaps the kernels this framework trained
+        on is rejected: that table would present memorization as
+        transfer.
         """
         from collections import OrderedDict
 
-        results = OrderedDict()
-        for task in self.tasks:
-            task_agents = None
-            if agents is not None:
-                task_agents = OrderedDict(
-                    (
-                        name,
-                        agent.for_task(task)
-                        if hasattr(agent, "for_task")
-                        else agent,
-                    )
-                    for name, agent in agents.items()
+        if kernel_split is None:
+            results = OrderedDict()
+            for task in self.tasks:
+                results[task.name] = self.compare_agents(
+                    kernels,
+                    agents=self._repin_agents(agents, task),
+                    seed=seed,
+                    task=task,
                 )
-            results[task.name] = self.compare_agents(
-                kernels, agents=task_agents, seed=seed, task=task
+            return results
+
+        from repro.evaluation.comparison import (
+            GeneralizationMatrix,
+            SplitComparison,
+        )
+
+        split = self._resolve_kernel_split(kernel_split, kernels, seed)
+        if self.training_kernel_names is not None:
+            split.assert_no_leakage(self.training_kernel_names)
+        train_kernels, test_kernels = split.partition(kernels)
+        entries = OrderedDict()
+        for task in self.tasks:
+            task_agents = self._repin_agents(agents, task)
+            entries[task.name] = SplitComparison(
+                task=task.name,
+                split=split,
+                train=self.compare_agents(
+                    train_kernels, agents=task_agents, seed=seed, task=task
+                ),
+                test=self.compare_agents(
+                    test_kernels, agents=task_agents, seed=seed, task=task
+                ),
             )
-        return results
+        return GeneralizationMatrix(split=split, tasks=entries)
+
+    def fine_tune(
+        self,
+        kernels: Sequence[LoopKernel],
+        task=None,
+        total_steps: int = 200,
+        batch_size: Optional[int] = None,
+        learning_rate: float = 5e-5,
+        seed: int = 0,
+    ):
+        """Transfer the trained policy to a new task, trunk frozen.
+
+        The paper's generalization recipe operationalized: the shared
+        trunk (and every already-trained task's embedding row) keeps its
+        exact bytes while PPO trains only ``task``'s embedding row and
+        head stack on ``kernels``.  ``task`` defaults to the
+        ``TrainingConfig(holdout_task=...)`` recorded at training time.
+        An unseen task gets its embedding row seeded from the policy's
+        trainable new-task prior (``add_task``); afterwards the task
+        joins this framework's ``tasks`` so ``optimize_kernel`` /
+        ``compare_all_tasks`` cover it.  Returns the fine-tune
+        :class:`repro.rl.ppo.TrainingHistory`.
+
+        Requires an embedding-conditioned policy — a head-bank policy has
+        no shared decision function to transfer, so train with
+        ``TrainingConfig(conditioning="embedding")`` (the joint-run
+        default) first.
+        """
+        from repro.rl.env import MultiTaskEnv, build_samples
+        from repro.rl.ppo import PPOConfig, PPOTrainer
+
+        if task is None:
+            if self.holdout_task is None:
+                raise ValueError(
+                    "fine_tune() needs a task: pass task=<name> or train "
+                    "with TrainingConfig(holdout_task=...)"
+                )
+            task = self.holdout_task
+        target = resolve_task(task)
+        policy = getattr(self.agent, "policy", None)
+        if policy is None or not hasattr(policy, "transfer_parameters"):
+            raise ValueError(
+                "fine_tune() transfers an embedding-conditioned policy "
+                "(repro.rl.policy.ConditionedPolicy); this framework's "
+                f"agent holds {type(policy).__name__ if policy is not None else 'no policy'} — "
+                "train with TrainingConfig(conditioning='embedding')"
+            )
+        if target.name not in policy.task_names:
+            policy.add_task(target.name, target.action_space(policy.policy_kind))
+        samples = build_samples(
+            kernels, self.embedding_model, self.pipeline, task=target
+        )
+        env = MultiTaskEnv(
+            [target],
+            {target.name: samples},
+            pipeline=self.pipeline,
+            seed=seed,
+            reward_cache=self.reward_cache,
+            evaluation_service=self.evaluation_service,
+        )
+        trainer = PPOTrainer(
+            env,
+            policy,
+            PPOConfig(
+                learning_rate=learning_rate,
+                train_batch_size=batch_size or min(total_steps, 200),
+            ),
+            trainable_parameters=policy.transfer_parameters(target.name),
+        )
+        history = trainer.train(total_steps, batch_size=batch_size)
+        if target.name not in {member.name for member in self.tasks}:
+            self.tasks = list(self.tasks) + [target]
+        return history
 
     def vectorize_kernel(self, kernel: LoopKernel) -> VectorizationResult:
         """Decide factors, inject pragmas, compile and measure one kernel.
@@ -661,6 +847,54 @@ class NeuroVectorizer:
 
         config = config or TrainingConfig()
         tasks = list(config.resolved_tasks())
+
+        # Transfer protocol, part 1: a held-out *task* is excluded from
+        # joint training entirely; fine_tune() later grows the policy a
+        # fresh embedding row + head for it with the trunk frozen.
+        holdout_task_name: Optional[str] = None
+        if config.holdout_task is not None:
+            holdout_task_name = resolve_task(config.holdout_task).name
+            remaining = [
+                member for member in tasks if member.name != holdout_task_name
+            ]
+            if len(remaining) == len(tasks):
+                raise ValueError(
+                    f"holdout_task {holdout_task_name!r} is not among the "
+                    f"configured tasks {[member.name for member in tasks]}"
+                )
+            if not remaining:
+                raise ValueError(
+                    f"holdout_task {holdout_task_name!r} would leave no "
+                    "tasks to train on; configure at least two tasks"
+                )
+            tasks = remaining
+
+        # Transfer protocol, part 2: held-out *kernels* never reach the
+        # embedding build, pretraining, or PPO sampling; compare_all_tasks
+        # (kernel_split=True) replays the recorded split as the
+        # generalization matrix's train/test rows.
+        kernel_split = None
+        training_kernels = list(train_kernels)
+        if config.holdout_kernels is not None:
+            from repro.evaluation.splits import KernelSplit, split_kernels
+
+            holdout = config.holdout_kernels
+            if isinstance(holdout, KernelSplit):
+                kernel_split = holdout
+            elif isinstance(holdout, (int, float)) and not isinstance(
+                holdout, bool
+            ):
+                kernel_split = split_kernels(
+                    training_kernels,
+                    test_fraction=float(holdout),
+                    seed=config.seed,
+                )
+            else:
+                kernel_split = KernelSplit.from_holdout(
+                    training_kernels, holdout, seed=config.seed
+                )
+            training_kernels, _ = kernel_split.partition(training_kernels)
+
         task = tasks[0]
         machine = machine or MachineDescription()
         pipeline = CompileAndMeasure(machine=machine)
@@ -702,14 +936,16 @@ class NeuroVectorizer:
         # processes, an open segment file); if any training stage raises
         # before the framework that owns close() exists, release them.
         try:
-            embedding_model = build_embedding_model(train_kernels, config.embedding)
+            embedding_model = build_embedding_model(
+                training_kernels, config.embedding
+            )
 
             # --- stage 1: self-supervised pretraining of the embedding -----------
             # Task-agnostic: the embedding predicts loop properties, which
             # is useful context whatever is decided per site.
             bags: List[List[PathContext]] = []
             labels = []
-            for kernel in list(train_kernels)[: config.pretrain_samples]:
+            for kernel in training_kernels[: config.pretrain_samples]:
                 try:
                     loops = extract_loops(
                         kernel.source, function_name=kernel.function_name
@@ -745,7 +981,7 @@ class NeuroVectorizer:
             samples_by_task: Dict[str, List[object]] = _OrderedDict()
             for member in tasks:
                 samples_by_task[member.name] = build_samples(
-                    train_kernels, embedding_model, pipeline, task=member
+                    training_kernels, embedding_model, pipeline, task=member
                 )
             env = MultiTaskEnv(
                 tasks,
@@ -764,10 +1000,12 @@ class NeuroVectorizer:
                     (member.name, member.action_space(config.policy))
                     for member in tasks
                 ),
+                conditioning=config.conditioning,
             )
             ppo_config = PPOConfig(
                 learning_rate=config.learning_rate,
                 train_batch_size=config.rl_batch_size,
+                per_task_advantage_norm=config.per_task_advantage_norm,
             )
             trainer = PPOTrainer(env, policy, ppo_config)
             history = trainer.train(
@@ -793,6 +1031,9 @@ class NeuroVectorizer:
             task=task,
             compaction=compaction,
             tasks=tasks,
+            kernel_split=kernel_split,
+            training_kernel_names=[kernel.name for kernel in training_kernels],
+            holdout_task=holdout_task_name,
         )
         artifacts = TrainingArtifacts(
             history=history,

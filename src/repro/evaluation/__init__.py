@@ -8,14 +8,18 @@ in DESIGN.md (§4) and EXPERIMENTS.md.
 
 from repro.evaluation.report import (
     Table,
+    format_generalization_table,
     format_serving_stats_table,
     format_speedup_table,
     format_task_summary_table,
 )
+from repro.evaluation.splits import KernelSplit, split_kernels
 from repro.evaluation.comparison import (
     ComparisonRunner,
+    GeneralizationMatrix,
     MethodComparison,
     SiteDecision,
+    SplitComparison,
     TaskComparison,
     compare_methods,
     train_reference_agents,
@@ -43,12 +47,17 @@ from repro.evaluation.figures import (
 
 __all__ = [
     "Table",
+    "format_generalization_table",
     "format_serving_stats_table",
     "format_speedup_table",
     "format_task_summary_table",
+    "KernelSplit",
+    "split_kernels",
     "ComparisonRunner",
+    "GeneralizationMatrix",
     "MethodComparison",
     "SiteDecision",
+    "SplitComparison",
     "TaskComparison",
     "compare_methods",
     "TrainedAgents",

@@ -41,6 +41,7 @@ from repro.machine.description import MachineDescription
 from repro.polly.optimizer import PollyOptimizer
 from repro.rl.env import VectorizationEnv, build_samples
 from repro.rl.policy import make_policy
+from repro.evaluation.splits import KernelSplit
 from repro.rl.ppo import PPOConfig, PPOTrainer, TrainingHistory
 from repro.tasks import OptimizationTask, resolve_task
 
@@ -163,6 +164,70 @@ class TaskComparison:
         if self.cache_lookups == 0:
             return format_no_evaluations_table(title=title)
         return format_comparison_cache_table(self, title=title)
+
+
+@dataclass
+class SplitComparison:
+    """One task measured on both sides of a train/test kernel split.
+
+    ``train`` is the comparison on the kernels the policy was (or would
+    be) trained on; ``test`` is the same agents on the held-out kernels.
+    The gap between the two rows' geomeans is the generalization story
+    the paper tells in §5: an RL geomean that survives the move to
+    ``test`` means the policy learned the embedding -> action mapping
+    rather than the training kernels.
+    """
+
+    task: str
+    split: KernelSplit
+    train: TaskComparison
+    test: TaskComparison
+
+    @property
+    def sides(self) -> "OrderedDict[str, TaskComparison]":
+        return OrderedDict([("train", self.train), ("test", self.test)])
+
+    def generalization_gap(self, method: str) -> float:
+        """``train geomean - test geomean`` for one method (0 is ideal)."""
+        return self.train.geomean(method) - self.test.geomean(method)
+
+
+@dataclass
+class GeneralizationMatrix:
+    """Held-out-kernel matrix: every task x {train, test} x every method.
+
+    The return shape of ``compare_all_tasks(kernel_split=...)``: an
+    ordered ``task name -> SplitComparison`` mapping plus the split that
+    produced it.  Mapping-style access (``matrix["unrolling"].test``)
+    reaches any cell; :meth:`format_table` renders the whole matrix as
+    the two-rows-per-task table the transfer protocol reports.
+    """
+
+    split: KernelSplit
+    tasks: "OrderedDict[str, SplitComparison]" = field(default_factory=OrderedDict)
+
+    def __getitem__(self, task: str) -> SplitComparison:
+        return self.tasks[task]
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def items(self):
+        return self.tasks.items()
+
+    @property
+    def methods(self) -> List[str]:
+        for entry in self.tasks.values():
+            return list(entry.train.methods)
+        return []
+
+    def format_table(self, title: str = ""):
+        from repro.evaluation.report import format_generalization_table
+
+        return format_generalization_table(self, title=title)
 
 
 class ComparisonRunner:
@@ -366,6 +431,30 @@ class ComparisonRunner:
         comparison.cache_hits = self.reward_cache.stats.hits - hits_before
         comparison.cache_misses = self.reward_cache.stats.misses - misses_before
         return comparison
+
+    def run_split(
+        self,
+        agents: Mapping[str, VectorizationAgent],
+        kernels: Sequence[LoopKernel],
+        split: KernelSplit,
+        training_kernel_names: Optional[Sequence[str]] = None,
+    ) -> SplitComparison:
+        """:meth:`run` on both sides of a train/test kernel split.
+
+        When the caller knows which kernels its agents actually trained
+        on, passing ``training_kernel_names`` re-checks the split against
+        them — a "test" side containing training kernels would report
+        memorization as generalization.
+        """
+        if training_kernel_names is not None:
+            split.assert_no_leakage(training_kernel_names)
+        train_kernels, test_kernels = split.partition(kernels)
+        return SplitComparison(
+            task=self.task.name,
+            split=split,
+            train=self.run(agents, train_kernels),
+            test=self.run(agents, test_kernels),
+        )
 
 
 @dataclass

@@ -149,6 +149,29 @@ def format_task_summary_table(comparison, title: str = "") -> Table:
     return table
 
 
+def format_generalization_table(matrix, title: str = "") -> Table:
+    """Render a held-out-kernel generalization matrix as a text table.
+
+    ``matrix`` is a :class:`repro.evaluation.comparison.GeneralizationMatrix`
+    (or anything with ``items()`` yielding ``(task, SplitComparison)`` and a
+    ``methods`` list): two rows per task — the train-kernels geomeans and
+    the held-out test-kernels geomeans per method — so the per-method
+    generalization gap reads straight down each column.
+    """
+    methods = matrix.methods
+    table = Table(
+        headers=["task", "kernels", "count"] + list(methods),
+        title=title or "generalization matrix (geomean speedup over baseline)",
+    )
+    for task, entry in matrix.items():
+        for side, comparison in entry.sides.items():
+            table.add_row(
+                [task, side, len(comparison.speedups)]
+                + [comparison.geomean(method) for method in methods]
+            )
+    return table
+
+
 def format_comparison_cache_table(
     comparison, title: str = "comparison reward cache"
 ) -> Table:

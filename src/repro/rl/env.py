@@ -507,17 +507,20 @@ class MultiTaskEnv:
     def set_action_spaces(self, spaces: Mapping[str, ActionSpace]) -> None:
         """Adopt a (multi-task) policy's per-task action spaces.
 
-        Keys must match this env's task names; a single *unnamed* space (a
-        legacy one-head policy, keyed :data:`repro.rl.policy.DEFAULT_HEAD`)
-        is accepted by a single-task env.  A single bank named for a
+        Keys must cover this env's task names — a *superset* is fine (a
+        jointly-trained policy fine-tuning one task hands its full
+        per-task mapping to a one-lane env; lanes adopt their own entries
+        and the rest are ignored).  A single *unnamed* space (a legacy
+        one-head policy, keyed :data:`repro.rl.policy.DEFAULT_HEAD`) is
+        accepted by a single-task env.  A single bank named for a
         *different* task is rejected — silently adopting its space would
         decode that task's menus into this task's apply/cache path.
         """
         from repro.rl.policy import DEFAULT_HEAD
 
-        if set(spaces) == set(self.lanes):
-            for name, space in spaces.items():
-                self.lanes[name].action_space = space
+        if set(self.lanes) <= set(spaces):
+            for name in self.lanes:
+                self.lanes[name].action_space = spaces[name]
             return
         if len(spaces) == 1 and len(self.lanes) == 1 and DEFAULT_HEAD in spaces:
             only = next(iter(self.lanes.values()))

@@ -1,12 +1,22 @@
-"""Policy networks: one shared tanh-MLP trunk, task-conditioned head banks.
+"""Policy networks: one shared tanh-MLP trunk, task-conditioned heads.
 
-Since the multi-task redesign every policy is a :class:`MultiTaskPolicy`:
-a shared trunk feeds one *head bank* per optimization task, where a task's
-bank holds its categorical heads (one per decision dimension) or its
-Gaussian mean head, plus that task's value head, all built from the task's
-own :class:`~repro.rl.spaces.ActionSpace`.  ``act``/``evaluate`` take a
-task id and route through that task's bank, so one network jointly learns
-several tasks while each task keeps its own action menus.
+Two multi-task architectures share the routing API:
+
+* :class:`MultiTaskPolicy` — a shared trunk feeding one discrete *head
+  bank* per optimization task (categorical heads per decision dimension
+  or a Gaussian mean head, plus a value head, built from the task's own
+  :class:`~repro.rl.spaces.ActionSpace`).
+* :class:`ConditionedPolicy` — a learned task-embedding table: each row
+  is concatenated onto the shared-trunk output and fed through one head
+  stack per action *arity*, so same-arity tasks share heads and are told
+  apart only by their embedding — which is what lets the policy transfer
+  to tasks it never trained on (see ``add_task``/``transfer_parameters``).
+
+``act``/``evaluate`` take a task id and route through that task's bank or
+embedding, so one network jointly learns several tasks while each task
+keeps its own action menus.  :func:`make_policy` picks the architecture
+via ``conditioning=`` ("embedding" is the default for joint spaces,
+"banks" the legacy per-task banks).
 
 Single-task policies are the one-head special case:
 :class:`DiscretePolicy` and :class:`ContinuousPolicy` are thin
@@ -88,6 +98,70 @@ def _trunk_forward(trunk: MLP, x: np.ndarray) -> np.ndarray:
     for layer in trunk.network.layers:
         out = _dense_forward(layer, out)
     return out
+
+
+def _grouped_act(
+    banks: List["_TaskHeads"],
+    features: np.ndarray,
+    rng: np.random.Generator,
+    deterministic: bool,
+) -> List[PolicyOutput]:
+    """Vectorized sampling over feature rows, each served by ``banks[i]``.
+
+    RNG values are drawn flat in row order first, then rows are grouped by
+    head bank so mixed-task chunks run one batched head forward per bank —
+    the sample stream equals that of sequential per-row acts (the
+    seed-identity guarantee the rollout layer relies on).
+    """
+    count = features.shape[0]
+    draw_rows: List[Optional[np.ndarray]] = [None] * count
+    if not deterministic:
+        kinds = {bank.kind for bank in banks}
+        if len(kinds) == 1:
+            # One flat draw covering every row, split in row order:
+            # identical stream to per-row draws (array fills are
+            # sequential), one Generator call instead of N.
+            counts = [bank.draw_dims for bank in banks]
+            total = int(np.sum(counts, dtype=np.int64)) if counts else 0
+            flat = (
+                rng.random(total)
+                if kinds == {"discrete"}
+                else rng.standard_normal(total)
+            )
+            offset = 0
+            for index, width in enumerate(counts):
+                draw_rows[index] = flat[offset : offset + width]
+                offset += width
+        else:
+            # Mixed discrete/Gaussian banks interleave uniform and
+            # normal draws; keep the exact serial consumption order.
+            for index, bank in enumerate(banks):
+                draw_rows[index] = (
+                    rng.random(bank.draw_dims)
+                    if bank.kind == "discrete"
+                    else rng.standard_normal(bank.draw_dims)
+                )
+    groups: "OrderedDict[int, List[int]]" = OrderedDict()
+    bank_by_id = {}
+    for index, bank in enumerate(banks):
+        bank_by_id[id(bank)] = bank
+        groups.setdefault(id(bank), []).append(index)
+    outputs: List[Optional[PolicyOutput]] = [None] * count
+    for bank_id, row_indices in groups.items():
+        bank = bank_by_id[bank_id]
+        grouped_draws = None
+        if not deterministic:
+            grouped_draws = np.stack([draw_rows[i] for i in row_indices])
+        actions, log_probs, values = bank.act_batch_from_hidden(
+            features[row_indices], grouped_draws, deterministic
+        )
+        for position, index in enumerate(row_indices):
+            outputs[index] = PolicyOutput(
+                action=actions[position].copy(),
+                log_prob=float(log_probs[position]),
+                value=float(values[position]),
+            )
+    return outputs  # type: ignore[return-value]
 
 
 class _TaskHeads(Module):
@@ -451,54 +525,7 @@ class MultiTaskPolicy(Policy):
         if count == 0:
             return []
         hidden = _trunk_forward(self.trunk, rows)
-        draw_rows: List[Optional[np.ndarray]] = [None] * count
-        if not deterministic:
-            kinds = {bank.kind for bank in banks}
-            if len(kinds) == 1:
-                # One flat draw covering every row, split in row order:
-                # identical stream to per-row draws (array fills are
-                # sequential), one Generator call instead of N.
-                counts = [bank.draw_dims for bank in banks]
-                total = int(np.sum(counts, dtype=np.int64)) if counts else 0
-                flat = (
-                    self.rng.random(total)
-                    if kinds == {"discrete"}
-                    else self.rng.standard_normal(total)
-                )
-                offset = 0
-                for index, width in enumerate(counts):
-                    draw_rows[index] = flat[offset : offset + width]
-                    offset += width
-            else:
-                # Mixed discrete/Gaussian banks interleave uniform and
-                # normal draws; keep the exact serial consumption order.
-                for index, bank in enumerate(banks):
-                    draw_rows[index] = (
-                        self.rng.random(bank.draw_dims)
-                        if bank.kind == "discrete"
-                        else self.rng.standard_normal(bank.draw_dims)
-                    )
-        groups: "OrderedDict[int, List[int]]" = OrderedDict()
-        bank_by_id = {}
-        for index, bank in enumerate(banks):
-            bank_by_id[id(bank)] = bank
-            groups.setdefault(id(bank), []).append(index)
-        outputs: List[Optional[PolicyOutput]] = [None] * count
-        for bank_id, row_indices in groups.items():
-            bank = bank_by_id[bank_id]
-            grouped_draws = None
-            if not deterministic:
-                grouped_draws = np.stack([draw_rows[i] for i in row_indices])
-            actions, log_probs, values = bank.act_batch_from_hidden(
-                hidden[row_indices], grouped_draws, deterministic
-            )
-            for position, index in enumerate(row_indices):
-                outputs[index] = PolicyOutput(
-                    action=actions[position].copy(),
-                    log_prob=float(log_probs[position]),
-                    value=float(values[position]),
-                )
-        return outputs  # type: ignore[return-value]
+        return _grouped_act(banks, hidden, self.rng, deterministic)
 
     def evaluate(
         self, observations: np.ndarray, actions: np.ndarray, task: Optional[str] = None
@@ -602,6 +629,257 @@ class ContinuousPolicy(MultiTaskPolicy):
         return self.heads_for(None).log_std
 
 
+class ConditionedPolicy(Policy):
+    """Shared trunk + one embedding-conditioned head stack per arity.
+
+    Instead of a discrete head bank per task, every task gets a learned
+    embedding row; the trunk output is concatenated with the acting task's
+    embedding and fed to a head stack shared by every task of the same
+    action arity (same menu sizes for discrete spaces, same dimensionality
+    for Gaussian ones).  The stack therefore learns one task-conditioned
+    decision function, and the embedding table is the only thing that
+    distinguishes tasks — which is what makes transfer to a *new* task a
+    head-only problem: :meth:`add_task` copies the trainable
+    ``new_task_init`` row into a fresh embedding row (plus a private head
+    stack), and :meth:`transfer_parameters` names exactly the parameters a
+    frozen-trunk fine-tune may touch.
+
+    The routing API (``task_names`` / ``spaces`` / ``space_for`` /
+    ``heads_for`` / ``act`` / ``act_batch`` / ``evaluate``) matches
+    :class:`MultiTaskPolicy`, so agents, trainers, the serving tier and
+    the comparison protocol work unchanged.  ``act_batch`` keeps the
+    byte-identity guarantee: one flat RNG draw in row order, einsum
+    forwards, so batched == N serial acts.
+    """
+
+    def __init__(
+        self,
+        observation_dim: int,
+        spaces: Mapping[str, ActionSpace],
+        hidden_sizes: Sequence[int] = (64, 64),
+        seed: int = 0,
+        initial_log_std: float = -0.5,
+        task_embed_dim: int = 8,
+        policy_kind: Optional[str] = None,
+    ):
+        if not spaces:
+            raise ValueError("a conditioned policy needs at least one task")
+        for name in spaces:
+            if str(name) == DEFAULT_HEAD:
+                raise ValueError(
+                    "conditioned policies key every head by task name; the "
+                    f"legacy unnamed bank ({DEFAULT_HEAD!r}) has no task to "
+                    "embed — use conditioning='banks' for it"
+                )
+        if int(task_embed_dim) < 1:
+            raise ValueError("task_embed_dim must be at least 1")
+        self.observation_dim = observation_dim
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.task_embed_dim = int(task_embed_dim)
+        self.initial_log_std = initial_log_std
+        self.policy_kind = policy_kind or _kind_for_space(
+            next(iter(spaces.values()))
+        )
+        self._seed = seed
+        self._tasks_added = 0
+        rng = np.random.default_rng(seed)
+        self.trunk = MLP(observation_dim, hidden_sizes, hidden_sizes[-1],
+                         activation="tanh", output_activation="tanh", rng=rng)
+        # The trainable prior for unseen tasks: add_task() starts a new
+        # task's embedding row from this row's *learned* value, so joint
+        # training can shape where fresh tasks begin in embedding space.
+        self.new_task_init = Parameter(
+            rng.normal(0.0, 0.1, size=(self.task_embed_dim,)),
+            name="task_embed_init",
+        )
+        self.task_embeddings: "OrderedDict[str, Parameter]" = OrderedDict()
+        self.task_spaces: "OrderedDict[str, ActionSpace]" = OrderedDict()
+        self.head_stacks: "OrderedDict[tuple, _TaskHeads]" = OrderedDict()
+        self._stack_keys: "OrderedDict[str, tuple]" = OrderedDict()
+        for name, space in spaces.items():
+            self._register_task(str(name), space, rng)
+        self.rng = np.random.default_rng(seed + 1)
+
+    @staticmethod
+    def _signature(space: ActionSpace) -> tuple:
+        """The arity key deciding which head stack serves a space."""
+        if isinstance(space, DiscreteFactorSpace):
+            return ("discrete", tuple(space.sizes))
+        dims = 1 if isinstance(space, ContinuousJointSpace) else space.dims
+        return ("gaussian", int(dims))
+
+    def _register_task(
+        self,
+        name: str,
+        space: ActionSpace,
+        rng: np.random.Generator,
+        embedding: Optional[Parameter] = None,
+        private_stack: bool = False,
+    ) -> None:
+        if name in self.task_spaces:
+            raise ValueError(f"task {name!r} already has an embedding row")
+        self.task_embeddings[name] = embedding if embedding is not None else Parameter(
+            rng.normal(0.0, 0.1, size=(self.task_embed_dim,)),
+            name=f"task_embed[{name}]",
+        )
+        self.task_spaces[name] = space
+        key = self._signature(space)
+        if private_stack:
+            # Transfer-added tasks get their own stack so head-only
+            # fine-tuning cannot move a jointly-trained task's outputs.
+            key = key + (name,)
+        if key not in self.head_stacks:
+            self.head_stacks[key] = _TaskHeads(
+                self.hidden_sizes[-1] + self.task_embed_dim,
+                space,
+                rng,
+                initial_log_std=self.initial_log_std,
+            )
+        self._stack_keys[name] = key
+
+    # -- routing ------------------------------------------------------------
+
+    def _resolve_name(self, task) -> str:
+        if task is None:
+            if len(self.task_spaces) == 1:
+                return next(iter(self.task_spaces))
+            raise ValueError(
+                "conditioned policy: pass task=<name> to select a task "
+                f"embedding; trained tasks: {list(self.task_spaces)}"
+            )
+        name = task if isinstance(task, str) else getattr(task, "name", str(task))
+        if name in self.task_spaces:
+            return name
+        raise ValueError(
+            f"policy has no task embedding for {name!r}; "
+            f"trained tasks: {list(self.task_spaces)}"
+        )
+
+    @property
+    def task_names(self) -> List[str]:
+        """Names of the tasks this policy holds embedding rows for."""
+        return list(self.task_spaces)
+
+    @property
+    def spaces(self) -> "OrderedDict[str, ActionSpace]":
+        """Ordered ``task name -> ActionSpace`` mapping (the task's own
+        space, even when several tasks share one head stack)."""
+        return OrderedDict(self.task_spaces)
+
+    @property
+    def space(self) -> ActionSpace:
+        """The single task's action space (single-task policies only)."""
+        return self.space_for(None)
+
+    def space_for(self, task=None) -> ActionSpace:
+        """The action space of the task ``task`` (its own menus — tasks
+        sharing a head stack keep distinct spaces)."""
+        return self.task_spaces[self._resolve_name(task)]
+
+    def heads_for(self, task=None) -> _TaskHeads:
+        """The head stack serving ``task`` (shared across same-arity tasks)."""
+        return self.head_stacks[self._stack_keys[self._resolve_name(task)]]
+
+    # -- transfer -----------------------------------------------------------
+
+    def add_task(self, name, space: ActionSpace) -> Parameter:
+        """Register an unseen task: a fresh embedding row + private heads.
+
+        The embedding row starts from the trainable ``new_task_init``
+        prior; the head stack is drawn from a deterministic per-addition
+        stream of the construction seed, so transfer runs are seed-stable.
+        Returns the new embedding row.
+        """
+        name = str(name) if isinstance(name, str) else getattr(name, "name", str(name))
+        space_class = _KIND_SPACE_CLASSES[self.policy_kind]
+        if not isinstance(space, space_class):
+            raise ValueError(
+                f"{self.policy_kind} policies need a {space_class.__name__}; "
+                f"task {name!r} supplied a {type(space).__name__}"
+            )
+        self._tasks_added += 1
+        rng = np.random.default_rng(self._seed + 104729 * self._tasks_added)
+        row = Parameter(self.new_task_init.data.copy(), name=f"task_embed[{name}]")
+        self._register_task(name, space, rng, embedding=row, private_stack=True)
+        return row
+
+    def transfer_parameters(self, task) -> List[Parameter]:
+        """The parameters a frozen-trunk fine-tune of ``task`` may update:
+        that task's embedding row plus its head stack — never the trunk,
+        the new-task prior, or any other task's embedding row."""
+        name = self._resolve_name(task)
+        parameters: List[Parameter] = [self.task_embeddings[name]]
+        parameters.extend(self.head_stacks[self._stack_keys[name]].parameters())
+        return parameters
+
+    # -- forward ------------------------------------------------------------
+
+    def act(
+        self,
+        observation: np.ndarray,
+        deterministic: bool = False,
+        task: Optional[str] = None,
+    ) -> PolicyOutput:
+        # The batch-of-one special case of ``act_batch``: same code path,
+        # same RNG consumption (see MultiTaskPolicy.act).
+        return self.act_batch(
+            np.asarray(observation, dtype=np.float64).reshape(1, -1),
+            deterministic=deterministic,
+            task=task,
+        )[0]
+
+    def act_batch(
+        self,
+        observations,
+        deterministic: bool = False,
+        task: Optional[str] = None,
+        tasks: Optional[Sequence[str]] = None,
+    ) -> List[PolicyOutput]:
+        """One trunk matmul over all rows; per-row task embeddings are
+        concatenated onto the hidden features before the (grouped) head
+        stacks sample.  RNG draws are flat in row order, so batched
+        sampling stays byte-identical to serial ``act`` calls."""
+        rows = _as_observation_matrix(observations)
+        count = rows.shape[0]
+        if tasks is None:
+            names = [self._resolve_name(task)] * count
+        else:
+            names = [
+                self._resolve_name(entry)
+                for entry in _row_task_names(count, None, tasks)
+            ]
+        if count == 0:
+            return []
+        hidden = _trunk_forward(self.trunk, rows)
+        embeds = np.stack([self.task_embeddings[name].data for name in names])
+        features = np.concatenate([hidden, embeds], axis=1)
+        stacks = [self.head_stacks[self._stack_keys[name]] for name in names]
+        return _grouped_act(stacks, features, self.rng, deterministic)
+
+    def evaluate(
+        self, observations: np.ndarray, actions: np.ndarray, task: Optional[str] = None
+    ):
+        name = self._resolve_name(task)
+        stack = self.head_stacks[self._stack_keys[name]]
+        batch = Tensor(observations)
+        hidden = self.trunk(batch)
+        row = ops.reshape(self.task_embeddings[name], (1, self.task_embed_dim))
+        embed = ops.broadcast_to(
+            row, (int(batch.data.shape[0]), self.task_embed_dim)
+        )
+        features = ops.concatenate([hidden, embed], axis=1)
+        return stack.evaluate_from_hidden(features, actions)
+
+
+def _kind_for_space(space: ActionSpace) -> str:
+    """The ``make_policy`` kind string a space class corresponds to."""
+    if isinstance(space, DiscreteFactorSpace):
+        return "discrete"
+    if isinstance(space, ContinuousJointSpace):
+        return "continuous1"
+    return "continuous2"
+
+
 def _as_observation_matrix(observations) -> np.ndarray:
     """Coerce an observation batch (array, list of rows, single row) to 2-D."""
     rows = np.asarray(observations, dtype=np.float64)
@@ -648,18 +926,34 @@ def make_policy(
     seed: int = 0,
     space: Optional[ActionSpace] = None,
     spaces: Optional[Mapping[str, ActionSpace]] = None,
+    conditioning: Optional[str] = None,
+    task_embed_dim: int = 8,
 ) -> Policy:
     """Factory for the three action-space variants of Figure 6.
 
     ``space`` carries a task's own menus into a single-task policy;
     without it the paper's (VF, IF) defaults are used.  ``spaces`` (an
     ordered ``task name -> ActionSpace`` mapping, every space of the same
-    ``kind``) builds a :class:`MultiTaskPolicy` with one head bank per
-    task instead — with one entry that is exactly the single-task policy
-    under a task-conditioned name.
+    ``kind``) builds a multi-task policy instead.
+
+    ``conditioning`` selects the multi-task architecture:
+
+    * ``"embedding"`` — a :class:`ConditionedPolicy`: a learned task-
+      embedding table concatenated onto the shared trunk, one head stack
+      per action arity (``task_embed_dim`` sets the embedding width).
+    * ``"banks"`` — the legacy :class:`MultiTaskPolicy` with one discrete
+      head bank per task.
+    * ``None`` (default) — ``"embedding"`` for a genuinely joint ``spaces``
+      mapping (two or more tasks), ``"banks"`` for a single entry, keeping
+      single-task construction byte-identical to the pre-conditioning
+      wiring.
     """
     if kind not in _KIND_SPACE_CLASSES:
         raise ValueError(f"unknown policy kind {kind!r}")
+    if conditioning not in (None, "banks", "embedding"):
+        raise ValueError(
+            f"unknown conditioning {conditioning!r}; pick 'banks' or 'embedding'"
+        )
     space_class = _KIND_SPACE_CLASSES[kind]
     if spaces is not None:
         if space is not None:
@@ -670,11 +964,26 @@ def make_policy(
                     f"{kind} policies need a {space_class.__name__}; task "
                     f"{name!r} supplied a {type(task_space).__name__}"
                 )
+        mode = conditioning or ("embedding" if len(spaces) > 1 else "banks")
+        if mode == "embedding":
+            return ConditionedPolicy(
+                observation_dim,
+                spaces=OrderedDict(spaces),
+                hidden_sizes=hidden_sizes,
+                seed=seed,
+                task_embed_dim=task_embed_dim,
+                policy_kind=kind,
+            )
         return MultiTaskPolicy(
             observation_dim,
             spaces=OrderedDict(spaces),
             hidden_sizes=hidden_sizes,
             seed=seed,
+        )
+    if conditioning == "embedding":
+        raise ValueError(
+            "conditioning='embedding' needs a spaces= mapping (task name -> "
+            "ActionSpace); the single-space path has no task name to embed"
         )
     if space is not None and not isinstance(space, space_class):
         raise ValueError(f"{kind} policies need a {space_class.__name__}")

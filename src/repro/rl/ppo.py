@@ -48,6 +48,14 @@ class PPOConfig:
     #: chunk k's rewards simulate in worker processes while the policy acts
     #: on chunk k+1.  Ignored (single chunk) without background workers.
     async_chunk_size: int = 64
+    #: Per-task advantage normalization: each task's advantages are
+    #: standardized against that task's *running* mean/std instead of the
+    #: joint batch statistics, so tasks with wildly different reward
+    #: scales stop fighting over the shared trunk.  ``None`` (default)
+    #: enables it exactly for joint batches (two or more task ids in the
+    #: collected batch), keeping single-task training byte-identical to
+    #: the global-normalization trainer; ``True``/``False`` force it.
+    per_task_advantage_norm: Optional[bool] = None
 
     def scaled(self, **overrides) -> "PPOConfig":
         """A copy of this config with some fields replaced."""
@@ -131,12 +139,44 @@ class TrainingHistory:
         return None
 
 
+class _RunningMoments:
+    """Streaming mean/variance (Welford batch merge) for one task's advantages."""
+
+    def __init__(self):
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        added = int(values.size)
+        if added == 0:
+            return
+        batch_mean = float(values.mean())
+        batch_m2 = float(values.var()) * added
+        delta = batch_mean - self.mean
+        total = self.count + added
+        self.mean += delta * added / total
+        self._m2 += batch_m2 + delta * delta * self.count * added / total
+        self.count = total
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self._m2 / self.count)) if self.count else 0.0
+
+
 class PPOTrainer:
     """Single-process PPO trainer over a :class:`VectorizationEnv`.
 
     Episodes are single-step (contextual bandit), so the advantage of an
     action is simply ``reward - value_estimate`` and there is no bootstrapping
     or discounting to do.
+
+    ``trainable_parameters`` restricts the optimizer to a parameter subset
+    (the frozen-trunk transfer path: a conditioned policy's
+    ``transfer_parameters(task)``); every other parameter keeps its exact
+    bytes — gradients may still flow through frozen layers, but no
+    optimizer step ever touches them.
     """
 
     def __init__(
@@ -144,6 +184,7 @@ class PPOTrainer:
         env: VectorizationEnv,
         policy: Policy,
         config: Optional[PPOConfig] = None,
+        trainable_parameters=None,
     ):
         self.env = env
         self.policy = policy
@@ -170,9 +211,20 @@ class PPOTrainer:
                 self.env.action_space = policy.space_for(env_task.name)
             else:
                 self.env.action_space = policy.space
-        self.optimizer = Adam(policy.parameters(), self.config.learning_rate)
+        if trainable_parameters is not None:
+            parameters = list(trainable_parameters)
+            if not parameters:
+                raise ValueError(
+                    "trainable_parameters must name at least one parameter"
+                )
+        else:
+            parameters = policy.parameters()
+        self.optimizer = Adam(parameters, self.config.learning_rate)
         self.history = TrainingHistory(config=self.config)
         self.total_steps = 0
+        # One running-moments accumulator per task id for per-task
+        # advantage normalization (lazily created on first joint batch).
+        self._advantage_moments: Dict[Optional[str], _RunningMoments] = {}
 
     # -- rollout collection --------------------------------------------------------
 
@@ -284,7 +336,14 @@ class PPOTrainer:
         task_names: Optional[Sequence[str]] = None,
     ) -> Dict[str, float]:
         advantages = rewards - values
-        if advantages.std() > 1e-8:
+        per_task = self.config.per_task_advantage_norm
+        if per_task is None:
+            # Default on exactly for joint batches: a single-task batch
+            # keeps the pre-conditioning global normalization bytes.
+            per_task = task_names is not None and len(set(task_names)) > 1
+        if per_task:
+            advantages = self._normalize_advantages_per_task(advantages, task_names)
+        elif advantages.std() > 1e-8:
             advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
         returns = rewards
 
@@ -314,6 +373,31 @@ class PPOTrainer:
                     )
                     last_metrics = metrics
         return last_metrics
+
+    def _normalize_advantages_per_task(
+        self, advantages: np.ndarray, task_names: Optional[Sequence[str]]
+    ) -> np.ndarray:
+        """Standardize each task's advantages by its running mean/std.
+
+        The running statistics persist across batches (Welford merge), so
+        a task whose rewards sit on a different scale is normalized
+        against its own history rather than whatever mix this particular
+        batch happened to contain.
+        """
+        names = (
+            list(task_names)
+            if task_names is not None
+            else [None] * len(advantages)
+        )
+        normalized = np.asarray(advantages, dtype=np.float64).copy()
+        for name in dict.fromkeys(names):  # stable first-seen order
+            mask = np.asarray([entry == name for entry in names])
+            moments = self._advantage_moments.setdefault(name, _RunningMoments())
+            moments.update(normalized[mask])
+            normalized[mask] = (normalized[mask] - moments.mean) / (
+                moments.std + 1e-8
+            )
+        return normalized
 
     @staticmethod
     def _task_groups(indices, task_names: Optional[Sequence[str]]):

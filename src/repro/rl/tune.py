@@ -93,9 +93,11 @@ def _make_environment(make_env: Callable, parameters: Dict[str, object]):
     return make_env(tasks=tuple(tasks))
 
 
-def _make_experiment_policy(env, policy_kind: str, hidden_sizes, seed: int) -> Policy:
+def _make_experiment_policy(
+    env, policy_kind: str, hidden_sizes, seed: int, conditioning=None
+) -> Policy:
     """A policy shaped by the env's own task(s) — never the (VF, IF) default."""
-    if hasattr(env, "lanes"):  # a MultiTaskEnv: one head bank per task
+    if hasattr(env, "lanes"):  # a MultiTaskEnv: one head per task
         spaces = OrderedDict(
             (task.name, task.action_space(policy_kind)) for task in env.tasks
         )
@@ -105,6 +107,7 @@ def _make_experiment_policy(env, policy_kind: str, hidden_sizes, seed: int) -> P
             hidden_sizes=hidden_sizes,
             seed=seed,
             spaces=spaces,
+            conditioning=conditioning,
         )
     return make_policy(
         policy_kind,
@@ -150,7 +153,12 @@ def run_experiments(
         config = base_config.scaled(**config_overrides)
         hidden_sizes = tuple(parameters.get("hidden_sizes", (64, 64)))
         policy_kind = str(parameters.get("policy", "discrete"))
-        policy = _make_experiment_policy(env, policy_kind, hidden_sizes, seed)
+        # A "conditioning" grid axis sweeps head banks vs the embedding-
+        # conditioned head on joint (MultiTaskEnv) configurations.
+        conditioning = parameters.get("conditioning")
+        policy = _make_experiment_policy(
+            env, policy_kind, hidden_sizes, seed, conditioning=conditioning
+        )
         trainer = PPOTrainer(env, policy, config)
         history = trainer.train(total_steps)
         results.append(

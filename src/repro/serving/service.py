@@ -55,11 +55,13 @@ class CompileService:
     """Serve optimization decisions for kernel sources from a trained policy.
 
     ``tasks`` lists the optimization tasks this service answers for (any
-    registered task name or instance); each must have a head bank in the
-    policy whose action space matches the task's menus — validated at
-    construction, not on the first mismatched request.  When omitted, the
-    policy's own trained head banks decide the line-up (a legacy unnamed
-    single bank serves the default task).
+    registered task name or instance); the policy must decide each one —
+    a head bank of a :class:`repro.rl.policy.MultiTaskPolicy` or a task
+    embedding of a :class:`repro.rl.policy.ConditionedPolicy` — with an
+    action space matching the task's menus, validated at construction,
+    not on the first mismatched request.  When omitted, the policy's own
+    trained tasks decide the line-up (a legacy unnamed single bank
+    serves the default task).
 
     ``max_batch_size`` / ``max_wait_us`` tune the coalescing window,
     ``max_queue_depth`` bounds admission (load shedding), ``slo_ms`` sets

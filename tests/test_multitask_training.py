@@ -433,6 +433,8 @@ class TestJointTraining:
     def test_per_task_head_isolation(self, joint_env_parts):
         # Updating on one task's minibatches must leave the other task's
         # head bank byte-identical (only trunk + that task's bank move).
+        # Specifically a *banks* property: the embedding-conditioned
+        # default shares a head stack, so pin conditioning="banks".
         _, pipeline, tasks, samples = joint_env_parts
         env = MultiTaskEnv(tasks, samples, pipeline=pipeline, seed=0)
         policy = make_policy(
@@ -440,6 +442,7 @@ class TestJointTraining:
             spaces=OrderedDict(
                 (task.name, task.action_space("discrete")) for task in tasks
             ),
+            conditioning="banks",
         )
         trainer = PPOTrainer(
             env, policy, PPOConfig(learning_rate=1e-2, minibatch_size=8)
