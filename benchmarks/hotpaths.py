@@ -12,7 +12,11 @@ show its speed delta against a recorded baseline instead of anecdotes:
   ``act_batch``,
 * **frontend** — wall-clock of a full agent-comparison run with cold
   process state versus a repeat with *fresh* pipeline/reward caches, so any
-  gap is exactly what the process-wide frontend memo saves.
+  gap is exactly what the process-wide frontend memo saves,
+* **update** (schema v2) — the PPO update phase profiled fused-kernel vs
+  autodiff-graph with the gather/evaluate/backward/optimizer wall-clock
+  split (delegated to :mod:`benchmarks.profile_update`); entries written
+  by v1 code predate the section and simply lack the key.
 
 Run it from the repo root::
 
@@ -20,8 +24,9 @@ Run it from the repo root::
 
 ``--tiny`` shrinks the workload for CI smoke runs, ``--check`` validates
 the written file's schema and fails if batched inference ever regresses
-below the serial path.  The workload of every entry is recorded inside the
-entry, so entries of different sizes never get compared apples-to-oranges:
+below the serial path or a fused update entry diverged from the graph
+path.  The workload of every entry is recorded inside the entry, so
+entries of different sizes never get compared apples-to-oranges:
 ``--check`` and readers should compare entries with equal ``workload``.
 """
 
@@ -36,9 +41,14 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-SCHEMA = "bench-hotpaths/v1"
+SCHEMA = "bench-hotpaths/v2"
 
-#: Fields every entry must carry (``--check`` enforces these).
+#: Older trajectory files this writer still reads (their entries are kept
+#: verbatim; the file's schema tag is upgraded on the next append).
+_COMPATIBLE_SCHEMAS = ("bench-hotpaths/v1", SCHEMA)
+
+#: Fields every entry must carry (``--check`` enforces these).  ``update``
+#: is intentionally absent: v1-era entries predate it.
 _ENTRY_KEYS = ("label", "workload", "training", "inference", "frontend")
 
 
@@ -180,8 +190,32 @@ def bench_frontend(workload: Dict[str, object]) -> Dict[str, object]:
     }
 
 
+def bench_update(workload: Dict[str, object]) -> Dict[str, object]:
+    """PPO update phase: fused kernel vs autodiff graph, phase-split.
+
+    Delegates to :func:`benchmarks.profile_update.profile_update` so the
+    trajectory entry and the standalone profiler always measure the same
+    committed workload.  Internal bookkeeping keys are stripped.
+    """
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    try:
+        from profile_update import _workload as update_workload
+        from profile_update import profile_update
+    finally:
+        sys.path.pop(0)
+
+    result = profile_update(update_workload(bool(workload["tiny"])))
+    return {
+        "workload": result["workload"],
+        "graph": result["graph"],
+        "fused": result["fused"],
+        "fused_speedup": result["fused_speedup"],
+        "identical": result["identical"],
+    }
+
+
 def run_benchmark(label: str, tiny: bool = False) -> Dict[str, object]:
-    """Run all three hot-path measurements and return one trajectory entry."""
+    """Run all four hot-path measurements and return one trajectory entry."""
     workload = _workload(tiny)
     entry: Dict[str, object] = {
         "label": label,
@@ -191,6 +225,7 @@ def run_benchmark(label: str, tiny: bool = False) -> Dict[str, object]:
     entry["training"] = bench_training(workload)
     entry["inference"] = bench_inference(workload)
     entry["frontend"] = bench_frontend(workload)
+    entry["update"] = bench_update(workload)
     return entry
 
 
@@ -202,9 +237,10 @@ def run_benchmark(label: str, tiny: bool = False) -> Dict[str, object]:
 def load_trajectory(path: Path) -> Dict[str, object]:
     if path.exists():
         payload = json.loads(path.read_text())
-        if payload.get("schema") != SCHEMA:
+        if payload.get("schema") not in _COMPATIBLE_SCHEMAS:
             raise ValueError(
-                f"{path} has schema {payload.get('schema')!r}, expected {SCHEMA!r}"
+                f"{path} has schema {payload.get('schema')!r}, expected one "
+                f"of {_COMPATIBLE_SCHEMAS!r}"
             )
         return payload
     return {"schema": SCHEMA, "entries": []}
@@ -212,13 +248,18 @@ def load_trajectory(path: Path) -> Dict[str, object]:
 
 def append_entry(path: Path, entry: Dict[str, object]) -> Dict[str, object]:
     payload = load_trajectory(path)
+    payload["schema"] = SCHEMA  # v1 files upgrade in place; entries unchanged
     payload["entries"].append(entry)
     path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
     return payload
 
 
 def validate(payload: Dict[str, object]) -> List[str]:
-    """Schema/regression checks; returns a list of problems (empty = OK)."""
+    """Schema/regression checks; returns a list of problems (empty = OK).
+
+    v1-era entries (no ``update`` section) stay valid; entries that carry
+    one must be byte-identical (``identical``) and report positive rates.
+    """
     problems: List[str] = []
     if payload.get("schema") != SCHEMA:
         problems.append(f"schema is {payload.get('schema')!r}, expected {SCHEMA!r}")
@@ -244,6 +285,19 @@ def validate(payload: Dict[str, object]) -> List[str]:
             value = frontend.get(key)
             if not isinstance(value, (int, float)) or value <= 0:
                 problems.append(f"entry {index}: bad frontend timing {key}={value!r}")
+        update = entry.get("update")
+        if update is not None:
+            if update.get("identical") is not True:
+                problems.append(
+                    f"entry {index} ({entry.get('label')}): fused update "
+                    "diverged from the autodiff graph"
+                )
+            for variant in ("graph", "fused"):
+                rate = update.get(variant, {}).get("updates_per_second")
+                if not isinstance(rate, (int, float)) or rate <= 0:
+                    problems.append(
+                        f"entry {index}: bad update rate {variant}={rate!r}"
+                    )
     return problems
 
 
@@ -283,6 +337,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"  frontend: cold {frontend['cold_comparison_seconds']:.2f}s, "
         f"warm {frontend['warm_comparison_seconds']:.2f}s "
         f"({frontend['warm_speedup']:.2f}x)"
+    )
+    update = entry["update"]
+    print(
+        f"  update: graph {update['graph']['updates_per_second']:.1f}/s, "
+        f"fused {update['fused']['updates_per_second']:.1f}/s "
+        f"({update['fused_speedup']:.2f}x, identical={update['identical']})"
     )
     if args.check:
         problems = validate(payload)

@@ -11,6 +11,7 @@ from repro.ir.lowering import LoweringContext, lower_function
 from repro.ir.nodes import IRFunction
 from repro.machine.description import MachineDescription
 from repro.simulator.compile_time import estimate_compile_time
+from repro.simulator.cost import memo_stats as cost_memo_stats
 from repro.simulator.engine import FunctionCost, Simulator
 from repro.vectorizer.cost_model import BaselineCostModel
 from repro.vectorizer.planner import (
@@ -116,6 +117,10 @@ class CompileAndMeasure:
         entry counts of the per-function stores (analyses, statement
         prices, region playbooks) so cache-pressure regressions show up in
         :meth:`repro.core.framework.NeuroVectorizer.cache_stats_report`.
+        The iteration-cost memo counters (process-wide, from
+        :func:`repro.simulator.cost.memo_stats`) ride along under
+        ``cost_*`` keys, including how many (VF, IF) grid points the
+        one-pass sweeps prepaid.
         """
         totals: Dict[str, float] = {
             "simulators": 0,
@@ -142,6 +147,12 @@ class CompileAndMeasure:
                 totals[name] += stats[name]
         lookups = totals["hits"] + totals["misses"]
         totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+        cost_stats = cost_memo_stats()
+        totals["cost_iteration_hits"] = cost_stats["iteration_hits"]
+        totals["cost_iteration_misses"] = cost_stats["iteration_misses"]
+        totals["cost_iteration_hit_rate"] = cost_stats["iteration_hit_rate"]
+        totals["cost_sweeps"] = cost_stats["sweeps"]
+        totals["cost_swept_configs"] = cost_stats["swept_configs"]
         return totals
 
     def _result(

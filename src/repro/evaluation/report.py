@@ -106,6 +106,12 @@ def format_cache_stats_table(
         table.add_row(["simulator memo hit rate", simulator_memo["hit_rate"]])
         table.add_row(["simulator memo entries", simulator_memo["entries"]])
         table.add_row(["simulator playbooks", simulator_memo["playbook_entries"]])
+        if "cost_iteration_hits" in simulator_memo:
+            table.add_row(["cost memo hits", simulator_memo["cost_iteration_hits"]])
+            table.add_row(["cost memo misses", simulator_memo["cost_iteration_misses"]])
+            table.add_row(["cost memo hit rate", simulator_memo["cost_iteration_hit_rate"]])
+            table.add_row(["cost grid sweeps", simulator_memo["cost_sweeps"]])
+            table.add_row(["cost configs prepaid", simulator_memo["cost_swept_configs"]])
     if frontend is not None:
         table.add_row(["frontend cache hits", frontend["hits"]])
         table.add_row(["frontend cache misses", frontend["misses"]])

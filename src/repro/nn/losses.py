@@ -28,10 +28,14 @@ def categorical_log_prob(logits: Tensor, actions: np.ndarray) -> Tensor:
 
 
 def categorical_entropy(logits: Tensor) -> Tensor:
-    """Entropy of a categorical distribution, per batch row."""
-    log_probabilities = ops.log_softmax(logits, axis=-1)
-    probabilities = ops.softmax(logits, axis=-1)
-    return ops.mul(ops.sum(ops.mul(probabilities, log_probabilities), axis=-1), -1.0)
+    """Entropy of a categorical distribution, per batch row.
+
+    Delegates to the fused :func:`repro.nn.ops.entropy_from_logits` node —
+    bit-identical (forward and backward, including the gradient
+    accumulation order into ``logits``) to the historical five-node chain
+    ``mul(sum(mul(softmax, log_softmax), -1), -1.0)``, but one graph node.
+    """
+    return ops.entropy_from_logits(logits)
 
 
 def gaussian_log_prob(mean: Tensor, log_std: Tensor, actions: np.ndarray) -> Tensor:

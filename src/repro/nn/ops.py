@@ -357,6 +357,141 @@ def take_along_last_axis(a: TensorLike, indices: np.ndarray) -> Tensor:
     return _make(out_data, (a,), backward)
 
 
+# -- fused composites -----------------------------------------------------------------
+#
+# One graph node for an op *chain* the PPO update runs per minibatch.  The
+# forward/backward helpers replicate the exact numpy call sequence (and
+# gradient accumulation order) of the equivalent chain of primitive ops, so
+# swapping a chain for its fused op changes no bits — only the number of
+# Python-level nodes the backward pass walks.  The helpers are shared with
+# the hand-written update kernel in ``repro.rl.fused_update``.
+
+
+def _ppo_surrogate_forward(log_probs, old_log_probs, advantages, low, high):
+    """Forward pass of exp/clip/minimum/mean PPO surrogate; returns the
+    scalar loss plus the saved arrays its backward needs."""
+    delta = log_probs - old_log_probs
+    ratio = np.exp(delta)
+    unclipped = ratio * advantages
+    clipped = np.clip(ratio, low, high) * advantages
+    objective = np.minimum(unclipped, clipped)
+    loss = objective.mean() * -1.0
+    return loss, ratio, unclipped, clipped
+
+
+def _ppo_surrogate_backward(
+    gradient, ratio, unclipped, clipped, advantages, low, high
+):
+    """Gradient of the fused surrogate w.r.t. the log-probs.
+
+    Replicates the primitive chain's accumulation order exactly: the
+    minimum node routes into the clipped branch first (mask from
+    ``unclipped <= clipped``), the clip mask gates the clipped branch, and
+    the unclipped branch adds on top — then the whole thing flows back
+    through exp as a multiply by the ratio.
+    """
+    g_mean = np.broadcast_to((gradient * -1.0) / ratio.size, ratio.shape)
+    mask_min = unclipped <= clipped
+    g_unclipped = g_mean * mask_min
+    g_clipped = g_mean * (~mask_min)
+    clip_mask = (ratio >= low) & (ratio <= high)
+    g_ratio = (g_clipped * advantages) * clip_mask
+    g_ratio = g_ratio + g_unclipped * advantages
+    return g_ratio * ratio
+
+
+def ppo_surrogate(
+    log_probs: TensorLike,
+    old_log_probs: np.ndarray,
+    advantages: np.ndarray,
+    clip_low: float,
+    clip_high: float,
+) -> Tensor:
+    """The clipped PPO policy loss as ONE graph node.
+
+    Equivalent — bit-for-bit, forward and backward — to::
+
+        ratio = exp(sub(log_probs, old))
+        mul(mean(minimum(mul(ratio, adv),
+                         mul(clip(ratio, lo, hi), adv))), -1.0)
+
+    but builds a single node instead of seven, so the backward pass stops
+    allocating per-node closures and intermediate gradients on the update
+    hot path.
+    """
+    log_probs = Tensor.ensure(log_probs)
+    old = np.asarray(old_log_probs, dtype=np.float64)
+    advantages = np.asarray(advantages, dtype=np.float64)
+    loss, ratio, unclipped, clipped = _ppo_surrogate_forward(
+        log_probs.data, old, advantages, clip_low, clip_high
+    )
+
+    def backward(gradient: np.ndarray) -> None:
+        if log_probs.requires_grad:
+            log_probs._accumulate(
+                _ppo_surrogate_backward(
+                    gradient, ratio, unclipped, clipped, advantages, clip_low, clip_high
+                )
+            )
+
+    return _make(np.asarray(loss), (log_probs,), backward)
+
+
+def _entropy_forward(logits):
+    """Forward pass of per-row categorical entropy from raw logits; returns
+    the entropy plus the log-softmax/softmax arrays its backward needs."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_softmax_values = shifted - log_sum
+    exps = np.exp(shifted)
+    probs = exps / exps.sum(axis=-1, keepdims=True)
+    entropy = (probs * log_softmax_values).sum(axis=-1) * -1.0
+    return entropy, log_softmax_values, probs
+
+
+def _entropy_backward(gradient, log_softmax_values, probs):
+    """Gradient of fused entropy w.r.t. the logits.
+
+    Replicates the primitive chain (softmax + log_softmax + mul + sum +
+    mul(-1)) exactly, including its accumulation order into the logits:
+    the log-softmax branch lands first, then the softmax branch — and the
+    log-softmax backward recomputes its softmax as ``exp(out)``, which is
+    NOT bit-identical to the softmax node's ``exps / sum`` output, so both
+    variants appear below on purpose.
+    """
+    g_sum = gradient * -1.0
+    g_product = np.broadcast_to(
+        np.expand_dims(g_sum, axis=-1), log_softmax_values.shape
+    )
+    g_probs = g_product * log_softmax_values
+    g_log_softmax = g_product * probs
+    softmax_of_log = np.exp(log_softmax_values)
+    total = g_log_softmax.sum(axis=-1, keepdims=True)
+    g_logits = g_log_softmax - softmax_of_log * total
+    dot = (g_probs * probs).sum(axis=-1, keepdims=True)
+    g_logits = g_logits + probs * (g_probs - dot)
+    return g_logits
+
+
+def entropy_from_logits(logits: TensorLike) -> Tensor:
+    """Per-row categorical entropy as ONE graph node.
+
+    Bit-identical (values and gradients) to the five-node chain
+    ``mul(sum(mul(softmax(x), log_softmax(x)), -1), -1.0)`` that
+    :func:`repro.nn.losses.categorical_entropy` historically built.
+    """
+    logits = Tensor.ensure(logits)
+    entropy, log_softmax_values, probs = _entropy_forward(logits.data)
+
+    def backward(gradient: np.ndarray) -> None:
+        if logits.requires_grad:
+            logits._accumulate(
+                _entropy_backward(gradient, log_softmax_values, probs)
+            )
+
+    return _make(entropy, (logits,), backward)
+
+
 def weighted_sum(values: TensorLike, weights: TensorLike, axis: int = 1) -> Tensor:
     """``sum(values * weights, axis)`` — the attention aggregation primitive."""
     return sum(mul(values, weights), axis=axis)

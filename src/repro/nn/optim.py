@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,7 +24,11 @@ class Optimizer:
         raise NotImplementedError
 
     def clip_gradients(self, max_norm: float) -> float:
-        """Global-norm gradient clipping; returns the pre-clip norm."""
+        """Global-norm gradient clipping; returns the pre-clip norm.
+
+        The scale multiply happens in place (``grad * scale`` writes back
+        into the gradient buffer — same bits, no allocation).
+        """
         total = 0.0
         for parameter in self.parameters:
             if parameter.grad is not None:
@@ -34,7 +38,7 @@ class Optimizer:
             scale = max_norm / norm
             for parameter in self.parameters:
                 if parameter.grad is not None:
-                    parameter.grad = parameter.grad * scale
+                    np.multiply(parameter.grad, scale, out=parameter.grad)
         return norm
 
 
@@ -67,7 +71,23 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam (the optimiser RLlib's PPO uses by default)."""
+    """Adam (the optimiser RLlib's PPO uses by default).
+
+    Every step runs fully in place: the moment arrays are updated where
+    they live, and two preallocated per-parameter scratch buffers carry
+    the bias-corrected estimates and the final update, so a step allocates
+    nothing after the first.  Each in-place expression mirrors the
+    allocating formula term by term (same operations, same order), so the
+    trained weights and moment state are bit-identical to the historical
+    allocating implementation::
+
+        first  = beta1 * first + (1 - beta1) * grad
+        second = beta2 * second + (1 - beta2) * grad**2
+        data  -= lr * (first / bias1) / (sqrt(second / bias2) + eps)
+
+    ``parameter.data`` is updated in place as well (same bits as the
+    rebinding subtract).
+    """
 
     def __init__(
         self,
@@ -84,24 +104,50 @@ class Adam(Optimizer):
         self._step = 0
         self._first_moment: Dict[int, np.ndarray] = {}
         self._second_moment: Dict[int, np.ndarray] = {}
+        self._scratch: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
     def step(self) -> None:
         self._step += 1
+        beta1 = self.beta1
+        beta2 = self.beta2
+        one_minus_beta1 = 1 - beta1
+        one_minus_beta2 = 1 - beta2
+        bias1 = 1 - beta1 ** self._step
+        bias2 = 1 - beta2 ** self._step
+        learning_rate = self.learning_rate
+        epsilon = self.epsilon
         for parameter in self.parameters:
-            if parameter.grad is None:
+            grad = parameter.grad
+            if grad is None:
                 continue
             key = id(parameter)
             first = self._first_moment.get(key)
             second = self._second_moment.get(key)
+            buffers = self._scratch.get(key)
             if first is None:
                 first = np.zeros_like(parameter.data)
                 second = np.zeros_like(parameter.data)
-            first = self.beta1 * first + (1 - self.beta1) * parameter.grad
-            second = self.beta2 * second + (1 - self.beta2) * (parameter.grad ** 2)
-            self._first_moment[key] = first
-            self._second_moment[key] = second
-            first_hat = first / (1 - self.beta1 ** self._step)
-            second_hat = second / (1 - self.beta2 ** self._step)
-            parameter.data = parameter.data - self.learning_rate * first_hat / (
-                np.sqrt(second_hat) + self.epsilon
-            )
+                self._first_moment[key] = first
+                self._second_moment[key] = second
+            if buffers is None or buffers[0].shape != parameter.data.shape:
+                buffers = (np.empty_like(parameter.data), np.empty_like(parameter.data))
+                self._scratch[key] = buffers
+            numerator, denominator = buffers
+            # first = beta1 * first + (1 - beta1) * grad
+            np.multiply(first, beta1, out=first)
+            np.multiply(grad, one_minus_beta1, out=numerator)
+            np.add(first, numerator, out=first)
+            # second = beta2 * second + (1 - beta2) * grad**2
+            # (numpy evaluates ``grad ** 2`` as ``grad * grad``)
+            np.multiply(second, beta2, out=second)
+            np.multiply(grad, grad, out=denominator)
+            np.multiply(denominator, one_minus_beta2, out=denominator)
+            np.add(second, denominator, out=second)
+            # data -= lr * (first / bias1) / (sqrt(second / bias2) + eps)
+            np.divide(first, bias1, out=numerator)
+            np.multiply(numerator, learning_rate, out=numerator)
+            np.divide(second, bias2, out=denominator)
+            np.sqrt(denominator, out=denominator)
+            np.add(denominator, epsilon, out=denominator)
+            np.divide(numerator, denominator, out=numerator)
+            np.subtract(parameter.data, numerator, out=parameter.data)

@@ -36,7 +36,15 @@ class Tensor:
     topological order accumulating gradients into ``grad``.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "name",
+        "_grad_buffer",
+    )
 
     def __init__(
         self,
@@ -52,6 +60,12 @@ class Tensor:
         self._backward = backward
         self._parents = parents if self.requires_grad else ()
         self.name = name
+        # Preallocated gradient storage: after the first backward pass this
+        # holds the gradient array, and later passes write into it in place
+        # instead of allocating (``zero_grad`` only drops ``grad``, keeping
+        # the buffer).  For long-lived tensors — parameters — gradient
+        # accumulation therefore stops allocating entirely.
+        self._grad_buffer: Optional[np.ndarray] = None
 
     # -- construction helpers -----------------------------------------------------
 
@@ -87,10 +101,24 @@ class Tensor:
 
     def _accumulate(self, gradient: np.ndarray) -> None:
         gradient = _unbroadcast(gradient, self.data.shape)
-        if self.grad is None:
-            self.grad = gradient.copy()
+        grad = self.grad
+        if grad is None:
+            buffer = self._grad_buffer
+            if (
+                buffer is not None
+                and buffer.shape == gradient.shape
+                and buffer.dtype == gradient.dtype
+            ):
+                np.copyto(buffer, gradient)
+            else:
+                buffer = gradient.copy()
+                self._grad_buffer = buffer
+            self.grad = buffer
         else:
-            self.grad = self.grad + gradient
+            # ``grad`` is always privately owned (the copy above), so the
+            # in-place add computes the same bits as ``grad + gradient``
+            # without allocating.
+            np.add(grad, gradient, out=grad)
 
     def backward(self, gradient: Optional[ArrayLike] = None) -> None:
         """Backpropagate from this tensor (defaults to d(self)/d(self) = 1)."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -56,6 +57,16 @@ class PPOConfig:
     #: collected batch), keeping single-task training byte-identical to
     #: the global-normalization trainer; ``True``/``False`` force it.
     per_task_advantage_norm: Optional[bool] = None
+    #: Hand-fused minibatch updates: one forward + one backward function
+    #: per minibatch instead of building and walking an autodiff graph.
+    #: Bit-identical losses, gradients and optimizer state (the regression
+    #: suite in ``tests/test_fused_update.py`` pins this), so it is purely
+    #: a speed knob.  ``None`` (default) auto-detects: fused kernels serve
+    #: the known policy architectures, anything else — external policies,
+    #: overridden ``evaluate`` — falls back to the graph path per
+    #: minibatch.  ``False`` forces the graph path; ``True`` additionally
+    #: raises at construction when the policy is not fusable.
+    fused_update: Optional[bool] = None
 
     def scaled(self, **overrides) -> "PPOConfig":
         """A copy of this config with some fields replaced."""
@@ -185,10 +196,15 @@ class PPOTrainer:
         policy: Policy,
         config: Optional[PPOConfig] = None,
         trainable_parameters=None,
+        profiler=None,
     ):
         self.env = env
         self.policy = policy
         self.config = config or PPOConfig()
+        #: Optional :class:`repro.profiling.PhaseTimer`; when attached,
+        #: training records collect/gather/evaluate/backward/optimizer
+        #: phase timings.  ``None`` (default) skips all timing calls.
+        self.profiler = profiler
         # The environment must decode actions with the policy's own
         # space(s).  A multi-task policy hands its per-task spaces to a
         # multi-task env; a single-task policy keeps the legacy assignment.
@@ -225,6 +241,19 @@ class PPOTrainer:
         # One running-moments accumulator per task id for per-task
         # advantage normalization (lazily created on first joint batch).
         self._advantage_moments: Dict[Optional[str], _RunningMoments] = {}
+        # Hand-fused update kernels for the known policy architectures
+        # (bit-identical to the graph path; see PPOConfig.fused_update).
+        self._fused = None
+        if self.config.fused_update is not False:
+            from repro.rl.fused_update import FusedUpdater
+
+            self._fused = FusedUpdater.create(policy, self.optimizer, self.config)
+            if self._fused is None and self.config.fused_update is True:
+                raise ValueError(
+                    "fused_update=True but the fused kernels do not support "
+                    f"this policy ({type(policy).__name__}); use "
+                    "fused_update=None for per-minibatch auto-detection"
+                )
 
     # -- rollout collection --------------------------------------------------------
 
@@ -352,6 +381,12 @@ class PPOTrainer:
         config = self.config
         last_metrics: Dict[str, float] = {}
         rng = np.random.default_rng(self.total_steps)
+        profiler = self.profiler
+        # Group membership never changes across epochs — only the shuffle
+        # order does — so the name-to-code table is built once here and the
+        # per-epoch work is a cheap order-preserving partition of the
+        # freshly shuffled index array.
+        plan = self._task_group_plan(task_names)
 
         for _ in range(config.epochs_per_batch):
             rng.shuffle(indices)
@@ -360,18 +395,47 @@ class PPOTrainer:
             # single-task batch is one group spanning the whole shuffled
             # index array — slicing (and therefore training) identical to
             # the pre-multi-task trainer.
-            for task, task_indices in self._task_groups(indices, task_names):
-                for start in range(0, len(task_indices), config.minibatch_size):
-                    batch = task_indices[start : start + config.minibatch_size]
-                    metrics = self._update_minibatch(
-                        observations[batch],
-                        actions[batch],
-                        old_log_probs[batch],
-                        advantages[batch],
-                        returns[batch],
-                        task=task,
+            for task, task_indices in self._shuffled_groups(indices, plan):
+                # Gather each group's matrices ONCE per epoch; minibatches
+                # below read contiguous slices instead of re-running fancy
+                # indexing per step.  ``group_x[a:b]`` holds exactly the
+                # rows ``x[task_indices[a:b]]`` the per-minibatch gather
+                # produced, so training bytes are unchanged.
+                if profiler is not None:
+                    gather_started = time.perf_counter()
+                group_observations = observations[task_indices]
+                group_actions = actions[task_indices]
+                group_old_log_probs = old_log_probs[task_indices]
+                group_advantages = advantages[task_indices]
+                group_returns = returns[task_indices]
+                if profiler is not None:
+                    profiler.add(
+                        "gather", time.perf_counter() - gather_started
                     )
-                    last_metrics = metrics
+                fused = self._fused
+                if fused is not None and not fused.kernel_for(task):
+                    fused = None
+                for start in range(0, len(task_indices), config.minibatch_size):
+                    stop = start + config.minibatch_size
+                    if fused is not None:
+                        last_metrics = fused.update_minibatch(
+                            group_observations[start:stop],
+                            group_actions[start:stop],
+                            group_old_log_probs[start:stop],
+                            group_advantages[start:stop],
+                            group_returns[start:stop],
+                            task=task,
+                            timer=profiler,
+                        )
+                    else:
+                        last_metrics = self._update_minibatch(
+                            group_observations[start:stop],
+                            group_actions[start:stop],
+                            group_old_log_probs[start:stop],
+                            group_advantages[start:stop],
+                            group_returns[start:stop],
+                            task=task,
+                        )
         return last_metrics
 
     def _normalize_advantages_per_task(
@@ -400,6 +464,41 @@ class PPOTrainer:
         return normalized
 
     @staticmethod
+    def _task_group_plan(task_names: Optional[Sequence[str]]):
+        """The epoch-invariant part of task grouping: names + code array.
+
+        Returns ``(names, codes)``: for single-group batches ``names`` is
+        the lone task id (or ``None``) and ``codes`` is ``None``; for
+        joint batches ``names`` lists distinct task ids and ``codes`` maps
+        every batch row to its position in that list.
+        """
+        if task_names is None or len(set(task_names)) <= 1:
+            return (task_names[0] if task_names else None), None
+        names = list(dict.fromkeys(task_names))
+        code_of = {name: code for code, name in enumerate(names)}
+        codes = np.asarray([code_of[name] for name in task_names])
+        return names, codes
+
+    @staticmethod
+    def _shuffled_groups(indices, plan):
+        """Partition shuffled indices by task id, preserving shuffle order.
+
+        Groups appear in first-appearance-within-the-shuffle order and
+        each group's indices keep their shuffled order — the exact
+        partition the historical per-epoch OrderedDict walk produced, as a
+        few vectorized passes over the precomputed code array.
+        """
+        names, codes = plan
+        if codes is None:
+            return [(names, indices)]
+        shuffled_codes = codes[indices]
+        _, first_positions = np.unique(shuffled_codes, return_index=True)
+        ordered = shuffled_codes[np.sort(first_positions)]
+        return [
+            (names[code], indices[shuffled_codes == code]) for code in ordered
+        ]
+
+    @staticmethod
     def _task_groups(indices, task_names: Optional[Sequence[str]]):
         """Partition shuffled indices by task id, preserving shuffle order."""
         if task_names is None or len(set(task_names)) <= 1:
@@ -414,27 +513,41 @@ class PPOTrainer:
         self, observations, actions, old_log_probs, advantages, returns, task=None
     ) -> Dict[str, float]:
         config = self.config
+        profiler = self.profiler
+        started = time.perf_counter() if profiler is not None else 0.0
         log_probs, entropy, values = self.policy.evaluate(
             observations, actions, task=task
         )
-        ratio = ops.exp(ops.sub(log_probs, Tensor(old_log_probs)))
-        advantage_tensor = Tensor(advantages)
-        unclipped = ops.mul(ratio, advantage_tensor)
-        clipped = ops.mul(
-            ops.clip(ratio, 1.0 - config.clip_ratio, 1.0 + config.clip_ratio),
-            advantage_tensor,
+        # The clipped surrogate as ONE graph node (ops.ppo_surrogate is
+        # bit-identical, forward and backward, to the historical
+        # exp/sub/mul/clip/minimum/mean/mul chain).
+        policy_loss = ops.ppo_surrogate(
+            log_probs,
+            old_log_probs,
+            advantages,
+            1.0 - config.clip_ratio,
+            1.0 + config.clip_ratio,
         )
-        policy_loss = ops.mul(ops.mean(ops.minimum(unclipped, clipped)), -1.0)
         value_loss = mse_loss(values, Tensor(returns))
         entropy_bonus = ops.mean(entropy)
         total_loss = ops.add(
             ops.add(policy_loss, ops.mul(value_loss, config.value_coefficient)),
             ops.mul(entropy_bonus, -config.entropy_coefficient),
         )
+        if profiler is not None:
+            now = time.perf_counter()
+            profiler.add("evaluate", now - started)
+            started = now
         self.optimizer.zero_grad()
         total_loss.backward()
+        if profiler is not None:
+            now = time.perf_counter()
+            profiler.add("backward", now - started)
+            started = now
         self.optimizer.clip_gradients(config.max_gradient_norm)
         self.optimizer.step()
+        if profiler is not None:
+            profiler.add("optimizer", time.perf_counter() - started)
         return {
             "total_loss": float(total_loss.item()),
             "policy_loss": float(policy_loss.item()),
@@ -448,20 +561,23 @@ class PPOTrainer:
         """Run training until ``total_steps`` environment steps were consumed."""
         batch_size = batch_size or min(self.config.train_batch_size, total_steps)
         iteration = len(self.history.iterations)
+        profiler = self.profiler
         while self.total_steps < total_steps:
             start_time = time.perf_counter()
             current_batch = min(batch_size, total_steps - self.total_steps)
-            (
-                observations,
-                actions,
-                log_probs,
-                rewards,
-                values,
-                task_names,
-            ) = self.collect_batch(current_batch)
-            metrics = self.update(
-                observations, actions, log_probs, rewards, values, task_names
-            )
+            with profiler.scope("collect") if profiler is not None else nullcontext():
+                (
+                    observations,
+                    actions,
+                    log_probs,
+                    rewards,
+                    values,
+                    task_names,
+                ) = self.collect_batch(current_batch)
+            with profiler.scope("update") if profiler is not None else nullcontext():
+                metrics = self.update(
+                    observations, actions, log_probs, rewards, values, task_names
+                )
             self.total_steps += current_batch
             iteration += 1
             per_task_rewards: Dict[str, float] = {}

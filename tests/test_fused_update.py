@@ -1,0 +1,445 @@
+"""Byte-identity regression suite for the fused PPO update path.
+
+The fused kernel (:mod:`repro.rl.fused_update`), the fused composite ops
+(:func:`repro.nn.ops.ppo_surrogate`, :func:`repro.nn.ops.entropy_from_logits`)
+and the one-pass simulator sweep (:mod:`repro.simulator.cost`) are all
+pure re-expressions of slower reference code.  Every test here compares
+raw bytes — losses, per-parameter gradients, Adam moment state, trained
+weights, cost-model cycles — against the reference path, because "close"
+is not the contract: the contract is *identical*.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.loopinfo import analyze_loop
+from repro.frontend import parse_source
+from repro.ir.lowering import lower_unit
+from repro.machine.description import avx2_machine, avx512_machine
+from repro.nn import Tensor, ops
+from repro.rl.fused_update import FusedUpdater, supports_fused_update
+from repro.rl.policy import make_policy
+from repro.rl.ppo import PPOConfig, PPOTrainer
+from repro.rl.spaces import (
+    ContinuousJointSpace,
+    ContinuousPairSpace,
+    DiscreteFactorSpace,
+)
+from repro.simulator import cost as cost_mod
+from repro.simulator.cost import (
+    _candidate_grid,
+    _estimate_iteration_cycles_uncached,
+    estimate_iteration_cycles,
+    estimate_working_set,
+    sweep_iteration_costs,
+)
+
+
+def _discrete_space(*sizes):
+    return DiscreteFactorSpace(
+        menus=tuple(tuple(range(1, size + 1)) for size in sizes)
+    )
+
+
+class _NullEnv:
+    def set_action_spaces(self, spaces):
+        pass
+
+
+def _synth_batch(spaces, rng, count, observation_dim):
+    names = list(spaces)
+    observations = rng.standard_normal((count, observation_dim))
+    max_dims = max(
+        (len(space.sizes) if getattr(space, "sizes", None) else space.dims)
+        for space in spaces.values()
+    )
+    tasks = [names[i % len(names)] for i in range(count)]
+    actions = np.zeros((count, max_dims), dtype=np.float64)
+    for i, task in enumerate(tasks):
+        space = spaces[task]
+        if getattr(space, "sizes", None):
+            for j, size in enumerate(space.sizes):
+                actions[i, j] = rng.integers(0, size)
+        else:
+            actions[i, : space.dims] = rng.uniform(0.05, 0.95, size=space.dims)
+    old_log_probs = rng.standard_normal(count) * 0.3 - 1.0
+    rewards = rng.standard_normal(count)
+    values = rng.standard_normal(count) * 0.5
+    return observations, actions, old_log_probs, rewards, values, tasks
+
+
+def _run_training(kind, spaces, conditioning, fused, *, count=97, updates=3,
+                  minibatch=16, epochs=3, observation_dim=6):
+    policy = make_policy(
+        kind,
+        observation_dim,
+        hidden_sizes=(16, 8),
+        seed=3,
+        spaces=spaces,
+        conditioning=conditioning,
+    )
+    config = PPOConfig(
+        minibatch_size=minibatch, epochs_per_batch=epochs, fused_update=fused
+    )
+    trainer = PPOTrainer(_NullEnv(), policy, config)
+    rng = np.random.default_rng(77)
+    metrics = []
+    for _ in range(updates):
+        batch = _synth_batch(spaces, rng, count, observation_dim)
+        metrics.append(trainer.update(*batch[:5], task_names=batch[5]))
+    return trainer, metrics
+
+
+def _fingerprint(trainer):
+    weights = [p.data.tobytes() for p in trainer.policy.parameters()]
+    grads = [
+        None if p.grad is None else p.grad.tobytes()
+        for p in trainer.policy.parameters()
+    ]
+    moments = []
+    for p in trainer.policy.parameters():
+        first = trainer.optimizer._first_moment.get(id(p))
+        second = trainer.optimizer._second_moment.get(id(p))
+        moments.append(
+            (
+                None if first is None else first.tobytes(),
+                None if second is None else second.tobytes(),
+            )
+        )
+    return weights, grads, moments
+
+
+ARCHITECTURES = [
+    pytest.param(
+        "discrete",
+        {"a": DiscreteFactorSpace(), "b": _discrete_space(4, 3, 2)},
+        "banks",
+        id="discrete-banks",
+    ),
+    pytest.param(
+        "continuous2",
+        {"a": ContinuousPairSpace(), "b": ContinuousPairSpace()},
+        "banks",
+        id="gaussian-banks",
+    ),
+    pytest.param(
+        "discrete",
+        {
+            "a": DiscreteFactorSpace(),
+            "b": _discrete_space(4, 3, 2),
+            "c": _discrete_space(5, 2),
+        },
+        "embedding",
+        id="discrete-embedding",
+    ),
+    pytest.param(
+        "continuous1",
+        {"a": ContinuousJointSpace(), "b": ContinuousJointSpace()},
+        "embedding",
+        id="gaussian-embedding",
+    ),
+]
+
+
+class TestFusedUpdateByteIdentity:
+    """The fused kernel must be indistinguishable from the graph path."""
+
+    @pytest.mark.parametrize("kind,spaces,conditioning", ARCHITECTURES)
+    def test_training_identity(self, kind, spaces, conditioning):
+        graph_trainer, graph_metrics = _run_training(
+            kind, spaces, conditioning, fused=False
+        )
+        fused_trainer, fused_metrics = _run_training(
+            kind, spaces, conditioning, fused=None
+        )
+        assert fused_trainer._fused is not None, "fused path did not engage"
+        assert graph_metrics == fused_metrics
+        assert _fingerprint(graph_trainer) == _fingerprint(fused_trainer)
+
+    def test_single_task_identity(self):
+        spaces = {"only": DiscreteFactorSpace()}
+        graph_trainer, graph_metrics = _run_training(
+            "discrete", spaces, "banks", fused=False
+        )
+        fused_trainer, fused_metrics = _run_training(
+            "discrete", spaces, "banks", fused=None
+        )
+        assert graph_metrics == fused_metrics
+        assert _fingerprint(graph_trainer) == _fingerprint(fused_trainer)
+
+    def test_fused_update_true_raises_on_unsupported_policy(self):
+        class Opaque:
+            def parameters(self):
+                return []
+
+        with pytest.raises(ValueError):
+            PPOTrainer(_NullEnv(), Opaque(), PPOConfig(fused_update=True))
+
+    def test_supports_fused_update_detects_standard_policies(self):
+        policy = make_policy("discrete", 6, hidden_sizes=(8,), seed=0)
+        assert supports_fused_update(policy)
+        assert FusedUpdater.create(policy, None, PPOConfig()) is not None
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        minibatch=st.integers(min_value=1, max_value=97),
+        epochs=st.integers(min_value=1, max_value=3),
+        count=st.integers(min_value=4, max_value=60),
+    )
+    def test_identity_over_random_minibatch_sizes(self, minibatch, epochs, count):
+        spaces = {"a": DiscreteFactorSpace(), "b": _discrete_space(4, 3, 2)}
+        graph_trainer, graph_metrics = _run_training(
+            "discrete", spaces, "banks", fused=False,
+            count=count, updates=1, minibatch=minibatch, epochs=epochs,
+        )
+        fused_trainer, fused_metrics = _run_training(
+            "discrete", spaces, "banks", fused=None,
+            count=count, updates=1, minibatch=minibatch, epochs=epochs,
+        )
+        assert graph_metrics == fused_metrics
+        assert _fingerprint(graph_trainer) == _fingerprint(fused_trainer)
+
+
+class TestFusedOps:
+    """The fused graph nodes must match the historical op chains bitwise."""
+
+    def _raw_surrogate(self, log_probs, old_log_probs, advantages, low, high):
+        ratio = ops.exp(ops.sub(log_probs, Tensor.ensure(old_log_probs)))
+        unclipped = ops.mul(ratio, Tensor.ensure(advantages))
+        clipped = ops.mul(
+            ops.clip(ratio, low, high), Tensor.ensure(advantages)
+        )
+        return ops.mul(ops.mean(ops.minimum(unclipped, clipped)), -1.0)
+
+    def test_ppo_surrogate_matches_raw_chain(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            count = int(rng.integers(1, 64))
+            log_probs_data = rng.standard_normal(count)
+            old = rng.standard_normal(count)
+            advantages = rng.standard_normal(count)
+
+            raw_input = Tensor(log_probs_data.copy(), requires_grad=True)
+            raw = self._raw_surrogate(raw_input, old, advantages, 0.8, 1.2)
+            raw.backward()
+
+            fused_input = Tensor(log_probs_data.copy(), requires_grad=True)
+            fused = ops.ppo_surrogate(fused_input, old, advantages, 0.8, 1.2)
+            fused.backward()
+
+            assert fused.data.tobytes() == raw.data.tobytes()
+            assert fused_input.grad.tobytes() == raw_input.grad.tobytes()
+
+    def test_entropy_from_logits_matches_raw_chain(self):
+        rng = np.random.default_rng(6)
+        for _ in range(10):
+            shape = (int(rng.integers(1, 16)), int(rng.integers(2, 9)))
+            logits_data = rng.standard_normal(shape)
+            seed = rng.standard_normal(shape[0])
+
+            raw_input = Tensor(logits_data.copy(), requires_grad=True)
+            softmax = ops.softmax(raw_input, axis=-1)
+            log_softmax = ops.log_softmax(raw_input, axis=-1)
+            raw = ops.mul(
+                ops.sum(ops.mul(softmax, log_softmax), axis=-1), -1.0
+            )
+            raw.backward(seed)
+
+            fused_input = Tensor(logits_data.copy(), requires_grad=True)
+            fused = ops.entropy_from_logits(fused_input)
+            fused.backward(seed)
+
+            assert fused.data.tobytes() == raw.data.tobytes()
+            assert fused_input.grad.tobytes() == raw_input.grad.tobytes()
+
+
+SAXPY = (
+    "float x[4096], y[4096];\n"
+    "void f(float a) { for (int i = 0; i < 4096; i++) y[i] = a * x[i] + y[i]; }"
+)
+REDUCTION = (
+    "float a[4096], b[4096];\n"
+    "float f() { float s = 0; for (int i = 0; i < 4096; i++) "
+    "s += a[i] * b[i]; return s; }"
+)
+PREDICATED = (
+    "float a[4096], b[4096];\n"
+    "void f() { for (int i = 0; i < 4096; i++) { if (a[i] > 0) b[i] = a[i]; } }"
+)
+GATHER = (
+    "int idx[4096]; float a[4096], b[4096];\n"
+    "void f() { for (int i = 0; i < 4096; i++) b[i] = a[idx[i]]; }"
+)
+
+
+def _analysis(source):
+    functions = lower_unit(parse_source(source))
+    function = next(iter(functions.values()))
+    loop = function.innermost_loops()[0]
+    return analyze_loop(function, loop)
+
+
+class TestCostSweepByteIdentity:
+    """The one-pass (VF, IF) sweep must reproduce the scalar model exactly."""
+
+    @pytest.mark.parametrize(
+        "source", [SAXPY, REDUCTION, PREDICATED, GATHER],
+        ids=["saxpy", "reduction", "predicated", "gather"],
+    )
+    @pytest.mark.parametrize("machine_factory", [avx2_machine, avx512_machine],
+                             ids=["avx2", "avx512"])
+    @pytest.mark.parametrize("if_converted", [False, True])
+    def test_sweep_matches_scalar_model(self, source, machine_factory, if_converted):
+        machine = machine_factory()
+        reference_analysis = _analysis(source)
+        working_set = estimate_working_set(reference_analysis, 4096)
+        expected = {
+            config: _estimate_iteration_cycles_uncached(
+                reference_analysis, machine, config[0], config[1],
+                working_set, if_converted,
+            )
+            for config in _candidate_grid(machine)
+        }
+
+        swept_analysis = _analysis(source)  # cold memo: forces a sweep
+        for config, reference in expected.items():
+            swept = estimate_iteration_cycles(
+                swept_analysis, machine, config[0], config[1],
+                working_set, if_converted,
+            )
+            assert swept.cycles == reference.cycles
+            assert swept.bound_by == reference.bound_by
+            assert swept.components == reference.components
+
+    def test_sweep_disabled_matches_enabled(self):
+        machine = avx2_machine()
+        analysis_on = _analysis(SAXPY)
+        analysis_off = _analysis(SAXPY)
+        working_set = estimate_working_set(analysis_on, 4096)
+        assert working_set == estimate_working_set(analysis_off, 4096)
+        original = cost_mod.SWEEP_ENABLED
+        try:
+            cost_mod.SWEEP_ENABLED = True
+            swept = sweep_iteration_costs(analysis_on, machine, working_set)
+            cost_mod.SWEEP_ENABLED = False
+            for config, from_sweep in swept.items():
+                scalar = estimate_iteration_cycles(
+                    analysis_off, machine, config[0], config[1], working_set
+                )
+                assert from_sweep.cycles == scalar.cycles
+                assert from_sweep.components == scalar.components
+        finally:
+            cost_mod.SWEEP_ENABLED = original
+
+    def test_off_grid_configuration_is_included(self):
+        machine = avx2_machine()
+        analysis = _analysis(SAXPY)
+        working_set = estimate_working_set(analysis, 4096)
+        # Arm and fire the group sweep with two grid queries, then ask for
+        # an off-grid point: the require= path must batch it in.
+        estimate_iteration_cycles(analysis, machine, 2, 1, working_set)
+        estimate_iteration_cycles(analysis, machine, 4, 1, working_set)
+        odd = estimate_iteration_cycles(analysis, machine, 3, 5, working_set)
+        reference = _estimate_iteration_cycles_uncached(
+            _analysis(SAXPY), machine, 3, 5, working_set, False
+        )
+        assert odd.cycles == reference.cycles
+        assert odd.components == reference.components
+
+    def test_memo_stats_count_sweeps_and_hits(self):
+        cost_mod.reset_memo_stats()
+        machine = avx2_machine()
+        analysis = _analysis(SAXPY)
+        working_set = estimate_working_set(analysis, 4096)
+        grid = _candidate_grid(machine)
+        for config in grid:
+            estimate_iteration_cycles(
+                analysis, machine, config[0], config[1], working_set
+            )
+        stats = cost_mod.memo_stats()
+        assert stats["sweeps"] == 1
+        # (1, 1) went through the scalar path, the first vector miss armed
+        # the group (scalar path too), and the second vector miss swept the
+        # rest of the grid.
+        assert stats["swept_configs"] == len(grid) - 2
+        # Three misses at most ((1,1), arming vector, sweeping vector);
+        # every later grid point was a hit.
+        assert stats["iteration_misses"] <= 3
+        assert stats["iteration_hits"] >= len(grid) - 3
+        assert 0.0 < stats["iteration_hit_rate"] <= 1.0
+
+    def test_one_shot_vector_query_does_not_sweep(self):
+        # The RL rollout path rewrites source per action, so each analysis
+        # sees exactly one vector configuration; sweeping a whole grid
+        # nobody reads back would be pure overhead there.
+        cost_mod.reset_memo_stats()
+        machine = avx2_machine()
+        analysis = _analysis(SAXPY)
+        working_set = estimate_working_set(analysis, 4096)
+        estimate_iteration_cycles(analysis, machine, 4, 2, working_set)
+        stats = cost_mod.memo_stats()
+        assert stats["sweeps"] == 0
+        assert stats["swept_configs"] == 0
+
+    def test_explicit_grid_api_sweeps_immediately(self):
+        cost_mod.reset_memo_stats()
+        machine = avx2_machine()
+        analysis = _analysis(SAXPY)
+        working_set = estimate_working_set(analysis, 4096)
+        sweep_iteration_costs(analysis, machine, working_set)
+        stats = cost_mod.memo_stats()
+        assert stats["sweeps"] == 1
+        assert stats["swept_configs"] == len(_candidate_grid(machine))
+
+    def test_callers_get_fresh_objects(self):
+        machine = avx2_machine()
+        analysis = _analysis(SAXPY)
+        working_set = estimate_working_set(analysis, 4096)
+        first = estimate_iteration_cycles(analysis, machine, 4, 2, working_set)
+        first.components["compute"] = -1.0
+        second = estimate_iteration_cycles(analysis, machine, 4, 2, working_set)
+        assert second.components["compute"] != -1.0
+
+
+class TestCacheStatsWiring:
+    def test_pipeline_reports_cost_memo_counters(self):
+        from repro.core.pipeline import CompileAndMeasure
+
+        stats = CompileAndMeasure().simulator_memo_stats()
+        for key in (
+            "cost_iteration_hits",
+            "cost_iteration_misses",
+            "cost_iteration_hit_rate",
+            "cost_sweeps",
+            "cost_swept_configs",
+        ):
+            assert key in stats
+
+    def test_cache_stats_table_renders_sweep_rows(self):
+        from repro.evaluation.report import format_cache_stats_table
+
+        class Stats:
+            lookups = 2
+            hits = 1
+            misses = 1
+            batch_deduplicated = 0
+            evictions = 0
+            hit_rate = 0.5
+            compiles_avoided = 1
+
+        memo = {
+            "hits": 1, "misses": 1, "evictions": 0, "hit_rate": 0.5,
+            "entries": 1, "playbook_entries": 0,
+            "cost_iteration_hits": 34, "cost_iteration_misses": 2,
+            "cost_iteration_hit_rate": 34 / 36, "cost_sweeps": 1,
+            "cost_swept_configs": 35,
+        }
+        rendered = str(format_cache_stats_table(Stats(), simulator_memo=memo))
+        assert "cost grid sweeps" in rendered
+        assert "cost configs prepaid" in rendered
